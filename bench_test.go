@@ -1,0 +1,235 @@
+// Benchmarks regenerating every table and figure of the paper (Tables
+// I–V, Figures 1–5) at a compact scale, plus micro-benchmarks for the
+// pipeline stages the paper times (feature composition, Fig. 5; window
+// prediction, Fig. 4). Run with:
+//
+//	go test -bench=. -benchmem .
+package webtxprofile_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/experiments"
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/svm"
+	"webtxprofile/internal/weblog"
+)
+
+// benchEnv is the shared experiment environment, built once on first use.
+var (
+	benchEnvOnce sync.Once
+	benchEnvVal  *experiments.Env
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		scale := experiments.SmallScale(1)
+		// Compact further so every bench iteration stays sub-second.
+		scale.Synth.Users = 8
+		scale.Synth.SmallUsers = 2
+		scale.Synth.Devices = 6
+		scale.Synth.Weeks = 3
+		scale.Synth.Services = 200
+		scale.Synth.Archetypes = 6
+		scale.Synth.ConfusableUsers = 2
+		scale.Synth.WeeklyTxMedian = 1200
+		scale.Synth.WeeklyTxSigma = 0.4
+		scale.NoveltyWeeks = []int{1, 2}
+		scale.GridTrainCap = 120
+		scale.GridOtherCap = 40
+		scale.FinalTrainCap = 200
+		scale.EvalCap = 150
+		scale.Params = []float64{0.5, 0.1}
+		scale.Combos = []features.WindowConfig{
+			experiments.RetainedWindow(),
+			{Duration: 5 * time.Minute, Shift: time.Minute},
+		}
+		env, err := experiments.NewEnv(scale)
+		if err != nil {
+			panic(err)
+		}
+		benchEnvVal = env
+	})
+	return benchEnvVal
+}
+
+func benchTable(b *testing.B, fn func(*experiments.Env) (*experiments.Table, error)) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Vocabulary regenerates Table I (feature composition).
+func BenchmarkTable1Vocabulary(b *testing.B) { benchTable(b, experiments.Table1) }
+
+// BenchmarkFigure1Novelty regenerates Fig. 1 (per-field novelty curves).
+func BenchmarkFigure1Novelty(b *testing.B) { benchTable(b, experiments.Figure1) }
+
+// BenchmarkFigure2WindowNovelty regenerates Fig. 2 (window novelty).
+func BenchmarkFigure2WindowNovelty(b *testing.B) { benchTable(b, experiments.Figure2) }
+
+// BenchmarkTable2WindowGrid regenerates Table II (the D/S grid search).
+func BenchmarkTable2WindowGrid(b *testing.B) { benchTable(b, experiments.Table2) }
+
+// BenchmarkTable3KernelGrid regenerates Table III (kernel × ν/C grid for
+// one user).
+func BenchmarkTable3KernelGrid(b *testing.B) {
+	benchTable(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Table3(e, "")
+	})
+}
+
+// BenchmarkTable4Acceptance regenerates Table IV (averaged acceptance
+// across window combinations, optimized parameters).
+func BenchmarkTable4Acceptance(b *testing.B) { benchTable(b, experiments.Table4) }
+
+// BenchmarkTable5Confusion regenerates Table V (the full confusion
+// matrix).
+func BenchmarkTable5Confusion(b *testing.B) { benchTable(b, experiments.Table5) }
+
+// BenchmarkFigure3Identification regenerates Fig. 3 (multi-user device
+// timeline).
+func BenchmarkFigure3Identification(b *testing.B) { benchTable(b, experiments.Figure3) }
+
+// BenchmarkFigure5Composition regenerates Fig. 5 (composition-time
+// scaling).
+func BenchmarkFigure5Composition(b *testing.B) { benchTable(b, experiments.Figure5) }
+
+// benchModel returns a trained model and probe vectors for the prediction
+// benches.
+func benchModel(b *testing.B, algo svm.Algorithm) (*svm.Model, []features.Window) {
+	b.Helper()
+	env := benchEnv(b)
+	models, err := env.Models(algo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	testWs, err := env.TestWindows()
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := env.Users[len(env.Users)/2]
+	ws := testWs[u]
+	if len(ws) == 0 {
+		b.Fatal("no probe windows")
+	}
+	return models[u], ws
+}
+
+// BenchmarkFigure4PredictOCSVM measures single-window OC-SVM decisions —
+// the left box of Fig. 4 (paper: < 100µs).
+func BenchmarkFigure4PredictOCSVM(b *testing.B) {
+	m, ws := benchModel(b, svm.OCSVM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Decision(ws[i%len(ws)].Vector)
+	}
+}
+
+// BenchmarkFigure4PredictSVDD measures single-window SVDD decisions — the
+// right box of Fig. 4 (paper: faster than OC-SVM).
+func BenchmarkFigure4PredictSVDD(b *testing.B) {
+	m, ws := benchModel(b, svm.SVDD)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Decision(ws[i%len(ws)].Vector)
+	}
+}
+
+// BenchmarkAblationFlow regenerates the flow/Markov feature-family
+// ablation.
+func BenchmarkAblationFlow(b *testing.B) { benchTable(b, experiments.AblationFlow) }
+
+// BenchmarkAblationFeatures regenerates the feature-knockout ablation.
+func BenchmarkAblationFeatures(b *testing.B) { benchTable(b, experiments.AblationFeatures) }
+
+// BenchmarkExtensionAlgorithms regenerates the algorithm-family extension
+// (OC-SVM vs SVDD vs autoencoder).
+func BenchmarkExtensionAlgorithms(b *testing.B) { benchTable(b, experiments.ExtensionAlgorithms) }
+
+// BenchmarkExtensionTrainingEpoch regenerates the training-epoch sweep.
+func BenchmarkExtensionTrainingEpoch(b *testing.B) { benchTable(b, experiments.ExtensionTrainingEpoch) }
+
+// BenchmarkExtensionROC regenerates the per-user AUC sweep.
+func BenchmarkExtensionROC(b *testing.B) { benchTable(b, experiments.ExtensionROC) }
+
+// BenchmarkExtensionLatency regenerates the time-to-identification table.
+func BenchmarkExtensionLatency(b *testing.B) {
+	benchTable(b, experiments.ExtensionIdentificationLatency)
+}
+
+// BenchmarkExtractTransaction measures single-transaction feature
+// extraction (the per-record cost inside Fig. 5's curve).
+func BenchmarkExtractTransaction(b *testing.B) {
+	env := benchEnv(b)
+	txs := env.Train.Transactions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Vocab.Extract(&txs[i%len(txs)])
+	}
+}
+
+// BenchmarkComposeWindows measures sliding-window composition over one
+// user's training epoch at D=60s/S=30s.
+func BenchmarkComposeWindows(b *testing.B) {
+	env := benchEnv(b)
+	txs := env.Train.UserTransactions(env.Users[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := features.Compose(env.Vocab, experiments.RetainedWindow(), txs, "u"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainOCSVM measures fitting one user model (200 windows,
+// linear kernel, ν=0.1).
+func BenchmarkTrainOCSVM(b *testing.B) {
+	benchTrain(b, svm.OCSVM, 0.1)
+}
+
+// BenchmarkTrainSVDD measures fitting one SVDD model (200 windows, linear
+// kernel, C=0.5).
+func BenchmarkTrainSVDD(b *testing.B) {
+	benchTrain(b, svm.SVDD, 0.5)
+}
+
+func benchTrain(b *testing.B, algo svm.Algorithm, param float64) {
+	b.Helper()
+	env := benchEnv(b)
+	trainWs, err := env.TrainWindows()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := trainWs[env.Users[0]]
+	if len(ws) > 200 {
+		ws = ws[:200]
+	}
+	vecs := features.Vectors(ws)
+	cfg := svm.TrainConfig{Kernel: svm.Linear(), CacheMB: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svm.Train(algo, vecs, param, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogParse measures log-line parsing throughput.
+func BenchmarkLogParse(b *testing.B) {
+	env := benchEnv(b)
+	line := env.Train.Transactions[0].MarshalLine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := weblog.ParseLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

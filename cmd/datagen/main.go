@@ -1,0 +1,71 @@
+// Command datagen generates a synthetic web-transaction benchmark dataset
+// (the substitute for the paper's vendor corpus) and writes it as a log
+// file in the library's self-describing line format.
+//
+// Usage:
+//
+//	datagen -out traffic.log -seed 1 -users 36 -weeks 26
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webtxprofile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out    = flag.String("out", "traffic.log", "output log file")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		users  = flag.Int("users", 0, "total users (0 = paper default, 36)")
+		small  = flag.Int("small-users", -1, "users below the 1500-transaction threshold (-1 = paper default, 11)")
+		weeks  = flag.Int("weeks", 0, "monitoring weeks (0 = paper default, 26)")
+		median = flag.Float64("weekly-median", 0, "median weekly transactions per user (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := webtxprofile.DefaultSynthConfig()
+	cfg.Seed = *seed
+	if *users > 0 {
+		cfg.Users = *users
+	}
+	if *small >= 0 {
+		cfg.SmallUsers = *small
+	}
+	if *weeks > 0 {
+		cfg.Weeks = *weeks
+	}
+	if *median > 0 {
+		cfg.WeeklyTxMedian = *median
+	}
+
+	ds, err := webtxprofile.GenerateDataset(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := webtxprofile.WriteLog(f, ds); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	stats := ds.ComputeStats()
+	fmt.Printf("wrote %s: %d transactions, %d users, %d devices (%.1f users/device), per-user min/median/max %d/%d/%d\n",
+		*out, stats.Transactions, stats.Users, stats.Hosts, stats.UsersPerHost,
+		stats.MinPerUser, stats.MedianPerUser, stats.MaxPerUser)
+	return nil
+}

@@ -1,0 +1,52 @@
+// Command evaluate runs the user-differentiation experiment (Sect. V-A of
+// the paper): every trained model against every user's transactions from a
+// log file, printing the acceptance confusion matrix and the averaged
+// ratios.
+//
+// Usage:
+//
+//	evaluate -bundle profiles.gz -in test.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webtxprofile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bundle = flag.String("bundle", "profiles.gz", "trained profile bundle")
+		in     = flag.String("in", "traffic.log", "log file with evaluation transactions")
+	)
+	flag.Parse()
+
+	set, err := webtxprofile.LoadProfilesFile(*bundle)
+	if err != nil {
+		return err
+	}
+	ds, err := webtxprofile.ReadLogFile(*in)
+	if err != nil {
+		return err
+	}
+	cm, err := set.Evaluate(ds)
+	if err != nil {
+		return err
+	}
+	if err := cm.Format(os.Stdout); err != nil {
+		return err
+	}
+	mean := cm.Mean()
+	fmt.Printf("\nACCself %.1f%%  ACCother %.1f%%  ACC %.1f%%  (paper: ~90%% / 7.3%% for OC-SVM)\n",
+		100*mean.Self, 100*mean.Other, 100*mean.ACC())
+	return nil
+}

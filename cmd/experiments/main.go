@@ -1,0 +1,137 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Tables I–V, Figures 1–5) plus the DESIGN.md ablations on the
+// synthetic benchmark, writing one text file per experiment.
+//
+// Usage:
+//
+//	experiments -scale small -seed 1 -out results
+//	experiments -run tab5,fig3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"webtxprofile/internal/experiments"
+)
+
+// runner binds an experiment id to its implementation.
+type runner struct {
+	id  string
+	fn  func(*experiments.Env) (*experiments.Table, error)
+	doc string
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scaleName = flag.String("scale", "small", "experiment scale: small or paper")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		outDir    = flag.String("out", "results", "output directory")
+		runList   = flag.String("run", "all", "comma-separated experiment ids (tab1..tab5, fig1..fig5, abl_*, ext_*) or 'all'")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale(*seed)
+	case "paper":
+		scale = experiments.PaperScale(*seed)
+	default:
+		return fmt.Errorf("unknown scale %q (want small or paper)", *scaleName)
+	}
+
+	runners := []runner{
+		{"tab1", experiments.Table1, "feature vector composition (Table I)"},
+		{"fig1", experiments.Figure1, "per-field novelty ratio (Figure 1)"},
+		{"fig2", experiments.Figure2, "window novelty ratio (Figure 2)"},
+		{"tab2", experiments.Table2, "window duration/shift grid (Table II)"},
+		{"tab3", func(e *experiments.Env) (*experiments.Table, error) {
+			return experiments.Table3(e, "")
+		}, "per-user kernel/C grid for the first user (Table III)"},
+		{"tab4", experiments.Table4, "averaged acceptance across window combos (Table IV)"},
+		{"tab5", experiments.Table5, "OC-SVM confusion matrix (Table V)"},
+		{"fig3", experiments.Figure3, "identification timeline on one device (Figure 3)"},
+		{"fig4", experiments.Figure4, "prediction latency distribution (Figure 4)"},
+		{"fig5", experiments.Figure5, "composition time scaling (Figure 5)"},
+		{"abl_flow", experiments.AblationFlow, "transaction vs flow vs Markov features"},
+		{"abl_features", experiments.AblationFeatures, "feature-group knockout"},
+		{"ext_algorithms", experiments.ExtensionAlgorithms, "oc-svm vs svdd vs autoencoder (future work)"},
+		{"ext_epoch", experiments.ExtensionTrainingEpoch, "training-epoch length sweep (future work)"},
+		{"ext_roc", experiments.ExtensionROC, "per-user ROC AUC head-room"},
+		{"ext_latency", experiments.ExtensionIdentificationLatency, "time-to-identification (abstract claim)"},
+		{"ext_drift", experiments.ExtensionDrift, "behavioural drift + profile refresh"},
+	}
+
+	wanted := map[string]bool{}
+	if *runList != "all" {
+		for _, id := range strings.Split(*runList, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+		for id := range wanted {
+			if !knownID(runners, id) {
+				return fmt.Errorf("unknown experiment id %q", id)
+			}
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	fmt.Printf("preparing %s-scale environment (seed %d)...\n", scale.Name, *seed)
+	prepStart := time.Now()
+	env, err := experiments.NewEnv(scale)
+	if err != nil {
+		return err
+	}
+	stats := env.Full.ComputeStats()
+	fmt.Printf("dataset: %d transactions, %d users (%d profiled), %d devices [%s]\n",
+		stats.Transactions, stats.Users, len(env.Users), stats.Hosts,
+		time.Since(prepStart).Round(time.Millisecond))
+
+	for _, r := range runners {
+		if *runList != "all" && !wanted[r.id] {
+			continue
+		}
+		start := time.Now()
+		tab, err := r.fn(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		path := filepath.Join(*outDir, r.id+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tab.Format(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %-55s -> %s [%s]\n", r.id, r.doc, path, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func knownID(runners []runner, id string) bool {
+	for _, r := range runners {
+		if r.id == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+// Command identify runs the user-identification experiment (Sect. V-B of
+// the paper) on one device: host-specific windows from the log are
+// classified against every profile and rendered as a timeline.
+//
+// Usage:
+//
+//	identify -bundle profiles.gz -in device.log -host 10.0.0.7 -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"webtxprofile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "identify:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bundle = flag.String("bundle", "profiles.gz", "trained profile bundle")
+		in     = flag.String("in", "traffic.log", "log file with the device's transactions")
+		host   = flag.String("host", "", "device source address (default: busiest in the log)")
+		k      = flag.Int("k", 5, "consecutive accepted windows required for identification")
+	)
+	flag.Parse()
+
+	set, err := webtxprofile.LoadProfilesFile(*bundle)
+	if err != nil {
+		return err
+	}
+	ds, err := webtxprofile.ReadLogFile(*in)
+	if err != nil {
+		return err
+	}
+	target := *host
+	if target == "" {
+		busiest, ok := ds.BusiestHost()
+		if !ok {
+			return fmt.Errorf("no hosts in %s", *in)
+		}
+		target = busiest
+		fmt.Printf("no -host given; using busiest device %s\n", target)
+	}
+	tl, err := set.IdentifyHost(ds, target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("device %s: %d windows (%s each)\n\n", target, len(tl), set.Window)
+	for _, pt := range tl {
+		marks := strings.Join(pt.Accepted, ",")
+		if marks == "" {
+			marks = "-"
+		}
+		fmt.Printf("%s  actual=%-10s accepted=%s\n",
+			pt.Start.Format("15:04:05"), pt.ActualUser, marks)
+	}
+	if u, idx, ok := webtxprofile.IdentifyConsecutive(tl, *k); ok {
+		fmt.Printf("\nidentified %s after %d windows (%d consecutive acceptances)\n", u, idx+1, *k)
+	} else {
+		fmt.Printf("\nno user reached %d consecutive accepted windows\n", *k)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command logreplay streams a recorded transaction log to a collector
+// (e.g. profilerd) in accelerated log time — the companion tool for
+// demonstrating the live continuous-authentication deployment on recorded
+// traffic.
+//
+// Usage:
+//
+//	logreplay -in traffic.log -to 127.0.0.1:7000 -speedup 60
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"webtxprofile"
+	"webtxprofile/internal/replay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "logreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "traffic.log", "input log file")
+		to      = flag.String("to", "127.0.0.1:7000", "collector address")
+		speedup = flag.Float64("speedup", 60, "time acceleration (0 = no pacing)")
+		maxGap  = flag.Duration("max-gap", 5*time.Second, "cap on a single pause (0 = uncapped)")
+		host    = flag.String("host", "", "replay only this device's transactions")
+	)
+	flag.Parse()
+
+	ds, err := webtxprofile.ReadLogFile(*in)
+	if err != nil {
+		return err
+	}
+	txs := ds.Transactions
+	if *host != "" {
+		txs = ds.HostTransactions(*host)
+		if len(txs) == 0 {
+			return fmt.Errorf("no transactions for host %s", *host)
+		}
+	}
+
+	client, err := webtxprofile.DialCollector(*to)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Printf("replaying %d transactions to %s at %gx\n", len(txs), *to, *speedup)
+	started := time.Now()
+	sent, err := replay.Run(ctx, txs, func(tx webtxprofile.Transaction) error {
+		if err := client.Send(tx); err != nil {
+			return err
+		}
+		// Flush per record so the collector sees log time, not buffer
+		// time.
+		return client.Flush()
+	}, replay.Config{Speedup: *speedup, MaxGap: *maxGap})
+	fmt.Printf("sent %d/%d transactions in %s\n", sent, len(txs), time.Since(started).Round(time.Millisecond))
+	return err
+}

@@ -1,0 +1,77 @@
+// Command profilerd is the continuous-authentication daemon from the
+// paper's deployment scenario (Sect. I): it receives live transaction logs
+// over TCP (the proxy streams its log lines), maintains one streaming
+// identifier per device, and reports identification changes — the basis
+// for automatic logout (continuous authentication) or administrator alerts
+// (intrusion monitoring).
+//
+// Usage:
+//
+//	profilerd -bundle profiles.gz -listen 127.0.0.1:7000 -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"webtxprofile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "profilerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bundle = flag.String("bundle", "profiles.gz", "trained profile bundle")
+		listen = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
+		k      = flag.Int("k", 5, "consecutive accepted windows for identification")
+	)
+	flag.Parse()
+
+	set, err := webtxprofile.LoadProfilesFile(*bundle)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stdout, "profilerd: ", log.LstdFlags)
+
+	mon, err := webtxprofile.NewMonitor(set, *k, func(a webtxprofile.Alert) {
+		at := a.Event.Window.Start.Format("15:04:05")
+		switch a.Kind {
+		case webtxprofile.AlertIdentified:
+			logger.Printf("device %s: identified %s (window %s, %d models accepted)",
+				a.Device, a.User, at, len(a.Event.Accepted))
+		case webtxprofile.AlertLost:
+			logger.Printf("device %s: ALERT — activity no longer matches %s (window %s)",
+				a.Device, a.User, at)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	srv, err := webtxprofile.ListenCollector(*listen, func(tx webtxprofile.Transaction) {
+		if err := mon.Feed(tx); err != nil {
+			logger.Printf("device %s: %v", tx.SourceIP, err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	logger.Printf("listening on %s with %d profiles (k=%d)", srv.Addr(), len(set.Profiles), *k)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	mon.Flush()
+	logger.Printf("shutting down after monitoring %d devices", mon.Devices())
+	return nil
+}

@@ -1,0 +1,95 @@
+// Command wtpstat summarizes a transaction log the way the paper's
+// Sect. IV characterizes its benchmark: volumes, user/device sharing,
+// per-user label coverage and (optionally) the weekly novelty curve.
+//
+// Usage:
+//
+//	wtpstat -in traffic.log -novelty
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"webtxprofile"
+	"webtxprofile/internal/eval"
+	"webtxprofile/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wtpstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "traffic.log", "input log file")
+		novelty = flag.Bool("novelty", false, "also print the weekly novelty curve (Fig. 1 analysis)")
+		minTx   = flag.Int("min-transactions", 1500, "representativeness threshold for the coverage report")
+	)
+	flag.Parse()
+
+	ds, err := webtxprofile.ReadLogFile(*in)
+	if err != nil {
+		return err
+	}
+	s := ds.ComputeStats()
+	start, end, _ := ds.TimeSpan()
+	fmt.Printf("dataset %s\n", *in)
+	fmt.Printf("  transactions:    %d\n", s.Transactions)
+	fmt.Printf("  span:            %s .. %s (%.1f weeks)\n",
+		start.Format("2006-01-02"), end.Format("2006-01-02"),
+		end.Sub(start).Hours()/(24*7))
+	fmt.Printf("  users:           %d (per-user min/median/max %d/%d/%d)\n",
+		s.Users, s.MinPerUser, s.MedianPerUser, s.MaxPerUser)
+	fmt.Printf("  devices:         %d (%.2f users/device, %d-%d devices/user)\n",
+		s.Hosts, s.UsersPerHost, s.HostsPerUserMin, s.HostsPerUserMax)
+
+	kept, dropped := ds.FilterMinTransactions(*minTx)
+	fmt.Printf("  kept users:      %d at the %d-transaction threshold (dropped %d)\n",
+		len(kept.Users()), *minTx, len(dropped))
+
+	// Per-user coverage, the paper's Sect. IV-B statistic.
+	var cats, subs, apps []float64
+	for _, u := range kept.Users() {
+		txs := kept.UserTransactions(u)
+		cats = append(cats, float64(eval.CoverageCount(txs, eval.SelectCategory)))
+		subs = append(subs, float64(eval.CoverageCount(txs, eval.SelectMediaSubType)))
+		apps = append(apps, float64(eval.CoverageCount(txs, eval.SelectAppType)))
+	}
+	if len(cats) > 0 {
+		fmt.Printf("  mean coverage:   %.2f categories, %.2f media sub-types, %.2f application types per kept user\n",
+			stats.Mean(cats), stats.Mean(subs), stats.Mean(apps))
+	}
+
+	if *novelty && len(kept.Users()) > 0 {
+		weeks := int(end.Sub(start).Hours()/(24*7)) - 1
+		if weeks < 1 {
+			weeks = 1
+		}
+		epochs := make([]int, 0, weeks)
+		for w := 1; w <= weeks; w++ {
+			epochs = append(epochs, w)
+		}
+		fmt.Printf("\nweekly novelty (mean across kept users):\n")
+		fmt.Printf("  %-6s %-10s %-10s %-10s\n", "week", "category", "app type", "media type")
+		selectors := []eval.FieldSelector{eval.SelectCategory, eval.SelectAppType, eval.SelectMediaSubType}
+		var series [][]eval.NoveltyPoint
+		for _, sel := range selectors {
+			pts, err := eval.FieldNovelty(kept, kept.Users(), epochs, start.Truncate(24*time.Hour), sel)
+			if err != nil {
+				return err
+			}
+			series = append(series, pts)
+		}
+		for wi, w := range epochs {
+			fmt.Printf("  %-6d %-10.3f %-10.3f %-10.3f\n",
+				w, series[0][wi].Mean, series[1][wi].Mean, series[2][wi].Mean)
+		}
+	}
+	return nil
+}

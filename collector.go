@@ -1,0 +1,21 @@
+package webtxprofile
+
+import "webtxprofile/internal/collector"
+
+// CollectorServer receives transaction log lines over TCP — the ingestion
+// point of the continuous-authentication deployment.
+type CollectorServer = collector.Server
+
+// CollectorClient streams transactions to a CollectorServer.
+type CollectorClient = collector.Client
+
+// ListenCollector starts a TCP log collector on addr; handler receives
+// every parsed transaction (from per-connection goroutines).
+func ListenCollector(addr string, handler func(Transaction)) (*CollectorServer, error) {
+	return collector.Listen(addr, collector.Handler(handler))
+}
+
+// DialCollector connects a log-producing client to a collector.
+func DialCollector(addr string) (*CollectorClient, error) {
+	return collector.Dial(addr)
+}

@@ -1,0 +1,25 @@
+// Package webtxprofile profiles the users of a network from their web
+// transactions, reproducing "Profiling Users by Modeling Web Transactions"
+// (Tomšů, Marchal, Asokan — ICDCS 2017).
+//
+// A web transaction is one proxy-logged HTTP(S) request augmented with
+// service knowledge (website category, application type, media type, URL
+// reputation). The library turns sequences of transactions into sliding
+// bag-of-words feature windows, fits a one-class classifier (ν-OC-SVM or
+// SVDD, solved from scratch with an SMO solver) per user, and uses the
+// per-user models to differentiate and identify users — including live,
+// streaming identification for continuous authentication.
+//
+// # Quick start
+//
+//	ds, err := webtxprofile.ReadLogFile("proxy.log")
+//	// handle err
+//	set, test, err := webtxprofile.Train(ds, webtxprofile.Config{})
+//	// handle err
+//	cm, err := set.Evaluate(test)
+//	// handle err
+//	fmt.Println(cm.Mean()) // ACC_self / ACC_other / ACC
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the experiment-by-experiment reproduction map.
+package webtxprofile

@@ -1,0 +1,110 @@
+// Continuous authentication: the paper's motivating application (Sect. I).
+// A streaming identifier watches one workstation. While the legitimate
+// user browses, their identity is confirmed window after window; when a
+// different person takes over the keyboard, the identity check fails and
+// the session is "logged out".
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"webtxprofile"
+)
+
+func main() {
+	cfg := webtxprofile.DefaultSynthConfig()
+	cfg.Users = 8
+	cfg.SmallUsers = 0
+	cfg.Devices = 6
+	cfg.Weeks = 3
+	cfg.Services = 200
+	cfg.Archetypes = 8
+	cfg.ConfusableUsers = 0
+	cfg.WeeklyTxMedian = 1200
+	cfg.WeeklyTxSigma = 0.4
+	ds, err := webtxprofile.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, _, err := webtxprofile.Train(ds, webtxprofile.Config{MaxTrainWindows: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	users := set.Users()
+	legit, intruder := users[0], users[len(users)-1]
+
+	// Scenario: the legitimate user works for 20 minutes, then an
+	// intruder uses the logged-in session for 10 minutes.
+	const device = "10.60.0.1"
+	start := cfg.Start.Add(time.Duration(cfg.Weeks) * 7 * 24 * time.Hour)
+	scenario, err := webtxprofile.GenerateDeviceScenario(cfg, device, start, []webtxprofile.SynthSegment{
+		{UserID: legit, Offset: 0, Length: 20 * time.Minute},
+		{UserID: intruder, Offset: 20 * time.Minute, Length: 10 * time.Minute},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session owner: %s; intruder arrives after 20 minutes: %s\n\n", legit, intruder)
+
+	// The continuous-authentication loop: 3 consecutive accepted windows
+	// confirm the owner's identity; 3 consecutive windows that the owner's
+	// model rejects trigger the automatic logout (the paper suggests this
+	// consecutive-window smoothing at the end of Sect. V-B).
+	id, err := webtxprofile.NewIdentifier(set, device, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	authenticated := false
+	loggedOut := false
+	missStreak := 0
+	process := func(events []webtxprofile.Event) {
+		for _, ev := range events {
+			at := ev.Window.Start.Sub(start).Round(time.Second)
+			if !authenticated {
+				if ev.Identified == legit {
+					authenticated = true
+					fmt.Printf("[%8s] session authenticated as %s\n", at, legit)
+				}
+				continue
+			}
+			if loggedOut {
+				continue
+			}
+			ownerAccepted := false
+			for _, u := range ev.Accepted {
+				if u == legit {
+					ownerAccepted = true
+				}
+			}
+			if ownerAccepted {
+				missStreak = 0
+				continue
+			}
+			missStreak++
+			if missStreak >= 3 {
+				loggedOut = true
+				fmt.Printf("[%8s] identity check FAILED for 3 consecutive windows (last matched %v) -> automatic logout\n",
+					at, ev.Accepted)
+			}
+		}
+	}
+	for _, tx := range scenario.Transactions {
+		events, err := id.Feed(tx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		process(events)
+	}
+	process(id.Flush())
+
+	switch {
+	case !authenticated:
+		fmt.Println("owner was never authenticated — try more training data")
+	case !loggedOut:
+		fmt.Println("intruder was not detected — try more distinctive users")
+	default:
+		fmt.Println("\ncontinuous authentication worked: owner confirmed, intruder evicted.")
+	}
+}

@@ -1,0 +1,203 @@
+package webtxprofile_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"webtxprofile"
+)
+
+// integrationConfig is a compact generation config shared by the
+// cross-module integration tests.
+func integrationConfig() webtxprofile.SynthConfig {
+	cfg := webtxprofile.DefaultSynthConfig()
+	cfg.Users = 6
+	cfg.SmallUsers = 1
+	cfg.Devices = 5
+	cfg.Weeks = 3
+	cfg.Services = 150
+	cfg.Archetypes = 6
+	cfg.ConfusableUsers = 2
+	cfg.ServicesPerUserMin = 10
+	cfg.ServicesPerUserMax = 18
+	cfg.WeeklyTxMedian = 1600
+	cfg.WeeklyTxSigma = 0.4
+	return cfg
+}
+
+func trainConfig() webtxprofile.Config {
+	return webtxprofile.Config{MaxTrainWindows: 300, Workers: 2}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	ds, err := webtxprofile.GenerateDataset(integrationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Log round trip: the dataset must survive serialization.
+	var buf bytes.Buffer
+	if err := webtxprofile.WriteLog(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := webtxprofile.ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("log round trip lost records: %d != %d", back.Len(), ds.Len())
+	}
+
+	set, test, err := webtxprofile.Train(back, trainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Users()) != 5 {
+		t.Fatalf("profiled users = %v", set.Users())
+	}
+
+	cm, err := set.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := cm.Mean()
+	if mean.Self < 0.6 || mean.ACC() < 0.35 {
+		t.Errorf("differentiation quality: %v", mean)
+	}
+
+	// Confusable pair: users 1 and 2 share an archetype, so their mutual
+	// acceptance should clearly exceed the mean off-diagonal level.
+	idx := map[string]int{}
+	for i, u := range cm.Users {
+		idx[u] = i
+	}
+	pair := cm.Ratio[idx["user_1"]][idx["user_2"]] + cm.Ratio[idx["user_2"]][idx["user_1"]]
+	if pair/2 <= mean.Other {
+		t.Errorf("confusable pair acceptance %.3f not above mean other %.3f", pair/2, mean.Other)
+	}
+}
+
+func TestProfilePersistenceAcrossFacade(t *testing.T) {
+	ds, err := webtxprofile.GenerateDataset(integrationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, test, err := webtxprofile.Train(ds, trainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := webtxprofile.LoadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm1, err := set.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, err := restored.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cm1.Ratio {
+		for j := range cm1.Ratio[i] {
+			if cm1.Ratio[i][j] != cm2.Ratio[i][j] {
+				t.Fatalf("confusion drift after reload at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestDeviceScenarioIdentification(t *testing.T) {
+	cfg := integrationConfig()
+	ds, err := webtxprofile.GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, err := webtxprofile.Train(ds, trainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := set.Users()
+	// Fig. 3 scenario: three users take turns on one device.
+	scenarioStart := cfg.Start.Add(time.Duration(cfg.Weeks) * 7 * 24 * time.Hour)
+	scenario, err := webtxprofile.GenerateDeviceScenario(cfg, "10.9.9.9", scenarioStart, []webtxprofile.SynthSegment{
+		{UserID: users[0], Offset: 0, Length: 40 * time.Minute},
+		{UserID: users[3], Offset: 40 * time.Minute, Length: 30 * time.Minute},
+		{UserID: users[4], Offset: 70 * time.Minute, Length: 30 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := set.IdentifyHost(scenario, "10.9.9.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) < 100 {
+		t.Fatalf("timeline has only %d windows", len(tl))
+	}
+	// The true user's model should accept most of their own windows.
+	correct := 0
+	for _, pt := range tl {
+		for _, u := range pt.Accepted {
+			if u == pt.ActualUser {
+				correct++
+				break
+			}
+		}
+	}
+	if frac := float64(correct) / float64(len(tl)); frac < 0.6 {
+		t.Errorf("true user accepted in only %.2f of windows", frac)
+	}
+	// Consecutive-window identification should find the first user.
+	u, idx, ok := webtxprofile.IdentifyConsecutive(tl, 5)
+	if !ok {
+		t.Fatal("no user identified")
+	}
+	if u != users[0] {
+		t.Errorf("identified %s first, want %s (at window %d)", u, users[0], idx)
+	}
+}
+
+func TestStreamingIdentifierFacade(t *testing.T) {
+	ds, err := webtxprofile.GenerateDataset(integrationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, test, err := webtxprofile.Train(ds, trainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use a non-confusable user (the first two share an archetype by
+	// construction) so the consecutive-k rule resolves unambiguously.
+	u := set.Users()[len(set.Users())-1]
+	id, err := webtxprofile.NewIdentifier(set, "10.8.8.8", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identified := false
+	for _, tx := range test.UserTransactions(u) {
+		tx.SourceIP = "10.8.8.8"
+		evs, err := id.Feed(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			if ev.Identified == u {
+				identified = true
+			}
+		}
+	}
+	for _, ev := range id.Flush() {
+		if ev.Identified == u {
+			identified = true
+		}
+	}
+	if !identified {
+		t.Errorf("streaming identifier never identified %s", u)
+	}
+}

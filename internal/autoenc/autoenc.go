@@ -1,0 +1,311 @@
+// Package autoenc implements the one-class autoencoder the paper names as
+// future work (Sect. VII: "We plan to test other one-class classification
+// algorithms e.g. auto encoders"): a single-hidden-layer autoencoder
+// trained on a user's window vectors, accepting a window when its
+// reconstruction error stays below a threshold calibrated on the training
+// data (the ν-quantile, mirroring the OC-SVM outlier budget).
+//
+// The network is deliberately small — sigmoid activations, SGD — because
+// window vectors are sparse, low-entropy and near-binary; it exists to
+// compare the model family against the SVM-based classifiers, not to be a
+// deep-learning framework.
+package autoenc
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"webtxprofile/internal/sparse"
+)
+
+// Config parameterizes training. Zero values select the defaults.
+type Config struct {
+	// Hidden is the hidden-layer width (default 32).
+	Hidden int
+	// Epochs is the number of SGD passes (default 30).
+	Epochs int
+	// LearningRate is the initial SGD step (default 0.5, decaying per
+	// epoch).
+	LearningRate float64
+	// Nu is the training outlier budget for threshold calibration
+	// (default 0.1), playing the role of the OC-SVM ν.
+	Nu float64
+	// L2 is the weight-decay coefficient (default 1e-5).
+	L2 float64
+	// Seed drives weight initialization and sample shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.5
+	}
+	if c.Nu == 0 {
+		c.Nu = 0.1
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-5
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Hidden < 1:
+		return fmt.Errorf("autoenc: hidden width %d must be >= 1", c.Hidden)
+	case c.Epochs < 1:
+		return fmt.Errorf("autoenc: epochs %d must be >= 1", c.Epochs)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("autoenc: learning rate %g must be positive", c.LearningRate)
+	case c.Nu < 0 || c.Nu >= 1:
+		return fmt.Errorf("autoenc: nu %g out of [0, 1)", c.Nu)
+	case c.L2 < 0:
+		return fmt.Errorf("autoenc: l2 %g must be non-negative", c.L2)
+	}
+	return nil
+}
+
+// Model is a trained one-class autoencoder.
+type Model struct {
+	Dim    int `json:"dim"`
+	Hidden int `json:"hidden"`
+	// W1 (hidden × dim) and B1 feed the hidden layer; W2 (dim × hidden)
+	// and B2 reconstruct the input.
+	W1 [][]float64 `json:"w1"`
+	B1 []float64   `json:"b1"`
+	W2 [][]float64 `json:"w2"`
+	B2 []float64   `json:"b2"`
+	// Threshold is the calibrated acceptance cut on reconstruction error.
+	Threshold float64 `json:"threshold"`
+	// Nu records the calibration budget.
+	Nu float64 `json:"nu"`
+}
+
+// Train fits an autoencoder on the window vectors. dim is the feature
+// dimensionality (the vocabulary size); indexes at or above dim are
+// rejected.
+func Train(xs []sparse.Vector, dim int, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("autoenc: empty training set")
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("autoenc: dimension %d must be >= 1", dim)
+	}
+	for i := range xs {
+		if n := xs[i].NNZ(); n > 0 && int(xs[i].Idx[n-1]) >= dim {
+			return nil, fmt.Errorf("autoenc: vector %d exceeds dimension %d", i, dim)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Hold out a calibration slice: thresholds set on training
+	// reconstruction errors underestimate the generalization error and
+	// reject far more than ν of unseen windows. With very few samples the
+	// split is skipped.
+	fit, calib := xs, xs
+	if len(xs) >= 20 {
+		cut := len(xs) - len(xs)/5
+		fit, calib = xs[:cut], xs[cut:]
+	}
+	m := &Model{
+		Dim:    dim,
+		Hidden: cfg.Hidden,
+		W1:     randomMatrix(rng, cfg.Hidden, dim, 1/math.Sqrt(float64(dim))),
+		B1:     make([]float64, cfg.Hidden),
+		W2:     randomMatrix(rng, dim, cfg.Hidden, 1/math.Sqrt(float64(cfg.Hidden))),
+		B2:     make([]float64, dim),
+		Nu:     cfg.Nu,
+	}
+
+	order := rng.Perm(len(fit))
+	hidden := make([]float64, cfg.Hidden)
+	output := make([]float64, dim)
+	deltaOut := make([]float64, dim)
+	deltaHid := make([]float64, cfg.Hidden)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + 0.1*float64(epoch))
+		// Fisher–Yates reshuffle per epoch, deterministic from the rng.
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, idx := range order {
+			m.sgdStep(fit[idx], lr, cfg.L2, hidden, output, deltaOut, deltaHid)
+		}
+	}
+
+	// Calibrate the threshold at the (1−ν) quantile of held-out errors,
+	// so roughly ν of unseen same-user windows are rejected.
+	errs := make([]float64, len(calib))
+	for i := range calib {
+		errs[i] = m.ReconstructionError(calib[i])
+	}
+	sort.Float64s(errs)
+	k := int((1 - cfg.Nu) * float64(len(errs)-1))
+	m.Threshold = errs[k]
+	return m, nil
+}
+
+// sgdStep runs one forward/backward pass on x.
+func (m *Model) sgdStep(x sparse.Vector, lr, l2 float64, hidden, output, deltaOut, deltaHid []float64) {
+	m.forward(x, hidden, output)
+	// Output deltas: (y − x)·σ'(y).
+	for j := 0; j < m.Dim; j++ {
+		deltaOut[j] = (output[j]) * output[j] * (1 - output[j])
+	}
+	for k, xi := range x.Idx {
+		j := int(xi)
+		deltaOut[j] = (output[j] - x.Val[k]) * output[j] * (1 - output[j])
+	}
+	// Hidden deltas.
+	for k := 0; k < m.Hidden; k++ {
+		var s float64
+		for j := 0; j < m.Dim; j++ {
+			s += deltaOut[j] * m.W2[j][k]
+		}
+		deltaHid[k] = s * hidden[k] * (1 - hidden[k])
+	}
+	// Update output layer.
+	for j := 0; j < m.Dim; j++ {
+		dj := deltaOut[j]
+		row := m.W2[j]
+		for k := 0; k < m.Hidden; k++ {
+			row[k] -= lr * (dj*hidden[k] + l2*row[k])
+		}
+		m.B2[j] -= lr * dj
+	}
+	// Update hidden layer: only columns with non-zero input move (plus
+	// weight decay on those columns).
+	for k := 0; k < m.Hidden; k++ {
+		dk := deltaHid[k]
+		row := m.W1[k]
+		for t, xi := range x.Idx {
+			j := int(xi)
+			row[j] -= lr * (dk*x.Val[t] + l2*row[j])
+		}
+		m.B1[k] -= lr * dk
+	}
+}
+
+// forward computes the hidden activations and the reconstruction.
+func (m *Model) forward(x sparse.Vector, hidden, output []float64) {
+	for k := 0; k < m.Hidden; k++ {
+		s := m.B1[k]
+		row := m.W1[k]
+		for t, xi := range x.Idx {
+			s += row[int(xi)] * x.Val[t]
+		}
+		hidden[k] = sigmoid(s)
+	}
+	for j := 0; j < m.Dim; j++ {
+		s := m.B2[j]
+		row := m.W2[j]
+		for k := 0; k < m.Hidden; k++ {
+			s += row[k] * hidden[k]
+		}
+		output[j] = sigmoid(s)
+	}
+}
+
+// ReconstructionError returns the mean squared reconstruction error of x.
+func (m *Model) ReconstructionError(x sparse.Vector) float64 {
+	hidden := make([]float64, m.Hidden)
+	output := make([]float64, m.Dim)
+	m.forward(x, hidden, output)
+	var sum float64
+	dense := x.Dense(m.Dim)
+	for j := 0; j < m.Dim; j++ {
+		d := output[j] - dense[j]
+		sum += d * d
+	}
+	return sum / float64(m.Dim)
+}
+
+// Decision returns threshold − error: non-negative means accepted, the
+// same convention as svm.Model.
+func (m *Model) Decision(x sparse.Vector) float64 {
+	return m.Threshold - m.ReconstructionError(x)
+}
+
+// Accept reports whether the window is accepted as the profiled user's.
+func (m *Model) Accept(x sparse.Vector) bool {
+	return m.Decision(x) >= 0
+}
+
+// AcceptanceRatio returns the accepted fraction of xs.
+func (m *Model) AcceptanceRatio(xs []sparse.Vector) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if m.Accept(x) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Validate checks structural integrity (e.g. after deserialization).
+func (m *Model) Validate() error {
+	if m.Dim < 1 || m.Hidden < 1 {
+		return fmt.Errorf("autoenc: invalid shape %dx%d", m.Dim, m.Hidden)
+	}
+	if len(m.W1) != m.Hidden || len(m.B1) != m.Hidden ||
+		len(m.W2) != m.Dim || len(m.B2) != m.Dim {
+		return fmt.Errorf("autoenc: inconsistent layer sizes")
+	}
+	for k := range m.W1 {
+		if len(m.W1[k]) != m.Dim {
+			return fmt.Errorf("autoenc: W1 row %d has %d columns", k, len(m.W1[k]))
+		}
+	}
+	for j := range m.W2 {
+		if len(m.W2[j]) != m.Hidden {
+			return fmt.Errorf("autoenc: W2 row %d has %d columns", j, len(m.W2[j]))
+		}
+	}
+	return nil
+}
+
+// MarshalJSON serializes the model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	type alias Model
+	return json.Marshal((*alias)(m))
+}
+
+// UnmarshalJSON restores and validates a model.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	type alias Model
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*m = Model(a)
+	return m.Validate()
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func randomMatrix(rng *rand.Rand, rows, cols int, scale float64) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64() * scale
+		}
+	}
+	return out
+}

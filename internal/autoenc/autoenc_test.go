@@ -1,0 +1,183 @@
+package autoenc
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"webtxprofile/internal/sparse"
+)
+
+// cluster builds window-like vectors over a dim-column universe: a fixed
+// core plus random noise columns.
+func cluster(r *rand.Rand, n, dim int, core []int, noise []int, pNoise float64) []sparse.Vector {
+	out := make([]sparse.Vector, n)
+	for i := range out {
+		dense := map[int]float64{}
+		for _, c := range core {
+			dense[c] = 1
+		}
+		for _, c := range noise {
+			if r.Float64() < pNoise {
+				dense[c] = 1
+			}
+		}
+		out[i] = sparse.New(dense)
+	}
+	return out
+}
+
+const dim = 40
+
+func TestTrainSeparatesUsers(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	self := cluster(r, 200, dim, []int{0, 3, 7, 11}, []int{20, 21}, 0.4)
+	other := cluster(r, 100, dim, []int{25, 28, 31, 35}, []int{5, 6}, 0.4)
+	m, err := Train(self, dim, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AcceptanceRatio(self); got < 0.85 {
+		t.Errorf("self acceptance = %.3f", got)
+	}
+	if got := m.AcceptanceRatio(other); got > 0.1 {
+		t.Errorf("other acceptance = %.3f", got)
+	}
+}
+
+func TestNuControlsTrainingRejection(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs := cluster(r, 200, dim, []int{0, 3}, []int{10, 11, 12, 13}, 0.5)
+	for _, nu := range []float64{0.05, 0.2} {
+		m, err := Train(xs, dim, Config{Seed: 2, Nu: nu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejected := 1 - m.AcceptanceRatio(xs)
+		if rejected > nu+0.05 {
+			t.Errorf("nu=%v: rejected %.3f of training data", nu, rejected)
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	xs := cluster(r, 50, dim, []int{1, 2}, []int{8, 9}, 0.4)
+	m1, err := Train(xs, dim, Config{Seed: 9, Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(xs, dim, Config{Seed: 9, Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Threshold != m2.Threshold {
+		t.Error("training not deterministic")
+	}
+	m3, err := Train(xs, dim, Config{Seed: 10, Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Threshold == m3.Threshold {
+		t.Error("seed has no effect")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	xs := cluster(r, 10, dim, []int{0}, nil, 0)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"empty", func() error { _, err := Train(nil, dim, Config{}); return err }},
+		{"zero dim", func() error { _, err := Train(xs, 0, Config{}); return err }},
+		{"index out of range", func() error {
+			_, err := Train([]sparse.Vector{sparse.New(map[int]float64{dim + 5: 1})}, dim, Config{})
+			return err
+		}},
+		{"bad nu", func() error { _, err := Train(xs, dim, Config{Nu: 1}); return err }},
+		{"bad lr", func() error { _, err := Train(xs, dim, Config{LearningRate: -1}); return err }},
+		{"bad hidden", func() error { _, err := Train(xs, dim, Config{Hidden: -2}); return err }},
+	}
+	for _, tc := range cases {
+		if tc.run() == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestReconstructionErrorProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	xs := cluster(r, 100, dim, []int{0, 3, 7}, []int{15}, 0.3)
+	m, err := Train(xs, dim, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training-like vectors reconstruct better than a far-off vector.
+	far := sparse.New(map[int]float64{30: 1, 31: 1, 32: 1, 33: 1})
+	trainErr := m.ReconstructionError(xs[0])
+	farErr := m.ReconstructionError(far)
+	if trainErr >= farErr {
+		t.Errorf("training error %.5f not below foreign error %.5f", trainErr, farErr)
+	}
+	if trainErr < 0 || math.IsNaN(trainErr) {
+		t.Errorf("bad error %v", trainErr)
+	}
+	// Decision convention matches Accept.
+	if (m.Decision(xs[0]) >= 0) != m.Accept(xs[0]) {
+		t.Error("Decision and Accept disagree")
+	}
+}
+
+func TestAcceptanceRatioEmpty(t *testing.T) {
+	m := &Model{Dim: 1, Hidden: 1}
+	if m.AcceptanceRatio(nil) != 0 {
+		t.Error("empty acceptance != 0")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	xs := cluster(r, 60, dim, []int{2, 5}, []int{9}, 0.4)
+	m, err := Train(xs, dim, Config{Seed: 6, Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[:10] {
+		if a, b := m.Decision(x), back.Decision(x); a != b {
+			t.Fatalf("decision drift: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestValidateRejectsCorrupt(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := cluster(r, 20, dim, []int{0}, nil, 0)
+	m, err := Train(xs, dim, Config{Seed: 7, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("trained model invalid: %v", err)
+	}
+	bad := *m
+	bad.W1 = bad.W1[:len(bad.W1)-1]
+	if bad.Validate() == nil {
+		t.Error("truncated W1 accepted")
+	}
+	bad2 := *m
+	bad2.Dim = 0
+	if bad2.Validate() == nil {
+		t.Error("zero dim accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/svm"
+	"webtxprofile/internal/synth"
+	"webtxprofile/internal/taxonomy"
+	"webtxprofile/internal/weblog"
+)
+
+var start = time.Date(2015, 1, 5, 9, 0, 0, 0, time.UTC)
+
+func tx(off time.Duration, user, host, cat, super string) weblog.Transaction {
+	mt := taxonomy.MediaType{}
+	if super != "" {
+		mt = taxonomy.MediaType{Super: super, Sub: "x"}
+	}
+	return weblog.Transaction{
+		Timestamp: start.Add(off), Host: host, Scheme: taxonomy.SchemeHTTP,
+		Action: taxonomy.ActionGet, UserID: user, SourceIP: "10.0.0.1",
+		Category: cat, MediaType: mt, Reputation: taxonomy.MinimalRisk,
+	}
+}
+
+func TestFlowsFromTransactions(t *testing.T) {
+	txs := []weblog.Transaction{
+		tx(0, "u", "a.com", "C", "text"),
+		tx(2*time.Second, "u", "a.com", "C", "text"),
+		tx(3*time.Second, "u", "b.com", "C", "video"),
+		// Idle gap on a.com: new flow.
+		tx(10*time.Minute, "u", "a.com", "C", "text"),
+	}
+	flows, err := FlowsFromTransactions(txs, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 3 {
+		t.Fatalf("flows = %d, want 3 (%+v)", len(flows), flows)
+	}
+	// First a.com flow spans 2 transactions.
+	if flows[0].DestHost != "a.com" || flows[0].Duration() != 2*time.Second {
+		t.Errorf("flow 0 = %+v", flows[0])
+	}
+	// Video flow is much heavier than text flows.
+	var video, text *Flow
+	for i := range flows {
+		switch flows[i].DestHost {
+		case "b.com":
+			video = &flows[i]
+		case "a.com":
+			if text == nil {
+				text = &flows[i]
+			}
+		}
+	}
+	if video.Bytes <= 4*text.Bytes {
+		t.Errorf("video flow bytes %d not >> text %d", video.Bytes, text.Bytes)
+	}
+}
+
+func TestFlowsErrors(t *testing.T) {
+	if _, err := FlowsFromTransactions(nil, 0); err == nil {
+		t.Error("zero idle gap accepted")
+	}
+	bad := []weblog.Transaction{
+		tx(time.Minute, "u", "a.com", "C", "text"),
+		tx(0, "u", "a.com", "C", "text"),
+	}
+	if _, err := FlowsFromTransactions(bad, time.Minute); err == nil {
+		t.Error("unsorted transactions accepted")
+	}
+}
+
+func TestFlowWindows(t *testing.T) {
+	txs := []weblog.Transaction{
+		tx(0, "u", "a.com", "C", "text"),
+		tx(10*time.Second, "u", "b.com", "C", "text"),
+		tx(70*time.Second, "u", "c.com", "C", "text"),
+	}
+	flows, err := FlowsFromTransactions(txs, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := FlowWindows(flows, features.WindowConfig{Duration: time.Minute, Shift: time.Minute}, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[0].Count != 2 || ws[1].Count != 1 {
+		t.Errorf("counts = %d, %d", ws[0].Count, ws[1].Count)
+	}
+	v := ws[0].Vector
+	if v.At(colFlowCount) != 2 || v.At(colDistinctHosts) != 2 {
+		t.Errorf("vector = %v", v)
+	}
+	if v.At(colMeanLogBytes) <= 0 {
+		t.Error("log bytes not positive")
+	}
+	// Empty input.
+	none, err := FlowWindows(nil, features.WindowConfig{Duration: time.Minute, Shift: time.Minute}, "u")
+	if err != nil || none != nil {
+		t.Errorf("empty: %v %v", none, err)
+	}
+	if _, err := FlowWindows(flows, features.WindowConfig{}, "u"); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestMarkovSelfVsOther(t *testing.T) {
+	// user A alternates between two categories; user B uses different
+	// ones. A's model should accept A's held-out traffic and reject B's.
+	var aTrain, aTest, bTest []weblog.Transaction
+	for i := 0; i < 400; i++ {
+		cat := "News"
+		if i%3 == 0 {
+			cat = "Games"
+		}
+		ttx := tx(time.Duration(i)*5*time.Second, "a", "a.com", cat, "text")
+		if i < 300 {
+			aTrain = append(aTrain, ttx)
+		} else {
+			aTest = append(aTest, ttx)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		cat := "Banking"
+		if i%2 == 0 {
+			cat = "Travel"
+		}
+		bTest = append(bTest, tx(time.Duration(i)*5*time.Second, "b", "b.com", cat, "text"))
+	}
+	m, err := TrainMarkov("a", aTrain, 0.1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self := m.AcceptanceRatio(aTest, 32); self < 0.6 {
+		t.Errorf("self acceptance = %v", self)
+	}
+	if other := m.AcceptanceRatio(bTest, 32); other > 0.2 {
+		t.Errorf("other acceptance = %v", other)
+	}
+	if m.UserID != "a" {
+		t.Errorf("user = %q", m.UserID)
+	}
+	if math.IsInf(m.Threshold(), 0) {
+		t.Error("threshold not finite")
+	}
+}
+
+func TestMarkovErrors(t *testing.T) {
+	one := []weblog.Transaction{tx(0, "u", "a.com", "C", "text")}
+	if _, err := TrainMarkov("u", one, 0.1, 32); err == nil {
+		t.Error("single transaction accepted")
+	}
+	two := []weblog.Transaction{one[0], tx(time.Second, "u", "a.com", "C", "text")}
+	if _, err := TrainMarkov("u", two, 1.0, 32); err == nil {
+		t.Error("outlier fraction 1 accepted")
+	}
+	m, err := TrainMarkov("u", two, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Score(one); !math.IsInf(s, -1) {
+		t.Errorf("short sequence score = %v", s)
+	}
+	if m.AcceptanceRatio(one, 32) != 0 {
+		t.Error("unscorable sequence accepted")
+	}
+}
+
+func TestFlowBaselineWeakerThanTransactions(t *testing.T) {
+	// The headline ablation: at D=60s windows, flow features barely
+	// separate users that transaction features separate well — the
+	// paper's argument against flow-record profiling for fast
+	// identification (Sect. VI).
+	cfg := synth.DefaultConfig()
+	cfg.Users = 4
+	cfg.SmallUsers = 0
+	cfg.Devices = 4
+	cfg.Weeks = 2
+	cfg.Services = 120
+	cfg.Archetypes = 5
+	cfg.ConfusableUsers = 0
+	cfg.ServicesPerUserMin = 10
+	cfg.ServicesPerUserMax = 16
+	cfg.WeeklyTxMedian = 1500
+	cfg.WeeklyTxSigma = 0.3
+	g, err := synth.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Generate()
+	wcfg := features.WindowConfig{Duration: time.Minute, Shift: 30 * time.Second}
+
+	// Transaction-feature models.
+	vocab := features.BuildFromDataset(ds)
+	txWindows, err := features.ComposeUsers(vocab, wcfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow-feature models.
+	flowWindows, err := UserFlowWindows(ds, 5*time.Minute, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acc := func(windows map[string][]features.Window) float64 {
+		users := ds.Users()
+		var accSum float64
+		for _, u := range users {
+			ws := windows[u]
+			if len(ws) > 400 {
+				ws = ws[:400]
+			}
+			m, err := svm.TrainOCSVM(features.Vectors(ws), 0.1, svm.TrainConfig{Kernel: svm.Linear()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			self := m.AcceptanceRatio(features.Vectors(ws))
+			var other float64
+			n := 0
+			for _, o := range users {
+				if o == u {
+					continue
+				}
+				ows := windows[o]
+				if len(ows) > 200 {
+					ows = ows[:200]
+				}
+				other += m.AcceptanceRatio(features.Vectors(ows))
+				n++
+			}
+			accSum += self - other/float64(n)
+		}
+		return accSum / float64(len(users))
+	}
+
+	txACC := acc(txWindows)
+	flowACC := acc(flowWindows)
+	if txACC <= flowACC {
+		t.Errorf("transaction ACC %.3f not better than flow ACC %.3f", txACC, flowACC)
+	}
+	if txACC < 0.5 {
+		t.Errorf("transaction ACC %.3f unexpectedly low", txACC)
+	}
+}

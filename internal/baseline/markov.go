@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"webtxprofile/internal/weblog"
+)
+
+// MarkovModel is a first-order Markov chain over website categories — a
+// light-weight stand-in for the per-service HMMs of Verde et al. [11]. A
+// user is modeled by their category-transition distribution; a sequence is
+// accepted when its mean per-transition log-likelihood clears a threshold
+// calibrated on training data.
+type MarkovModel struct {
+	UserID string
+	// states maps category -> index; index len(states) is the shared
+	// "unknown" state.
+	states map[string]int
+	// logp[i][j] is the smoothed transition log-probability i -> j.
+	logp [][]float64
+	// threshold is the acceptance cut on mean log-likelihood.
+	threshold float64
+}
+
+// TrainMarkov fits a category-transition model on a user's chronological
+// transactions. outlierFrac plays the role of ν: the acceptance threshold
+// is set at that quantile of the training sequences' own scores (scored
+// over consecutive chunks of chunkSize transitions).
+func TrainMarkov(user string, txs []weblog.Transaction, outlierFrac float64, chunkSize int) (*MarkovModel, error) {
+	if len(txs) < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 transactions, got %d", len(txs))
+	}
+	if outlierFrac < 0 || outlierFrac >= 1 {
+		return nil, fmt.Errorf("baseline: outlier fraction %g out of [0,1)", outlierFrac)
+	}
+	if chunkSize < 2 {
+		chunkSize = 32
+	}
+	// State space: observed categories plus one catch-all state.
+	states := make(map[string]int)
+	for i := range txs {
+		c := txs[i].Category
+		if _, ok := states[c]; !ok {
+			states[c] = len(states)
+		}
+	}
+	n := len(states) + 1 // +1 unknown
+	counts := make([][]float64, n)
+	for i := range counts {
+		counts[i] = make([]float64, n)
+	}
+	idx := func(c string) int {
+		if i, ok := states[c]; ok {
+			return i
+		}
+		return n - 1
+	}
+	for i := 1; i < len(txs); i++ {
+		counts[idx(txs[i-1].Category)][idx(txs[i].Category)]++
+	}
+	logp := make([][]float64, n)
+	for i := range logp {
+		logp[i] = make([]float64, n)
+		var rowSum float64
+		for j := range counts[i] {
+			rowSum += counts[i][j]
+		}
+		for j := range logp[i] {
+			// Laplace smoothing keeps unseen transitions finite.
+			logp[i][j] = math.Log((counts[i][j] + 1) / (rowSum + float64(n)))
+		}
+	}
+	m := &MarkovModel{UserID: user, states: states, logp: logp}
+
+	// Calibrate the threshold on the training data's own chunk scores.
+	var scores []float64
+	for lo := 0; lo+1 < len(txs); lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > len(txs) {
+			hi = len(txs)
+		}
+		if hi-lo < 2 {
+			break
+		}
+		scores = append(scores, m.Score(txs[lo:hi]))
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("baseline: no scorable chunks")
+	}
+	sort.Float64s(scores)
+	k := int(outlierFrac * float64(len(scores)))
+	if k > len(scores)-1 {
+		k = len(scores) - 1
+	}
+	m.threshold = scores[k]
+	return m, nil
+}
+
+// Score returns the mean per-transition log-likelihood of a transaction
+// sequence under the model. Sequences shorter than 2 score -Inf.
+func (m *MarkovModel) Score(txs []weblog.Transaction) float64 {
+	if len(txs) < 2 {
+		return math.Inf(-1)
+	}
+	n := len(m.logp)
+	idx := func(c string) int {
+		if i, ok := m.states[c]; ok {
+			return i
+		}
+		return n - 1
+	}
+	var sum float64
+	for i := 1; i < len(txs); i++ {
+		sum += m.logp[idx(txs[i-1].Category)][idx(txs[i].Category)]
+	}
+	return sum / float64(len(txs)-1)
+}
+
+// Accept reports whether the sequence's score clears the calibrated
+// threshold.
+func (m *MarkovModel) Accept(txs []weblog.Transaction) bool {
+	return m.Score(txs) >= m.threshold
+}
+
+// Threshold exposes the calibrated acceptance cut.
+func (m *MarkovModel) Threshold() float64 { return m.threshold }
+
+// AcceptanceRatio scores consecutive chunks of the sequence and returns
+// the accepted fraction — the Markov counterpart of window acceptance.
+func (m *MarkovModel) AcceptanceRatio(txs []weblog.Transaction, chunkSize int) float64 {
+	if chunkSize < 2 {
+		chunkSize = 32
+	}
+	total, accepted := 0, 0
+	for lo := 0; lo+1 < len(txs); lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > len(txs) {
+			hi = len(txs)
+		}
+		if hi-lo < 2 {
+			break
+		}
+		total++
+		if m.Accept(txs[lo:hi]) {
+			accepted++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(accepted) / float64(total)
+}

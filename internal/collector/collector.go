@@ -1,0 +1,190 @@
+// Package collector provides the network substrate for the paper's
+// deployment scenario (Sect. I): a centralized continuous-authentication
+// service receiving web-transaction logs from a secure proxy. The wire
+// format is the newline-delimited log-line format of package weblog, so a
+// proxy can stream its log file verbatim.
+package collector
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"webtxprofile/internal/weblog"
+)
+
+// Handler consumes one parsed transaction. Handlers are called from
+// per-connection goroutines and must be safe for concurrent use.
+type Handler func(tx weblog.Transaction)
+
+// Server accepts TCP connections carrying newline-delimited transaction
+// log lines and dispatches parsed records to the handler. Malformed lines
+// are counted and skipped — a log collector must outlive bad input.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	errLog  *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg         sync.WaitGroup
+	received   atomic.Int64
+	parseFails atomic.Int64
+}
+
+// Listen starts a collector on addr (e.g. "127.0.0.1:0") and begins
+// accepting connections.
+func Listen(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("collector: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:      ln,
+		handler: handler,
+		errLog:  log.New(discard{}, "", 0),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// SetErrorLog directs malformed-line and connection diagnostics to l.
+// Call before traffic arrives.
+func (s *Server) SetErrorLog(l *log.Logger) {
+	if l != nil {
+		s.errLog = l
+	}
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Received returns the count of successfully parsed transactions.
+func (s *Server) Received() int64 { return s.received.Load() }
+
+// ParseFailures returns the count of skipped malformed lines.
+func (s *Server) ParseFailures() int64 { return s.parseFails.Load() }
+
+// Close stops accepting, closes every live connection and waits for the
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tx, err := weblog.ParseLine(line)
+		if err != nil {
+			s.parseFails.Add(1)
+			s.errLog.Printf("collector: %s: %v", conn.RemoteAddr(), err)
+			continue
+		}
+		s.received.Add(1)
+		s.handler(tx)
+	}
+	if err := sc.Err(); err != nil {
+		s.errLog.Printf("collector: %s: read: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// discard is an io.Writer that drops everything (log.Logger needs one).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Client streams transactions to a collector.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+// Dial connects to a collector at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, bw: bufio.NewWriter(conn)}, nil
+}
+
+// Send queues one transaction; call Flush (or Close) to push buffered
+// records to the wire.
+func (c *Client) Send(tx weblog.Transaction) error {
+	if err := tx.Validate(); err != nil {
+		return err
+	}
+	if _, err := c.bw.WriteString(tx.MarshalLine()); err != nil {
+		return err
+	}
+	return c.bw.WriteByte('\n')
+}
+
+// Flush pushes buffered records to the wire.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	flushErr := c.Flush()
+	closeErr := c.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

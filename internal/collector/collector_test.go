@@ -1,0 +1,196 @@
+package collector
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/taxonomy"
+	"webtxprofile/internal/weblog"
+)
+
+func sampleTx(i int) weblog.Transaction {
+	return weblog.Transaction{
+		Timestamp: time.Date(2015, 1, 5, 9, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second),
+		Host:      "svc.example.com", Scheme: taxonomy.SchemeHTTP,
+		Action: taxonomy.ActionGet, UserID: "user_1",
+		SourceIP: "10.0.0.1", Category: "Games",
+		MediaType: taxonomy.MediaType{Super: "text", Sub: "html"},
+		AppType:   "Rhapsody", Reputation: taxonomy.MinimalRisk,
+	}
+}
+
+// gather collects handled transactions safely.
+type gather struct {
+	mu  sync.Mutex
+	txs []weblog.Transaction
+}
+
+func (g *gather) add(tx weblog.Transaction) {
+	g.mu.Lock()
+	g.txs = append(g.txs, tx)
+	g.mu.Unlock()
+}
+
+func (g *gather) len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.txs)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}
+
+func TestServerReceivesTransactions(t *testing.T) {
+	var g gather
+	s, err := Listen("127.0.0.1:0", g.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := c.Send(sampleTx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return g.len() == n })
+	if s.Received() != n {
+		t.Errorf("Received = %d", s.Received())
+	}
+	if s.ParseFailures() != 0 {
+		t.Errorf("ParseFailures = %d", s.ParseFailures())
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, tx := range g.txs {
+		if tx.UserID != "user_1" {
+			t.Fatalf("tx %d user = %s", i, tx.UserID)
+		}
+	}
+}
+
+func TestServerSkipsMalformedLines(t *testing.T) {
+	var g gather
+	s, err := Listen("127.0.0.1:0", g.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "# header comment\n")
+	fmt.Fprintf(conn, "garbage line\n")
+	fmt.Fprintf(conn, "%s\n", sampleTx(0).MarshalLine())
+	fmt.Fprintf(conn, "\n")
+	conn.Close()
+
+	waitFor(t, func() bool { return g.len() == 1 })
+	if s.ParseFailures() != 1 {
+		t.Errorf("ParseFailures = %d, want 1", s.ParseFailures())
+	}
+}
+
+func TestServerMultipleClients(t *testing.T) {
+	var g gather
+	s, err := Listen("127.0.0.1:0", g.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const clients, per = 4, 25
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(s.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < per; i++ {
+				if err := c.Send(sampleTx(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			c.Close()
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return g.len() == clients*per })
+}
+
+func TestServerCloseIdempotentAndStopsAccepting(t *testing.T) {
+	s, err := Listen("127.0.0.1:0", func(weblog.Transaction) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr().String()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Error("server still accepting after Close")
+	}
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if _, err := Listen("256.0.0.1:99999", func(weblog.Transaction) {}); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestClientSendValidates(t *testing.T) {
+	s, err := Listen("127.0.0.1:0", func(weblog.Transaction) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bad := sampleTx(0)
+	bad.UserID = ""
+	if err := c.Send(bad); err == nil {
+		t.Error("invalid transaction accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Skip("port 1 unexpectedly open")
+	}
+}

@@ -1,0 +1,351 @@
+// Package core assembles the paper's primary contribution: per-user
+// profiles built from web-transaction windows with one-class classifiers
+// (Sect. III), the training pipeline with optional per-user parameter
+// optimization (Sect. IV-C), batch evaluation (Sect. V-A) and streaming
+// user identification for continuous authentication (Sect. V-B).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"webtxprofile/internal/eval"
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/grid"
+	"webtxprofile/internal/svm"
+	"webtxprofile/internal/weblog"
+)
+
+// Config parameterizes the training pipeline. Zero values select the
+// paper's defaults where one exists.
+type Config struct {
+	// Window is the sliding-window configuration; defaults to the paper's
+	// retained D=60s, S=30s.
+	Window features.WindowConfig
+	// Algorithm selects OC-SVM (default) or SVDD.
+	Algorithm svm.Algorithm
+	// Kernel and Param configure training when AutoTune is off. Defaults:
+	// linear kernel; ν = 0.1 for OC-SVM (≈ the paper's 90% TPR target) or
+	// C = 0.5 for SVDD (the Table II setting).
+	Kernel svm.Kernel
+	Param  float64
+	// AutoTune runs the per-user (kernel, ν/C) grid search of Sect. IV-C
+	// before training the final models.
+	AutoTune bool
+	// GridParams/GridKernels override the AutoTune grid (defaults: the
+	// paper's Table III grid).
+	GridParams  []float64
+	GridKernels []svm.Kernel
+	// MinTransactions drops users with fewer transactions (default 1500,
+	// the paper's representativeness threshold; negative disables).
+	MinTransactions int
+	// TrainFraction is the chronological train share (default 0.75).
+	TrainFraction float64
+	// MaxTrainWindows caps per-user training windows (default 2000;
+	// negative means unlimited).
+	MaxTrainWindows int
+	// MaxOtherWindows caps the per-user sample used for ACC_other during
+	// AutoTune (default 200; negative means unlimited).
+	MaxOtherWindows int
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// Train carries SMO knobs (Eps, MaxIter, CacheMB); its Kernel field is
+	// ignored.
+	Train svm.TrainConfig
+}
+
+// WithDefaults returns the config with unset fields filled in.
+func (c Config) WithDefaults() Config {
+	if c.Window == (features.WindowConfig{}) {
+		c.Window = features.WindowConfig{Duration: time.Minute, Shift: 30 * time.Second}
+	}
+	if c.Algorithm == 0 {
+		c.Algorithm = svm.OCSVM
+	}
+	if c.Kernel == (svm.Kernel{}) {
+		c.Kernel = svm.Linear()
+	}
+	if c.Param == 0 {
+		if c.Algorithm == svm.SVDD {
+			c.Param = 0.5
+		} else {
+			c.Param = 0.1
+		}
+	}
+	if c.MinTransactions == 0 {
+		c.MinTransactions = 1500
+	}
+	if c.TrainFraction == 0 {
+		c.TrainFraction = 0.75
+	}
+	if c.MaxTrainWindows == 0 {
+		c.MaxTrainWindows = 2000
+	}
+	if c.MaxOtherWindows == 0 {
+		c.MaxOtherWindows = 200
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Validate checks the filled-in config.
+func (c Config) Validate() error {
+	if err := c.Window.Validate(); err != nil {
+		return err
+	}
+	if c.Algorithm != svm.OCSVM && c.Algorithm != svm.SVDD {
+		return fmt.Errorf("core: invalid algorithm %d", int(c.Algorithm))
+	}
+	if err := c.Kernel.Validate(); err != nil {
+		return err
+	}
+	if c.Param <= 0 || (c.Algorithm == svm.OCSVM && c.Param > 1) {
+		return fmt.Errorf("core: parameter %g out of range for %v", c.Param, c.Algorithm)
+	}
+	if c.TrainFraction <= 0 || c.TrainFraction >= 1 {
+		return fmt.Errorf("core: train fraction %g out of (0,1)", c.TrainFraction)
+	}
+	return nil
+}
+
+// Profile is one user's trained profile.
+type Profile struct {
+	UserID string     `json:"user_id"`
+	Model  *svm.Model `json:"model"`
+	// TrainWindows is the number of windows the final model was fit on.
+	TrainWindows int `json:"train_windows"`
+	// TunedACC records the grid-search objective when AutoTune ran.
+	TunedACC float64 `json:"tuned_acc,omitempty"`
+}
+
+// ProfileSet is the complete trained artifact: the shared vocabulary and
+// window configuration plus one profile per user.
+type ProfileSet struct {
+	Vocabulary *features.Vocabulary
+	Window     features.WindowConfig
+	Algorithm  svm.Algorithm
+	Profiles   map[string]*Profile
+}
+
+// Users returns profile owners in sorted order.
+func (ps *ProfileSet) Users() []string {
+	out := make([]string, 0, len(ps.Profiles))
+	for u := range ps.Profiles {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Models projects the set onto user → model, the shape eval consumes.
+func (ps *ProfileSet) Models() map[string]*svm.Model {
+	out := make(map[string]*svm.Model, len(ps.Profiles))
+	for u, p := range ps.Profiles {
+		out[u] = p.Model
+	}
+	return out
+}
+
+// SplitResult carries the prepared corpora of the Sect. IV pipeline.
+type SplitResult struct {
+	Train, Test *weblog.Dataset
+	Dropped     []string // users under the representativeness threshold
+}
+
+// PrepareSplit applies the paper's data preparation: drop
+// under-represented users, then split each user's history
+// chronologically.
+func PrepareSplit(ds *weblog.Dataset, cfg Config) (*SplitResult, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kept := ds
+	var dropped []string
+	if cfg.MinTransactions > 0 {
+		kept, dropped = ds.FilterMinTransactions(cfg.MinTransactions)
+	}
+	if kept.Len() == 0 {
+		return nil, fmt.Errorf("core: no transactions after filtering")
+	}
+	train, test, err := kept.SplitChronological(cfg.TrainFraction)
+	if err != nil {
+		return nil, err
+	}
+	return &SplitResult{Train: train, Test: test, Dropped: dropped}, nil
+}
+
+// Train runs the full pipeline on a raw dataset: filter, split, build the
+// vocabulary from the training epoch, window per user, optionally
+// auto-tune, and fit the final models. The returned test set is the
+// held-out epoch for evaluation.
+func Train(ds *weblog.Dataset, cfg Config) (*ProfileSet, *weblog.Dataset, error) {
+	cfg = cfg.WithDefaults()
+	split, err := PrepareSplit(ds, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := BuildProfiles(split.Train, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, split.Test, nil
+}
+
+// BuildProfiles trains profiles on an already-prepared training dataset.
+// The vocabulary is built from exactly this corpus (Sect. IV-A: the
+// feature space is data-driven).
+func BuildProfiles(train *weblog.Dataset, cfg Config) (*ProfileSet, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	users := train.Users()
+	if len(users) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	vocab := features.BuildFromDataset(train)
+	windows, err := features.ComposeUsers(vocab, cfg.Window, train)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range users {
+		if n := cfg.MaxTrainWindows; n > 0 && len(windows[u]) > n {
+			windows[u] = windows[u][:n]
+		}
+		if len(windows[u]) == 0 {
+			return nil, fmt.Errorf("core: user %s has no training windows", u)
+		}
+	}
+
+	kernelOf := func(string) svm.Kernel { return cfg.Kernel }
+	paramOf := func(string) float64 { return cfg.Param }
+	tunedACC := map[string]float64{}
+	if cfg.AutoTune {
+		params := cfg.GridParams
+		if len(params) == 0 {
+			params = grid.PaperParams
+		}
+		kernels := cfg.GridKernels
+		if len(kernels) == 0 {
+			kernels = grid.PaperKernels(vocab.Size())
+		}
+		tables, err := grid.ParamSearch(windows, params, kernels, grid.Config{
+			Algorithm:       cfg.Algorithm,
+			MaxTrainWindows: min(cfg.MaxTrainWindows, 600),
+			MaxOtherWindows: cfg.MaxOtherWindows,
+			Workers:         cfg.Workers,
+			Train:           cfg.Train,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bests, err := grid.BestParams(tables)
+		if err != nil {
+			return nil, err
+		}
+		kernelOf = func(u string) svm.Kernel { return bests[u].Kernel }
+		paramOf = func(u string) float64 { return bests[u].Param }
+		for u, b := range bests {
+			tunedACC[u] = b.Acc.ACC()
+		}
+	}
+
+	set := &ProfileSet{
+		Vocabulary: vocab,
+		Window:     cfg.Window,
+		Algorithm:  cfg.Algorithm,
+		Profiles:   make(map[string]*Profile, len(users)),
+	}
+	type result struct {
+		user    string
+		profile *Profile
+		err     error
+	}
+	tasks := make(chan string)
+	results := make(chan result)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			for u := range tasks {
+				tc := cfg.Train
+				tc.Kernel = kernelOf(u)
+				m, err := svm.Train(cfg.Algorithm, features.Vectors(windows[u]), paramOf(u), tc)
+				if err != nil {
+					results <- result{user: u, err: fmt.Errorf("core: training %s: %w", u, err)}
+					continue
+				}
+				results <- result{user: u, profile: &Profile{
+					UserID:       u,
+					Model:        m,
+					TrainWindows: len(windows[u]),
+					TunedACC:     tunedACC[u],
+				}}
+			}
+		}()
+	}
+	go func() {
+		for _, u := range users {
+			tasks <- u
+		}
+		close(tasks)
+	}()
+	var firstErr error
+	for range users {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		set.Profiles[r.user] = r.profile
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return set, nil
+}
+
+// Evaluate runs the Sect. V-A user-differentiation experiment: every model
+// against every user's test windows.
+func (ps *ProfileSet) Evaluate(test *weblog.Dataset) (*eval.ConfusionMatrix, error) {
+	windows, err := features.ComposeUsers(ps.Vocabulary, ps.Window, test)
+	if err != nil {
+		return nil, err
+	}
+	// Restrict to profiled users: test sets may contain extra users.
+	filtered := make(map[string][]features.Window, len(ps.Profiles))
+	for u := range ps.Profiles {
+		filtered[u] = windows[u]
+	}
+	return eval.Confusion(ps.Models(), filtered), nil
+}
+
+// ExtendVocabulary absorbs label values observed in txs into the set's
+// vocabulary (appending columns; existing column ids — and therefore the
+// trained models — stay valid). It returns the number of columns added.
+// New columns only influence decisions after the affected users are
+// retrained (e.g. via a Refresher).
+func (ps *ProfileSet) ExtendVocabulary(txs []weblog.Transaction) int {
+	before := ps.Vocabulary.Size()
+	ps.Vocabulary = ps.Vocabulary.Extend(txs)
+	return ps.Vocabulary.Size() - before
+}
+
+// IdentifyHost runs the Sect. V-B experiment: host-specific windows from
+// one device classified against every profile.
+func (ps *ProfileSet) IdentifyHost(ds *weblog.Dataset, host string) ([]eval.TimelinePoint, error) {
+	txs := ds.HostTransactions(host)
+	if len(txs) == 0 {
+		return nil, fmt.Errorf("core: no transactions for host %s", host)
+	}
+	windows, err := features.Compose(ps.Vocabulary, ps.Window, txs, host)
+	if err != nil {
+		return nil, err
+	}
+	return eval.Timeline(ps.Models(), windows), nil
+}

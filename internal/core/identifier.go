@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/weblog"
+)
+
+// Event is one identification step emitted by the streaming Identifier:
+// a completed window, the profiles that accepted it, and — once a profile
+// has accepted ConsecutiveK windows in a row — the identified user.
+type Event struct {
+	Window   features.Window
+	Accepted []string
+	// Identified is the user whose model has accepted ConsecutiveK
+	// consecutive windows ending at this one ("" while undecided). This
+	// is the consecutive-window rule sketched at the end of Sect. V-B.
+	Identified string
+}
+
+// Identifier consumes a live transaction stream from one device and emits
+// identification events — the paper's continuous-authentication /
+// intrusion-monitoring deployment (Sect. I). It is not safe for concurrent
+// use; feed it from a single goroutine.
+type Identifier struct {
+	set      *ProfileSet
+	streamer *features.Streamer
+	k        int
+	runs     map[string]int
+	host     string
+}
+
+// NewIdentifier creates a streaming identifier for one device.
+// consecutiveK is the number of consecutive accepted windows required to
+// report identification (1 = identify on any accepted window; the paper
+// suggests e.g. 10 windows ≈ 5 minutes at S=30s).
+func NewIdentifier(set *ProfileSet, host string, consecutiveK int) (*Identifier, error) {
+	if consecutiveK <= 0 {
+		consecutiveK = 1
+	}
+	st, err := features.NewStreamer(set.Vocabulary, set.Window, host)
+	if err != nil {
+		return nil, err
+	}
+	return &Identifier{
+		set:      set,
+		streamer: st,
+		k:        consecutiveK,
+		runs:     make(map[string]int, len(set.Profiles)),
+		host:     host,
+	}, nil
+}
+
+// Feed ingests one transaction (timestamps must be non-decreasing) and
+// returns the events for any windows completed by its arrival.
+func (id *Identifier) Feed(tx weblog.Transaction) ([]Event, error) {
+	if tx.SourceIP != id.host {
+		return nil, fmt.Errorf("core: transaction from %s fed to identifier for %s", tx.SourceIP, id.host)
+	}
+	ws, err := id.streamer.Add(tx)
+	if err != nil {
+		return nil, err
+	}
+	return id.classify(ws), nil
+}
+
+// Flush completes the pending windows at end of stream.
+func (id *Identifier) Flush() []Event {
+	return id.classify(id.streamer.Close())
+}
+
+func (id *Identifier) classify(ws []features.Window) []Event {
+	if len(ws) == 0 {
+		return nil
+	}
+	users := id.set.Users()
+	events := make([]Event, 0, len(ws))
+	for i := range ws {
+		ev := Event{Window: ws[i]}
+		accepted := make(map[string]bool, 4)
+		for _, u := range users {
+			if id.set.Profiles[u].Model.Accept(ws[i].Vector) {
+				ev.Accepted = append(ev.Accepted, u)
+				accepted[u] = true
+			}
+		}
+		sort.Strings(ev.Accepted)
+		for _, u := range users {
+			if accepted[u] {
+				id.runs[u]++
+			} else {
+				id.runs[u] = 0
+			}
+		}
+		// Deterministic winner: longest current run ≥ k, ties broken by
+		// user id.
+		bestRun := 0
+		for _, u := range users {
+			if id.runs[u] >= id.k && id.runs[u] > bestRun {
+				bestRun = id.runs[u]
+				ev.Identified = u
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"webtxprofile/internal/weblog"
+)
+
+// Alert is one identity-state change on a monitored device, the event
+// stream of the paper's continuous-authentication and intrusion-monitoring
+// applications (Sect. I).
+type Alert struct {
+	Device string
+	// Kind distinguishes the transitions.
+	Kind AlertKind
+	// User is the newly identified user (AlertIdentified), or the user
+	// whose identity was lost (AlertLost).
+	User string
+	// Previous is the previously confirmed user, if any.
+	Previous string
+	// Event carries the underlying window classification.
+	Event Event
+}
+
+// AlertKind enumerates identity transitions.
+type AlertKind int
+
+// Alert kinds.
+const (
+	// AlertIdentified fires when a user reaches the consecutive-window
+	// threshold on a device (including taking over from another user).
+	AlertIdentified AlertKind = iota + 1
+	// AlertLost fires when a confirmed identity stops matching the
+	// observed windows.
+	AlertLost
+)
+
+// String names the alert kind.
+func (k AlertKind) String() string {
+	switch k {
+	case AlertIdentified:
+		return "identified"
+	case AlertLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("alert(%d)", int(k))
+	}
+}
+
+// Monitor tracks every device seen in a transaction stream, maintaining
+// one streaming Identifier per device and emitting Alerts on identity
+// transitions. It is the reusable core of the profilerd daemon and the
+// intrusion-monitor example. Safe for concurrent use.
+type Monitor struct {
+	set *ProfileSet
+	k   int
+
+	mu      sync.Mutex
+	devices map[string]*deviceTrack
+	alerts  func(Alert)
+}
+
+type deviceTrack struct {
+	id      *Identifier
+	current string
+}
+
+// NewMonitor creates a monitor over a trained profile set. consecutiveK
+// is the identification threshold; alerts receives every transition (it
+// is called with the monitor's lock held — keep it fast, hand off to a
+// channel for heavy work).
+func NewMonitor(set *ProfileSet, consecutiveK int, alerts func(Alert)) (*Monitor, error) {
+	if set == nil || len(set.Profiles) == 0 {
+		return nil, fmt.Errorf("core: monitor needs a trained profile set")
+	}
+	if alerts == nil {
+		return nil, fmt.Errorf("core: nil alert callback")
+	}
+	if consecutiveK <= 0 {
+		consecutiveK = 1
+	}
+	return &Monitor{
+		set:     set,
+		k:       consecutiveK,
+		devices: make(map[string]*deviceTrack),
+		alerts:  alerts,
+	}, nil
+}
+
+// Feed routes one transaction to its device's identifier, emitting alerts
+// for any identity transitions the completed windows cause.
+func (m *Monitor) Feed(tx weblog.Transaction) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tr, ok := m.devices[tx.SourceIP]
+	if !ok {
+		id, err := NewIdentifier(m.set, tx.SourceIP, m.k)
+		if err != nil {
+			return err
+		}
+		tr = &deviceTrack{id: id}
+		m.devices[tx.SourceIP] = tr
+	}
+	events, err := tr.id.Feed(tx)
+	if err != nil {
+		return err
+	}
+	m.process(tx.SourceIP, tr, events)
+	return nil
+}
+
+// Flush completes all devices' pending windows (end of stream) and emits
+// any final alerts.
+func (m *Monitor) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for device, tr := range m.devices {
+		m.process(device, tr, tr.id.Flush())
+	}
+}
+
+// Devices returns the number of devices currently tracked.
+func (m *Monitor) Devices() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.devices)
+}
+
+// Current returns the confirmed user on a device ("" if none).
+func (m *Monitor) Current(device string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tr, ok := m.devices[device]; ok {
+		return tr.current
+	}
+	return ""
+}
+
+func (m *Monitor) process(device string, tr *deviceTrack, events []Event) {
+	for _, ev := range events {
+		switch {
+		case ev.Identified != "" && ev.Identified != tr.current:
+			m.alerts(Alert{
+				Device: device, Kind: AlertIdentified,
+				User: ev.Identified, Previous: tr.current, Event: ev,
+			})
+			tr.current = ev.Identified
+		case ev.Identified == "" && tr.current != "":
+			m.alerts(Alert{
+				Device: device, Kind: AlertLost,
+				User: tr.current, Previous: tr.current, Event: ev,
+			})
+			tr.current = ""
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"webtxprofile/internal/synth"
+)
+
+func TestMonitorIdentifiesAndAlerts(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Users = 6
+	cfg.SmallUsers = 0
+	cfg.Devices = 5
+	cfg.Weeks = 3
+	cfg.Services = 150
+	cfg.Archetypes = 6
+	cfg.ConfusableUsers = 0
+	cfg.ServicesPerUserMin = 10
+	cfg.ServicesPerUserMax = 18
+	cfg.WeeklyTxMedian = 1200
+	cfg.WeeklyTxSigma = 0.4
+	g, err := synth.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, err := Train(g.Generate(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := set.Users()
+	owner, intruder := users[0], users[len(users)-1]
+
+	var alerts []Alert
+	mon, err := NewMonitor(set, 3, func(a Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner works for 15 minutes, then the intruder takes over.
+	start := cfg.Start.Add(time.Duration(cfg.Weeks) * 7 * 24 * time.Hour)
+	scenario, err := g.GenerateDeviceScenario("10.42.0.1", start, []synth.Segment{
+		{UserID: owner, Offset: 0, Length: 15 * time.Minute},
+		{UserID: intruder, Offset: 15 * time.Minute, Length: 10 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range scenario.Transactions {
+		if err := mon.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon.Flush()
+
+	if mon.Devices() != 1 {
+		t.Errorf("devices = %d", mon.Devices())
+	}
+	// Expected story: owner identified, then either an identity loss or a
+	// direct takeover identification of the intruder.
+	if len(alerts) < 2 {
+		t.Fatalf("alerts = %+v, want at least identify + transition", alerts)
+	}
+	if alerts[0].Kind != AlertIdentified || alerts[0].User != owner {
+		t.Errorf("first alert = %+v, want owner identified", alerts[0])
+	}
+	sawTransition := false
+	for _, a := range alerts[1:] {
+		if a.Kind == AlertLost && a.User == owner {
+			sawTransition = true
+		}
+		if a.Kind == AlertIdentified && a.User == intruder {
+			sawTransition = true
+		}
+	}
+	if !sawTransition {
+		t.Errorf("no owner-loss or intruder-identification alert in %+v", alerts)
+	}
+	if got := mon.Current("10.42.0.1"); got == owner {
+		t.Errorf("owner still confirmed after takeover (current %q)", got)
+	}
+	if mon.Current("203.0.113.9") != "" {
+		t.Error("unknown device has a current user")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	set, _, err := Train(smallDataset, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMonitor(nil, 3, func(Alert) {}); err == nil {
+		t.Error("nil set accepted")
+	}
+	if _, err := NewMonitor(set, 3, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	mon, err := NewMonitor(set, 0, func(Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order transactions on one device surface the identifier
+	// error.
+	tx := smallDataset.Transactions[100]
+	tx.SourceIP = "10.42.0.2"
+	if err := mon.Feed(tx); err != nil {
+		t.Fatal(err)
+	}
+	earlier := tx
+	earlier.Timestamp = tx.Timestamp.Add(-time.Hour)
+	if err := mon.Feed(earlier); err == nil {
+		t.Error("out-of-order feed accepted")
+	}
+}
+
+func TestAlertKindString(t *testing.T) {
+	if AlertIdentified.String() != "identified" || AlertLost.String() != "lost" {
+		t.Error("alert kind names wrong")
+	}
+	if AlertKind(9).String() != "alert(9)" {
+		t.Error("unknown alert kind name wrong")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/svm"
+)
+
+// bundleVersion guards the on-disk format.
+const bundleVersion = 1
+
+// bundleJSON is the serialized ProfileSet.
+type bundleJSON struct {
+	Version    int                  `json:"version"`
+	Vocabulary *features.Vocabulary `json:"vocabulary"`
+	WindowD    time.Duration        `json:"window_duration_ns"`
+	WindowS    time.Duration        `json:"window_shift_ns"`
+	Algorithm  string               `json:"algorithm"`
+	Profiles   map[string]*Profile  `json:"profiles"`
+}
+
+// Save writes the profile set as gzip-compressed JSON.
+func (ps *ProfileSet) Save(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	if err := enc.Encode(bundleJSON{
+		Version:    bundleVersion,
+		Vocabulary: ps.Vocabulary,
+		WindowD:    ps.Window.Duration,
+		WindowS:    ps.Window.Shift,
+		Algorithm:  ps.Algorithm.String(),
+		Profiles:   ps.Profiles,
+	}); err != nil {
+		gz.Close()
+		return fmt.Errorf("core: encoding bundle: %w", err)
+	}
+	return gz.Close()
+}
+
+// Load restores a profile set written by Save, validating every model.
+func Load(r io.Reader) (*ProfileSet, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: bundle not gzip: %w", err)
+	}
+	defer gz.Close()
+	var b bundleJSON
+	if err := json.NewDecoder(gz).Decode(&b); err != nil {
+		return nil, fmt.Errorf("core: decoding bundle: %w", err)
+	}
+	if b.Version != bundleVersion {
+		return nil, fmt.Errorf("core: unsupported bundle version %d", b.Version)
+	}
+	if b.Vocabulary == nil || len(b.Profiles) == 0 {
+		return nil, fmt.Errorf("core: bundle missing vocabulary or profiles")
+	}
+	algo, err := svm.ParseAlgorithm(b.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	set := &ProfileSet{
+		Vocabulary: b.Vocabulary,
+		Window:     features.WindowConfig{Duration: b.WindowD, Shift: b.WindowS},
+		Algorithm:  algo,
+		Profiles:   b.Profiles,
+	}
+	if err := set.Window.Validate(); err != nil {
+		return nil, err
+	}
+	for u, p := range set.Profiles {
+		if p == nil || p.Model == nil {
+			return nil, fmt.Errorf("core: profile %s has no model", u)
+		}
+		if err := p.Model.Validate(); err != nil {
+			return nil, fmt.Errorf("core: profile %s: %w", u, err)
+		}
+	}
+	return set, nil
+}
+
+// SaveFile writes the bundle to path (atomically via a temp file in the
+// same directory, so the final rename never crosses filesystems).
+func (ps *ProfileSet) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".webtxprofile-bundle-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ps.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads a bundle from path.
+func LoadFile(path string) (*ProfileSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

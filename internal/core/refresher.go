@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/svm"
+)
+
+// Refresher keeps profiles current as behaviour drifts — the operational
+// counterpart of the paper's observation that user novelty never quite
+// reaches zero (Fig. 1) and its future-work plan to train on short recent
+// epochs (Sect. VII). Confirmed windows (windows the deployment attributes
+// to the user, e.g. after successful identification) accumulate in a
+// bounded per-user buffer; Refresh retrains that user's model on the most
+// recent windows, preserving the model's kernel and parameter.
+//
+// Refresher is not safe for concurrent use; callers serialize access.
+type Refresher struct {
+	set *ProfileSet
+	// MinWindows is the smallest buffer that allows a refresh.
+	minWindows int
+	// maxWindows bounds each buffer; older windows fall off.
+	maxWindows int
+	train      svm.TrainConfig
+	buffers    map[string][]features.Window
+	refreshes  map[string]int
+}
+
+// RefresherConfig bounds the refresh buffers.
+type RefresherConfig struct {
+	// MinWindows gates Refresh (default 100).
+	MinWindows int
+	// MaxWindows bounds the per-user buffer (default 2000).
+	MaxWindows int
+	// Train carries SMO knobs for retraining (Kernel/param come from the
+	// existing profile).
+	Train svm.TrainConfig
+}
+
+// NewRefresher wraps a trained profile set.
+func NewRefresher(set *ProfileSet, cfg RefresherConfig) (*Refresher, error) {
+	if set == nil || len(set.Profiles) == 0 {
+		return nil, fmt.Errorf("core: refresher needs a trained profile set")
+	}
+	if cfg.MinWindows <= 0 {
+		cfg.MinWindows = 100
+	}
+	if cfg.MaxWindows <= 0 {
+		cfg.MaxWindows = 2000
+	}
+	if cfg.MaxWindows < cfg.MinWindows {
+		return nil, fmt.Errorf("core: MaxWindows %d below MinWindows %d", cfg.MaxWindows, cfg.MinWindows)
+	}
+	return &Refresher{
+		set:        set,
+		minWindows: cfg.MinWindows,
+		maxWindows: cfg.MaxWindows,
+		train:      cfg.Train,
+		buffers:    make(map[string][]features.Window, len(set.Profiles)),
+		refreshes:  make(map[string]int, len(set.Profiles)),
+	}, nil
+}
+
+// Observe buffers one confirmed window for the user. Windows should
+// arrive roughly chronologically; the buffer keeps the newest MaxWindows.
+func (r *Refresher) Observe(user string, w features.Window) error {
+	if _, ok := r.set.Profiles[user]; !ok {
+		return fmt.Errorf("core: no profile for user %q", user)
+	}
+	buf := append(r.buffers[user], w)
+	if len(buf) > r.maxWindows {
+		buf = buf[len(buf)-r.maxWindows:]
+	}
+	r.buffers[user] = buf
+	return nil
+}
+
+// Buffered returns the user's current buffer length.
+func (r *Refresher) Buffered(user string) int { return len(r.buffers[user]) }
+
+// Refreshes returns how many times the user's model was retrained.
+func (r *Refresher) Refreshes(user string) int { return r.refreshes[user] }
+
+// CanRefresh reports whether the user's buffer has reached MinWindows.
+func (r *Refresher) CanRefresh(user string) bool {
+	return len(r.buffers[user]) >= r.minWindows
+}
+
+// Refresh retrains the user's model on the buffered windows, keeping the
+// profile's algorithm, kernel and ν/C parameter. The buffer is retained
+// (it keeps sliding), so repeated refreshes track ongoing drift.
+func (r *Refresher) Refresh(user string) error {
+	p, ok := r.set.Profiles[user]
+	if !ok {
+		return fmt.Errorf("core: no profile for user %q", user)
+	}
+	if !r.CanRefresh(user) {
+		return fmt.Errorf("core: user %q has %d buffered windows, need %d",
+			user, len(r.buffers[user]), r.minWindows)
+	}
+	tc := r.train
+	tc.Kernel = p.Model.Kernel
+	m, err := svm.Train(r.set.Algorithm, features.Vectors(r.buffers[user]), p.Model.Param, tc)
+	if err != nil {
+		return fmt.Errorf("core: refreshing %s: %w", user, err)
+	}
+	p.Model = m
+	p.TrainWindows = len(r.buffers[user])
+	r.refreshes[user]++
+	return nil
+}
+
+// RefreshAll retrains every user whose buffer is ready, returning the
+// refreshed user ids in sorted order.
+func (r *Refresher) RefreshAll() ([]string, error) {
+	var done []string
+	for _, u := range r.set.Users() {
+		if !r.CanRefresh(u) {
+			continue
+		}
+		if err := r.Refresh(u); err != nil {
+			return done, err
+		}
+		done = append(done, u)
+	}
+	sort.Strings(done)
+	return done, nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/svm"
+	"webtxprofile/internal/synth"
+)
+
+// driftDataset generates a corpus where the first kept user switches half
+// their service pool at week 3 of 6.
+func driftDataset(t *testing.T) (*ProfileSet, *synth.Generator, string) {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Users = 5
+	cfg.SmallUsers = 0
+	cfg.Devices = 4
+	cfg.Weeks = 6
+	cfg.Services = 150
+	cfg.Archetypes = 5
+	cfg.ConfusableUsers = 0
+	cfg.ServicesPerUserMin = 10
+	cfg.ServicesPerUserMax = 18
+	cfg.WeeklyTxMedian = 900
+	cfg.WeeklyTxSigma = 0.3
+	cfg.DriftWeek = 3
+	cfg.DriftUsers = 1
+	g, err := synth.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Generate()
+	// Train on the pre-drift epoch only.
+	cut := cfg.Start.Add(3 * 7 * 24 * 3600e9)
+	preDrift, _ := ds.SplitAtTime(cut)
+	set, err := BuildProfiles(preDrift, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, g, "user_1"
+}
+
+func TestRefresherRecoversFromDrift(t *testing.T) {
+	set, g, drifted := driftDataset(t)
+	ds := g.Generate()
+	cut := g.Taxonomy() // placeholder to silence unused; replaced below
+	_ = cut
+
+	// Post-drift windows of the drifted user.
+	cfgStart := synth.DefaultConfig().Start
+	_ = cfgStart
+	after := ds.UserTransactions(drifted)
+	// Keep only post-drift transactions (week >= 3).
+	split := 0
+	driftTime := after[0].Timestamp
+	for i := range after {
+		if after[i].Timestamp.Sub(after[0].Timestamp) >= 3*7*24*3600e9 {
+			split = i
+			driftTime = after[i].Timestamp
+			break
+		}
+	}
+	_ = driftTime
+	post := after[split:]
+	// Deployment workflow: absorb the newly observed services into the
+	// vocabulary first (stale models keep their decisions — their support
+	// vectors reference unchanged columns), then window with the extended
+	// vocabulary so the refresh sees the new behaviour.
+	if added := set.ExtendVocabulary(post); added == 0 {
+		t.Fatal("drift introduced no new vocabulary")
+	}
+	windows, err := features.Compose(set.Vocabulary, set.Window, post, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) < 60 {
+		t.Fatalf("only %d post-drift windows", len(windows))
+	}
+	half := len(windows) / 2
+	adapt, holdout := windows[:half], windows[half:]
+
+	// The stale (pre-drift) model degrades on post-drift behaviour.
+	stale := set.Profiles[drifted].Model
+	staleAcc := stale.AcceptanceRatio(features.Vectors(holdout))
+
+	r, err := NewRefresher(set, RefresherConfig{MinWindows: 30, Train: svm.TrainConfig{CacheMB: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range adapt {
+		if err := r.Observe(drifted, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.CanRefresh(drifted) {
+		t.Fatalf("buffer %d not refreshable", r.Buffered(drifted))
+	}
+	if err := r.Refresh(drifted); err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes(drifted) != 1 {
+		t.Errorf("refreshes = %d", r.Refreshes(drifted))
+	}
+	fresh := set.Profiles[drifted].Model
+	if fresh == stale {
+		t.Fatal("model not replaced")
+	}
+	freshAcc := fresh.AcceptanceRatio(features.Vectors(holdout))
+	if freshAcc <= staleAcc+0.05 {
+		t.Errorf("refresh did not help: stale %.3f -> fresh %.3f", staleAcc, freshAcc)
+	}
+	if freshAcc < 0.6 {
+		t.Errorf("refreshed acceptance %.3f still low", freshAcc)
+	}
+}
+
+func TestRefresherValidation(t *testing.T) {
+	set, _, _ := driftDataset(t)
+	if _, err := NewRefresher(nil, RefresherConfig{}); err == nil {
+		t.Error("nil set accepted")
+	}
+	if _, err := NewRefresher(set, RefresherConfig{MinWindows: 100, MaxWindows: 10}); err == nil {
+		t.Error("max < min accepted")
+	}
+	r, err := NewRefresher(set, RefresherConfig{MinWindows: 5, MaxWindows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Observe("nobody", features.Window{}); err == nil {
+		t.Error("unknown user accepted")
+	}
+	if err := r.Refresh("nobody"); err == nil {
+		t.Error("refresh of unknown user accepted")
+	}
+	if err := r.Refresh(set.Users()[0]); err == nil {
+		t.Error("refresh below MinWindows accepted")
+	}
+	// Buffer bounding.
+	u := set.Users()[0]
+	for i := 0; i < 25; i++ {
+		if err := r.Observe(u, features.Window{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Buffered(u); got != 10 {
+		t.Errorf("buffer = %d, want capped at 10", got)
+	}
+}
+
+func TestRefreshAll(t *testing.T) {
+	set, g, drifted := driftDataset(t)
+	ds := g.Generate()
+	r, err := NewRefresher(set, RefresherConfig{MinWindows: 20, Train: svm.TrainConfig{CacheMB: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := features.Compose(set.Vocabulary, set.Window, ds.UserTransactions(drifted), drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range windows[:30] {
+		if err := r.Observe(drifted, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := r.RefreshAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done[0] != drifted {
+		t.Errorf("refreshed = %v", done)
+	}
+}
+
+func TestExtendVocabulary(t *testing.T) {
+	set, g, _ := driftDataset(t)
+	before := set.Vocabulary.Size()
+	// The full dataset (including drift-pool services unseen pre-drift)
+	// should add columns.
+	ds := g.Generate()
+	added := set.ExtendVocabulary(ds.Transactions)
+	if added <= 0 {
+		t.Fatalf("added = %d, want positive (drift introduces new services)", added)
+	}
+	if set.Vocabulary.Size() != before+added {
+		t.Errorf("size %d != %d + %d", set.Vocabulary.Size(), before, added)
+	}
+	// Models still validate and decide.
+	for _, u := range set.Users() {
+		if err := set.Profiles[u].Model.Validate(); err != nil {
+			t.Errorf("model %s invalid after extend: %v", u, err)
+		}
+	}
+}

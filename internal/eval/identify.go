@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"sort"
+	"time"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/svm"
+)
+
+// TimelinePoint is one host window of the Fig. 3 identification timeline:
+// which user actually generated the window and which user models accepted
+// it.
+type TimelinePoint struct {
+	Start      time.Time
+	ActualUser string
+	Accepted   []string // sorted model (user) ids that accepted the window
+}
+
+// Timeline classifies every host window against every model — the Fig. 3
+// experiment. Windows must come from host-specific windowing so that
+// UserCounts carries the ground truth.
+func Timeline(models map[string]*svm.Model, hostWindows []features.Window) []TimelinePoint {
+	users := make([]string, 0, len(models))
+	for u := range models {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	out := make([]TimelinePoint, 0, len(hostWindows))
+	for i := range hostWindows {
+		w := &hostWindows[i]
+		pt := TimelinePoint{Start: w.Start, ActualUser: w.DominantUser()}
+		for _, u := range users {
+			if models[u].Accept(w.Vector) {
+				pt.Accepted = append(pt.Accepted, u)
+			}
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// TimelineStats summarizes a timeline the way Sect. V-B discusses Fig. 3.
+type TimelineStats struct {
+	Windows int
+	// ActualAccepted counts windows whose true user's own model accepted.
+	ActualAccepted int
+	// ExclusiveCorrect counts windows accepted by the true user's model
+	// and nobody else's.
+	ExclusiveCorrect int
+	// MeanAccepting is the mean number of models accepting a window.
+	MeanAccepting float64
+	// LongestRunByUser maps each user to their longest run of consecutive
+	// windows accepted by their model — Fig. 3's observation that the
+	// true user holds the longest streak.
+	LongestRunByUser map[string]int
+}
+
+// Summarize computes timeline statistics over the given model ids.
+func Summarize(tl []TimelinePoint, users []string) TimelineStats {
+	st := TimelineStats{Windows: len(tl), LongestRunByUser: make(map[string]int, len(users))}
+	var totalAccepting int
+	run := make(map[string]int, len(users))
+	for _, pt := range tl {
+		accepted := make(map[string]bool, len(pt.Accepted))
+		for _, u := range pt.Accepted {
+			accepted[u] = true
+		}
+		totalAccepting += len(pt.Accepted)
+		if accepted[pt.ActualUser] {
+			st.ActualAccepted++
+			if len(pt.Accepted) == 1 {
+				st.ExclusiveCorrect++
+			}
+		}
+		for _, u := range users {
+			if accepted[u] {
+				run[u]++
+				if run[u] > st.LongestRunByUser[u] {
+					st.LongestRunByUser[u] = run[u]
+				}
+			} else {
+				run[u] = 0
+			}
+		}
+	}
+	if len(tl) > 0 {
+		st.MeanAccepting = float64(totalAccepting) / float64(len(tl))
+	}
+	return st
+}
+
+// IdentifyConsecutive implements the identification rule sketched at the
+// end of Sect. V-B: a user is identified once their model accepts k
+// consecutive windows. It returns the first user to reach k consecutive
+// acceptances and the window index where that happened (ok=false when no
+// user qualifies).
+func IdentifyConsecutive(tl []TimelinePoint, k int) (user string, windowIdx int, ok bool) {
+	if k <= 0 {
+		k = 1
+	}
+	run := make(map[string]int)
+	for i, pt := range tl {
+		accepted := make(map[string]bool, len(pt.Accepted))
+		for _, u := range pt.Accepted {
+			accepted[u] = true
+		}
+		// Advance runs for accepted users; others reset. Iterate accepted
+		// in sorted order so ties resolve deterministically.
+		for _, u := range pt.Accepted {
+			run[u]++
+			if run[u] >= k {
+				return u, i, true
+			}
+		}
+		for u := range run {
+			if !accepted[u] {
+				run[u] = 0
+			}
+		}
+	}
+	return "", 0, false
+}

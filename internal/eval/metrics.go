@@ -1,0 +1,136 @@
+// Package eval implements the paper's evaluation machinery: acceptance
+// ratios (ACC_self, ACC_other, ACC — Sect. IV-C), the user-differentiation
+// confusion matrix (Table V), the temporal novelty analyses behind Figs. 1
+// and 2, and the user-identification timeline of Fig. 3.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/svm"
+)
+
+// Acceptance is the paper's model-quality triple: the ratio of accepted
+// windows from the profiled user (ACC_self, to maximize), from other users
+// (ACC_other, to minimize), and the objective ACC = ACC_self − ACC_other.
+type Acceptance struct {
+	Self  float64
+	Other float64
+}
+
+// ACC returns the global acceptance objective ACC_self − ACC_other.
+func (a Acceptance) ACC() float64 { return a.Self - a.Other }
+
+// String renders the triple in percent, as the paper's tables do.
+func (a Acceptance) String() string {
+	return fmt.Sprintf("self=%.1f%% other=%.1f%% acc=%.1f%%",
+		100*a.Self, 100*a.Other, 100*a.ACC())
+}
+
+// Accept evaluates a model on windows and returns the accepted fraction
+// (0 when windows is empty).
+func Accept(m *svm.Model, ws []features.Window) float64 {
+	return m.AcceptanceRatio(features.Vectors(ws))
+}
+
+// UserAcceptance computes the triple for one user's model: self on the
+// user's windows, other as the mean acceptance across every other user's
+// window set (each user weighted equally, as in Tab. II).
+func UserAcceptance(m *svm.Model, user string, windows map[string][]features.Window) Acceptance {
+	a := Acceptance{Self: Accept(m, windows[user])}
+	var sum float64
+	n := 0
+	for other, ws := range windows {
+		if other == user || len(ws) == 0 {
+			continue
+		}
+		sum += Accept(m, ws)
+		n++
+	}
+	if n > 0 {
+		a.Other = sum / float64(n)
+	}
+	return a
+}
+
+// ConfusionMatrix is the Table V structure: Ratio[i][j] is the fraction of
+// user j's windows accepted by user i's model, with users in sorted order.
+type ConfusionMatrix struct {
+	Users []string
+	Ratio [][]float64
+}
+
+// Confusion evaluates every model against every user's windows.
+func Confusion(models map[string]*svm.Model, windows map[string][]features.Window) *ConfusionMatrix {
+	users := make([]string, 0, len(models))
+	for u := range models {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	cm := &ConfusionMatrix{Users: users, Ratio: make([][]float64, len(users))}
+	for i, mu := range users {
+		cm.Ratio[i] = make([]float64, len(users))
+		for j, tu := range users {
+			cm.Ratio[i][j] = Accept(models[mu], windows[tu])
+		}
+	}
+	return cm
+}
+
+// Mean returns the averaged acceptance triple over all users: the mean
+// diagonal (ACC_self) and the mean off-diagonal (ACC_other), as reported
+// in Tab. IV.
+func (c *ConfusionMatrix) Mean() Acceptance {
+	n := len(c.Users)
+	if n == 0 {
+		return Acceptance{}
+	}
+	var self, other float64
+	for i := range c.Ratio {
+		for j := range c.Ratio[i] {
+			if i == j {
+				self += c.Ratio[i][j]
+			} else {
+				other += c.Ratio[i][j]
+			}
+		}
+	}
+	a := Acceptance{Self: self / float64(n)}
+	if n > 1 {
+		a.Other = other / float64(n*(n-1))
+	}
+	return a
+}
+
+// Diagonal returns the per-user self-acceptance values in user order.
+func (c *ConfusionMatrix) Diagonal() []float64 {
+	out := make([]float64, len(c.Users))
+	for i := range c.Users {
+		out[i] = c.Ratio[i][i]
+	}
+	return out
+}
+
+// Format writes the matrix as a percent table in the layout of Table V:
+// one row per model, one column per test set.
+func (c *ConfusionMatrix) Format(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("model")
+	for j := range c.Users {
+		fmt.Fprintf(&b, "\tt%d", j+1)
+	}
+	b.WriteByte('\n')
+	for i := range c.Users {
+		fmt.Fprintf(&b, "m%d", i+1)
+		for j := range c.Ratio[i] {
+			fmt.Fprintf(&b, "\t%.1f", 100*c.Ratio[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

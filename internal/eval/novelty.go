@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/stats"
+	"webtxprofile/internal/weblog"
+)
+
+// FieldSelector extracts one augmentation label from a transaction for the
+// per-field novelty analysis of Fig. 1. ok is false when the transaction
+// carries no value for the field.
+type FieldSelector func(tx *weblog.Transaction) (string, bool)
+
+// SelectCategory selects the website category field.
+func SelectCategory(tx *weblog.Transaction) (string, bool) {
+	return tx.Category, tx.Category != ""
+}
+
+// SelectAppType selects the application-type field.
+func SelectAppType(tx *weblog.Transaction) (string, bool) {
+	return tx.AppType, tx.AppType != ""
+}
+
+// SelectMediaSubType selects the media sub-type field (the "media_type"
+// series of Fig. 1 tracks sub-types, the largest media dimension).
+func SelectMediaSubType(tx *weblog.Transaction) (string, bool) {
+	if tx.MediaType.IsZero() {
+		return "", false
+	}
+	return tx.MediaType.Sub, true
+}
+
+// NoveltyPoint is one point of the Fig. 1 / Fig. 2 curves: the novelty
+// ratio across users after `Week` weeks of observation.
+type NoveltyPoint struct {
+	Week     int
+	Mean     float64
+	Variance float64
+	// PerUser carries the per-user ratios behind the aggregate (user order
+	// matches the `users` argument).
+	PerUser []float64
+}
+
+// FieldNovelty reproduces the Fig. 1 analysis for one field: for each
+// epoch length t (in weeks from start), split each user's transactions
+// into observed (before t) and subsequent; the user's novelty ratio is the
+// fraction of distinct field values in subsequent that never appeared in
+// observed. Users whose subsequent set is empty are skipped for that week.
+func FieldNovelty(ds *weblog.Dataset, users []string, weeks []int, start time.Time, sel FieldSelector) ([]NoveltyPoint, error) {
+	if len(users) == 0 {
+		return nil, fmt.Errorf("eval: no users")
+	}
+	points := make([]NoveltyPoint, 0, len(weeks))
+	perUserTx := make(map[string][]weblog.Transaction, len(users))
+	for _, u := range users {
+		perUserTx[u] = ds.UserTransactions(u)
+	}
+	for _, w := range weeks {
+		cut := start.Add(time.Duration(w) * 7 * 24 * time.Hour)
+		pt := NoveltyPoint{Week: w}
+		for _, u := range users {
+			observed := make(map[string]bool)
+			subsequent := make(map[string]bool)
+			for i := range perUserTx[u] {
+				tx := &perUserTx[u][i]
+				v, ok := sel(tx)
+				if !ok {
+					continue
+				}
+				if tx.Timestamp.Before(cut) {
+					observed[v] = true
+				} else {
+					subsequent[v] = true
+				}
+			}
+			if len(subsequent) == 0 {
+				pt.PerUser = append(pt.PerUser, -1) // marker: skipped
+				continue
+			}
+			novel := 0
+			for v := range subsequent {
+				if !observed[v] {
+					novel++
+				}
+			}
+			pt.PerUser = append(pt.PerUser, float64(novel)/float64(len(subsequent)))
+		}
+		valid := make([]float64, 0, len(pt.PerUser))
+		for _, r := range pt.PerUser {
+			if r >= 0 {
+				valid = append(valid, r)
+			}
+		}
+		pt.Mean = stats.Mean(valid)
+		pt.Variance = stats.Variance(valid)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// WindowNovelty reproduces the Fig. 2 analysis: per user, compose windows
+// separately from the observed and subsequent transaction sets and report
+// the fraction of subsequent window vectors that are not strictly equal to
+// any observed window vector.
+func WindowNovelty(ds *weblog.Dataset, users []string, weeks []int, start time.Time, vocab *features.Vocabulary, cfg features.WindowConfig) ([]NoveltyPoint, error) {
+	if len(users) == 0 {
+		return nil, fmt.Errorf("eval: no users")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([]NoveltyPoint, 0, len(weeks))
+	perUserTx := make(map[string][]weblog.Transaction, len(users))
+	for _, u := range users {
+		perUserTx[u] = ds.UserTransactions(u)
+	}
+	for _, w := range weeks {
+		cut := start.Add(time.Duration(w) * 7 * 24 * time.Hour)
+		pt := NoveltyPoint{Week: w}
+		for _, u := range users {
+			txs := perUserTx[u]
+			split := 0
+			for split < len(txs) && txs[split].Timestamp.Before(cut) {
+				split++
+			}
+			obsWs, err := features.Compose(vocab, cfg, txs[:split], u)
+			if err != nil {
+				return nil, fmt.Errorf("eval: windowing %s observed: %w", u, err)
+			}
+			subWs, err := features.Compose(vocab, cfg, txs[split:], u)
+			if err != nil {
+				return nil, fmt.Errorf("eval: windowing %s subsequent: %w", u, err)
+			}
+			if len(subWs) == 0 {
+				pt.PerUser = append(pt.PerUser, -1)
+				continue
+			}
+			seen := make(map[string]bool, len(obsWs))
+			for i := range obsWs {
+				seen[obsWs[i].Vector.Key()] = true
+			}
+			novel := 0
+			for i := range subWs {
+				if !seen[subWs[i].Vector.Key()] {
+					novel++
+				}
+			}
+			pt.PerUser = append(pt.PerUser, float64(novel)/float64(len(subWs)))
+		}
+		valid := make([]float64, 0, len(pt.PerUser))
+		for _, r := range pt.PerUser {
+			if r >= 0 {
+				valid = append(valid, r)
+			}
+		}
+		pt.Mean = stats.Mean(valid)
+		pt.Variance = stats.Variance(valid)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// CoverageCount returns the number of distinct values of a field a user
+// exhibits over their whole history — the paper reports the averages
+// (17.84/105 categories, 17.12/257 sub-types, 19.08/464 application
+// types, Sect. IV-B).
+func CoverageCount(txs []weblog.Transaction, sel FieldSelector) int {
+	seen := make(map[string]bool)
+	for i := range txs {
+		if v, ok := sel(&txs[i]); ok {
+			seen[v] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"webtxprofile/internal/sparse"
+	"webtxprofile/internal/svm"
+)
+
+// ROCPoint is one operating point of a model's threshold sweep: moving
+// the decision cut trades self-acceptance (TPR) against other-acceptance
+// (FPR). The paper fixes the cut at the trained threshold; the sweep shows
+// the full trade-off.
+type ROCPoint struct {
+	Offset float64 // added to the decision value before the sign test
+	TPR    float64
+	FPR    float64
+}
+
+// ROC sweeps the acceptance threshold of a trained model over the union
+// of self and other decision values, producing at most maxPoints points
+// ordered by increasing FPR.
+func ROC(m *svm.Model, self, others []sparse.Vector, maxPoints int) ([]ROCPoint, error) {
+	if len(self) == 0 || len(others) == 0 {
+		return nil, fmt.Errorf("eval: ROC needs both self and other samples")
+	}
+	if maxPoints < 2 {
+		maxPoints = 64
+	}
+	selfScores := decisions(m, self)
+	otherScores := decisions(m, others)
+
+	// Candidate offsets: make every distinct score a switching point,
+	// then subsample to maxPoints.
+	all := make([]float64, 0, len(selfScores)+len(otherScores))
+	all = append(all, selfScores...)
+	all = append(all, otherScores...)
+	sort.Float64s(all)
+	step := len(all) / maxPoints
+	if step < 1 {
+		step = 1
+	}
+	var curve []ROCPoint
+	add := func(offset float64) {
+		curve = append(curve, ROCPoint{
+			Offset: offset,
+			TPR:    fracAtLeast(selfScores, -offset),
+			FPR:    fracAtLeast(otherScores, -offset),
+		})
+	}
+	// Extremes: accept-nothing and accept-everything.
+	add(-(all[len(all)-1] + 1))
+	for i := 0; i < len(all); i += step {
+		add(-all[i])
+	}
+	add(-(all[0] - 1))
+	sort.Slice(curve, func(i, j int) bool {
+		if curve[i].FPR != curve[j].FPR {
+			return curve[i].FPR < curve[j].FPR
+		}
+		return curve[i].TPR < curve[j].TPR
+	})
+	return curve, nil
+}
+
+// AUC computes the area under the ROC directly from the decision scores
+// via the Mann–Whitney statistic: P(self > other) + ½P(self = other).
+func AUC(m *svm.Model, self, others []sparse.Vector) (float64, error) {
+	if len(self) == 0 || len(others) == 0 {
+		return 0, fmt.Errorf("eval: AUC needs both self and other samples")
+	}
+	selfScores := decisions(m, self)
+	otherScores := decisions(m, others)
+	sort.Float64s(otherScores)
+	var sum float64
+	n := float64(len(otherScores))
+	for _, s := range selfScores {
+		below := sort.SearchFloat64s(otherScores, s)
+		// Count ties for the ½ credit.
+		above := below
+		for above < len(otherScores) && otherScores[above] == s {
+			above++
+		}
+		sum += (float64(below) + float64(above-below)/2) / n
+	}
+	return sum / float64(len(selfScores)), nil
+}
+
+func decisions(m *svm.Model, xs []sparse.Vector) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		out[i] = m.Decision(xs[i])
+	}
+	return out
+}
+
+func fracAtLeast(scores []float64, threshold float64) float64 {
+	n := 0
+	for _, s := range scores {
+		if s >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(scores))
+}

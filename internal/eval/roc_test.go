@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/sparse"
+	"webtxprofile/internal/svm"
+)
+
+func rocFixture(t *testing.T) (*svm.Model, []sparse.Vector, []sparse.Vector) {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	selfWs := makeWindows(r, "self", 120, []int{0, 1, 2}, []int{10, 11})
+	otherWs := makeWindows(r, "other", 120, []int{20, 21, 22}, []int{30, 31})
+	m := trainOn(t, selfWs)
+	return m, features.Vectors(selfWs), features.Vectors(otherWs)
+}
+
+func TestAUCWellSeparated(t *testing.T) {
+	m, self, others := rocFixture(t)
+	auc, err := AUC(m, self, others)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.95 {
+		t.Errorf("AUC = %.3f, want near 1 for separated users", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	// Identical distributions must give AUC ~ 0.5.
+	r := rand.New(rand.NewSource(7))
+	ws := makeWindows(r, "u", 200, []int{0, 1}, []int{5, 6, 7})
+	m := trainOn(t, ws[:100])
+	a := features.Vectors(ws[100:150])
+	b := features.Vectors(ws[150:])
+	auc, err := AUC(m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.15 {
+		t.Errorf("AUC = %.3f for identical distributions, want ~0.5", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	m, self, _ := rocFixture(t)
+	if _, err := AUC(m, self, nil); err == nil {
+		t.Error("empty others accepted")
+	}
+	if _, err := AUC(m, nil, self); err == nil {
+		t.Error("empty self accepted")
+	}
+}
+
+func TestROCCurveProperties(t *testing.T) {
+	m, self, others := rocFixture(t)
+	curve, err := ROC(m, self, others, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) < 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// Endpoints: (0,0)-ish and (1,1).
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("first point = %+v, want origin", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("last point = %+v, want (1,1)", last)
+	}
+	// Monotone in both axes after sorting.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR-1e-12 {
+			t.Fatalf("curve not monotone at %d: %+v -> %+v", i, curve[i-1], curve[i])
+		}
+	}
+	// A well-separated model dominates the diagonal somewhere.
+	dominated := false
+	for _, p := range curve {
+		if p.TPR > p.FPR+0.5 {
+			dominated = true
+		}
+	}
+	if !dominated {
+		t.Error("curve never dominates the diagonal strongly")
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	m, self, _ := rocFixture(t)
+	if _, err := ROC(m, self, nil, 10); err == nil {
+		t.Error("empty others accepted")
+	}
+}

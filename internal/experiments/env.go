@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/grid"
+	"webtxprofile/internal/svm"
+	"webtxprofile/internal/synth"
+	"webtxprofile/internal/weblog"
+)
+
+// Scale bundles the dataset size and search budgets of one experiment run.
+// Small keeps a laptop-class single-core run in minutes; Paper mirrors the
+// vendor dataset's shape (and takes correspondingly longer).
+type Scale struct {
+	Name string
+	// Synth configures the benchmark generator.
+	Synth synth.Config
+	// NoveltyWeeks are the epoch lengths for Figs. 1–2.
+	NoveltyWeeks []int
+	// GridTrainCap / GridOtherCap bound grid-search cost (see DESIGN.md).
+	GridTrainCap, GridOtherCap int
+	// FinalTrainCap bounds the windows used to fit final models.
+	FinalTrainCap int
+	// EvalCap bounds per-user test windows during evaluation (0 = all).
+	EvalCap int
+	// Params and window combos for the grids; default to the paper's.
+	Params []float64
+	Combos []features.WindowConfig
+}
+
+// SmallScale is the default experiment scale: 12 users over 8 weeks.
+func SmallScale(seed int64) Scale {
+	sc := synth.DefaultConfig()
+	sc.Seed = seed
+	sc.Users = 15
+	sc.SmallUsers = 3
+	sc.Devices = 12
+	sc.Weeks = 8
+	sc.Services = 400
+	sc.Archetypes = 10
+	sc.ConfusableUsers = 3
+	sc.WeeklyTxMedian = 700
+	sc.WeeklyTxSigma = 0.8
+	return Scale{
+		Name:          "small",
+		Synth:         sc,
+		NoveltyWeeks:  weeksUpTo(sc.Weeks - 1),
+		GridTrainCap:  250,
+		GridOtherCap:  80,
+		FinalTrainCap: 800,
+		EvalCap:       400,
+		Params:        grid.PaperParams,
+		Combos:        grid.PaperWindowCombos(),
+	}
+}
+
+// PaperScale mirrors the vendor benchmark shape: 36 users, 26 weeks.
+func PaperScale(seed int64) Scale {
+	sc := synth.DefaultConfig()
+	sc.Seed = seed
+	return Scale{
+		Name:          "paper",
+		Synth:         sc,
+		NoveltyWeeks:  weeksUpTo(21),
+		GridTrainCap:  600,
+		GridOtherCap:  150,
+		FinalTrainCap: 2000,
+		EvalCap:       1500,
+		Params:        grid.PaperParams,
+		Combos:        grid.PaperWindowCombos(),
+	}
+}
+
+func weeksUpTo(n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// RetainedWindow is the paper's retained configuration: D=60s, S=30s.
+func RetainedWindow() features.WindowConfig {
+	return features.WindowConfig{Duration: time.Minute, Shift: 30 * time.Second}
+}
+
+// Env is the prepared state shared by all experiments of one run: the
+// generated corpus, the filtered 75/25 split, and the training-epoch
+// vocabulary. Optimized per-user parameters and windows are cached across
+// experiments.
+type Env struct {
+	Scale Scale
+	Gen   *synth.Generator
+	Full  *weblog.Dataset
+	Train *weblog.Dataset
+	Test  *weblog.Dataset
+	Vocab *features.Vocabulary
+	Users []string
+
+	mu           sync.Mutex
+	trainWindows map[string][]features.Window // retained-window training sets
+	testWindows  map[string][]features.Window // retained-window test sets
+	optimized    map[svm.Algorithm]map[string]grid.ParamCell
+	models       map[svm.Algorithm]map[string]*svm.Model
+}
+
+// NewEnv generates the dataset and prepares the split.
+func NewEnv(scale Scale) (*Env, error) {
+	gen, err := synth.NewGenerator(scale.Synth)
+	if err != nil {
+		return nil, err
+	}
+	full := gen.Generate()
+	kept, _ := full.FilterMinTransactions(1500)
+	if len(kept.Users()) == 0 {
+		return nil, fmt.Errorf("experiments: no users above threshold")
+	}
+	train, test, err := kept.SplitChronological(0.75)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Scale:     scale,
+		Gen:       gen,
+		Full:      full,
+		Train:     train,
+		Test:      test,
+		Vocab:     features.BuildFromDataset(train),
+		Users:     train.Users(),
+		optimized: make(map[svm.Algorithm]map[string]grid.ParamCell),
+		models:    make(map[svm.Algorithm]map[string]*svm.Model),
+	}, nil
+}
+
+// gridConfig assembles the bounded grid-search configuration.
+func (e *Env) gridConfig(algo svm.Algorithm) grid.Config {
+	return grid.Config{
+		Algorithm:       algo,
+		MaxTrainWindows: e.Scale.GridTrainCap,
+		MaxOtherWindows: e.Scale.GridOtherCap,
+		Train:           svm.TrainConfig{CacheMB: 32},
+	}
+}
+
+// TrainWindows returns (and caches) the per-user training windows at the
+// retained D=60s/S=30s configuration.
+func (e *Env) TrainWindows() (map[string][]features.Window, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.trainWindows == nil {
+		ws, err := features.ComposeUsers(e.Vocab, RetainedWindow(), e.Train)
+		if err != nil {
+			return nil, err
+		}
+		e.trainWindows = ws
+	}
+	return e.trainWindows, nil
+}
+
+// TestWindows returns (and caches) the per-user test windows at the
+// retained configuration.
+func (e *Env) TestWindows() (map[string][]features.Window, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.testWindows == nil {
+		ws, err := features.ComposeUsers(e.Vocab, RetainedWindow(), e.Test)
+		if err != nil {
+			return nil, err
+		}
+		e.testWindows = ws
+	}
+	return e.testWindows, nil
+}
+
+// Optimized returns each user's grid-search winner for the algorithm at
+// the retained window configuration, running the Table III search on first
+// use. Sect. IV-C optimizes kernel and ν/C per user once at D=60s/S=30s;
+// Table IV applies those winners across the (D, S) combinations.
+func (e *Env) Optimized(algo svm.Algorithm) (map[string]grid.ParamCell, error) {
+	e.mu.Lock()
+	if cached, ok := e.optimized[algo]; ok {
+		e.mu.Unlock()
+		return cached, nil
+	}
+	e.mu.Unlock()
+
+	trainWs, err := e.TrainWindows()
+	if err != nil {
+		return nil, err
+	}
+	tables, err := grid.ParamSearch(trainWs, e.Scale.Params, grid.PaperKernels(e.Vocab.Size()), e.gridConfig(algo))
+	if err != nil {
+		return nil, err
+	}
+	bests, err := grid.BestParams(tables)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.optimized[algo] = bests
+	e.mu.Unlock()
+	return bests, nil
+}
+
+// Models returns (and caches) the final per-user models for the algorithm:
+// optimized parameters, fit on the (capped) retained-window training sets.
+func (e *Env) Models(algo svm.Algorithm) (map[string]*svm.Model, error) {
+	e.mu.Lock()
+	if cached, ok := e.models[algo]; ok {
+		e.mu.Unlock()
+		return cached, nil
+	}
+	e.mu.Unlock()
+
+	bests, err := e.Optimized(algo)
+	if err != nil {
+		return nil, err
+	}
+	trainWs, err := e.TrainWindows()
+	if err != nil {
+		return nil, err
+	}
+	models := make(map[string]*svm.Model, len(e.Users))
+	for _, u := range e.Users {
+		ws := capWindows(trainWs[u], e.Scale.FinalTrainCap)
+		m, err := svm.Train(algo, features.Vectors(ws), bests[u].Param,
+			svm.TrainConfig{Kernel: bests[u].Kernel, CacheMB: 64})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: final model for %s: %w", u, err)
+		}
+		models[u] = m
+	}
+	e.mu.Lock()
+	e.models[algo] = models
+	e.mu.Unlock()
+	return models, nil
+}
+
+func capWindows(ws []features.Window, n int) []features.Window {
+	if n > 0 && len(ws) > n {
+		return ws[:n]
+	}
+	return ws
+}

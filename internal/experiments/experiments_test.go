@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/svm"
+)
+
+// tinyScale keeps every experiment runnable in a few seconds of test time.
+func tinyScale() Scale {
+	s := SmallScale(7)
+	s.Name = "tiny"
+	s.Synth.Users = 6
+	s.Synth.SmallUsers = 1
+	s.Synth.Devices = 5
+	s.Synth.Weeks = 3
+	s.Synth.Services = 150
+	s.Synth.Archetypes = 5
+	s.Synth.ConfusableUsers = 2
+	s.Synth.WeeklyTxMedian = 1200
+	s.Synth.WeeklyTxSigma = 0.4
+	s.NoveltyWeeks = []int{1, 2}
+	s.GridTrainCap = 120
+	s.GridOtherCap = 40
+	s.FinalTrainCap = 200
+	s.EvalCap = 150
+	s.Params = []float64{0.5, 0.1}
+	s.Combos = []features.WindowConfig{
+		RetainedWindow(),
+		{Duration: 300e9, Shift: 60e9},
+	}
+	return s
+}
+
+// sharedEnv is built once; experiments only read from it.
+var sharedEnv = func() *Env {
+	e, err := NewEnv(tinyScale())
+	if err != nil {
+		panic(err)
+	}
+	return e
+}()
+
+func formatted(t *testing.T, tab *Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tab.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestEnvPreparation(t *testing.T) {
+	if len(sharedEnv.Users) != 5 {
+		t.Fatalf("users = %v", sharedEnv.Users)
+	}
+	if sharedEnv.Vocab.Size() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	if sharedEnv.Train.Len() == 0 || sharedEnv.Test.Len() == 0 {
+		t.Fatal("empty split")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := formatted(t, tab)
+	if !strings.Contains(out, "843") {
+		t.Errorf("missing full-taxonomy total:\n%s", out)
+	}
+	if len(tab.Rows) != 10 {
+		t.Errorf("rows = %d, want 9 groups + total", len(tab.Rows))
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	tab, err := Figure1(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(sharedEnv.Scale.NoveltyWeeks) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := formatted(t, tab)
+	if !strings.Contains(out, "application_type") {
+		t.Errorf("missing series:\n%s", out)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	tab, err := Figure2(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(sharedEnv.Scale.NoveltyWeeks) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tab, err := Table2(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Rows[0]) != len(sharedEnv.Scale.Combos)+1 {
+		t.Errorf("columns = %d", len(tab.Rows[0]))
+	}
+}
+
+func TestTable3(t *testing.T) {
+	tab, err := Table3(sharedEnv, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(sharedEnv.Scale.Params) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if _, err := Table3(sharedEnv, "no_such_user"); err == nil {
+		t.Error("unknown user accepted")
+	}
+}
+
+func TestTable4AndTable5AndFig34(t *testing.T) {
+	// These share the cached optimized parameters; run in sequence.
+	tab4, err := Table4(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab4.Rows) != 6 {
+		t.Fatalf("tab4 rows = %d", len(tab4.Rows))
+	}
+	tab5, err := Table5(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab5.Rows) != len(sharedEnv.Users) {
+		t.Fatalf("tab5 rows = %d", len(tab5.Rows))
+	}
+	out := formatted(t, tab5)
+	if !strings.Contains(out, "mean diagonal") {
+		t.Errorf("missing summary note:\n%s", out)
+	}
+
+	fig3, err := Figure3(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig3.Rows) < 2 {
+		t.Fatalf("fig3 rows = %d", len(fig3.Rows))
+	}
+	if !strings.HasPrefix(fig3.Rows[0][0], "actual") {
+		t.Errorf("first row should be the actual-user track")
+	}
+
+	fig4, err := Figure4(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig4.Rows) != 2 {
+		t.Fatalf("fig4 rows = %d", len(fig4.Rows))
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	tab, err := Figure5(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := formatted(t, tab)
+	if !strings.Contains(out, "linear fit") {
+		t.Errorf("missing fit note:\n%s", out)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	flow, err := AblationFlow(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flow.Rows) != 3 {
+		t.Fatalf("flow ablation rows = %d", len(flow.Rows))
+	}
+	feat, err := AblationFeatures(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat.Rows) != 6 {
+		t.Fatalf("feature ablation rows = %d", len(feat.Rows))
+	}
+}
+
+func TestOptimizedCached(t *testing.T) {
+	a, err := sharedEnv.Optimized(svm.OCSVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharedEnv.Optimized(svm.OCSVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a {
+		if a[u].Param != b[u].Param || a[u].Kernel != b[u].Kernel {
+			t.Errorf("cache drift for %s", u)
+		}
+	}
+}
+
+func TestScalesValidate(t *testing.T) {
+	for _, s := range []Scale{SmallScale(1), PaperScale(1)} {
+		if err := s.Synth.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if len(s.NoveltyWeeks) == 0 || len(s.Params) == 0 || len(s.Combos) == 0 {
+			t.Errorf("%s: incomplete scale", s.Name)
+		}
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	algos, err := ExtensionAlgorithms(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algos.Rows) != 3 {
+		t.Fatalf("algorithm rows = %d", len(algos.Rows))
+	}
+	out := formatted(t, algos)
+	if !strings.Contains(out, "autoencoder") {
+		t.Errorf("missing autoencoder row:\n%s", out)
+	}
+	epoch, err := ExtensionTrainingEpoch(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epoch.Rows) != 4 {
+		t.Fatalf("epoch rows = %d", len(epoch.Rows))
+	}
+}
+
+func TestExtensionROCAndLatency(t *testing.T) {
+	roc, err := ExtensionROC(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roc.Rows) != len(sharedEnv.Users)+1 {
+		t.Fatalf("roc rows = %d", len(roc.Rows))
+	}
+	if !strings.HasPrefix(roc.Rows[len(roc.Rows)-1][0], "mean") {
+		t.Error("missing mean row")
+	}
+	lat, err := ExtensionIdentificationLatency(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat.Rows) != 4 {
+		t.Fatalf("latency rows = %d", len(lat.Rows))
+	}
+}
+
+func TestExtensionDrift(t *testing.T) {
+	tab, err := ExtensionDrift(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no drift rows")
+	}
+	if len(tab.Rows[0]) != 4 {
+		t.Fatalf("row shape = %d", len(tab.Rows[0]))
+	}
+}

@@ -1,0 +1,71 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables I–V, Figures 1–5) plus the ablations called out in
+// DESIGN.md, on the synthetic benchmark substitute. Each experiment
+// returns a Table that the experiments command renders to text files under
+// results/ and EXPERIMENTS.md compares against the paper.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid with optional
+// footnotes.
+type Table struct {
+	ID     string // e.g. "tab2", "fig1"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, wd := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", wd))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// pct renders a ratio as a percent with one decimal, the paper's table
+// style.
+func pct(x float64) string { return fmt.Sprintf("%.1f", 100*x) }

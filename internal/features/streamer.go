@@ -1,0 +1,139 @@
+package features
+
+import (
+	"fmt"
+	"time"
+
+	"webtxprofile/internal/sparse"
+	"webtxprofile/internal/weblog"
+)
+
+// Streamer composes windows incrementally from a live transaction feed —
+// the online counterpart of Compose used by the continuous-authentication
+// pipeline. Transactions must arrive in non-decreasing timestamp order;
+// windows are emitted as soon as their interval can no longer receive
+// transactions (that is, when a transaction at or past the window end
+// arrives, or on Close).
+//
+// Streamer produces exactly the windows Compose would produce on the full
+// transaction sequence; TestStreamerMatchesCompose asserts that
+// equivalence.
+type Streamer struct {
+	vocab  *Vocabulary
+	cfg    WindowConfig
+	entity string
+
+	buf       []weblog.Transaction // pending transactions, oldest first
+	nextIdx   int                  // index k of the next window to emit
+	anchored  bool
+	anchor    weblog.Transaction // first transaction; defines t0
+	lastSeen  weblog.Transaction
+	closed    bool
+	emitCount int
+}
+
+// NewStreamer returns a streaming window composer for one entity.
+func NewStreamer(vocab *Vocabulary, cfg WindowConfig, entity string) (*Streamer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Streamer{vocab: vocab, cfg: cfg, entity: entity}, nil
+}
+
+// Add feeds one transaction and returns any windows completed by its
+// arrival (possibly none).
+func (s *Streamer) Add(tx weblog.Transaction) ([]Window, error) {
+	if s.closed {
+		return nil, fmt.Errorf("features: Add after Close")
+	}
+	if !s.anchored {
+		s.anchored = true
+		s.anchor = tx
+	} else if tx.Timestamp.Before(s.lastSeen.Timestamp) {
+		return nil, fmt.Errorf("features: out-of-order transaction at %v (last %v)",
+			tx.Timestamp, s.lastSeen.Timestamp)
+	}
+	s.lastSeen = tx
+	// Emit every window whose end is at or before the new arrival: no
+	// later transaction can fall inside it.
+	var out []Window
+	for {
+		start := s.anchor.Timestamp.Add(time.Duration(s.nextIdx) * s.cfg.Shift)
+		end := start.Add(s.cfg.Duration)
+		if tx.Timestamp.Before(end) {
+			break
+		}
+		if w, ok := s.build(start, end); ok {
+			out = append(out, w)
+		}
+		s.nextIdx++
+		s.gc(start.Add(s.cfg.Shift))
+	}
+	s.buf = append(s.buf, tx)
+	return out, nil
+}
+
+// Close flushes the windows still covering buffered transactions and marks
+// the streamer finished. It mirrors Compose's trailing behaviour: windows
+// are generated while their start is not after the last transaction.
+func (s *Streamer) Close() []Window {
+	if s.closed || !s.anchored {
+		s.closed = true
+		return nil
+	}
+	s.closed = true
+	var out []Window
+	for {
+		start := s.anchor.Timestamp.Add(time.Duration(s.nextIdx) * s.cfg.Shift)
+		if start.After(s.lastSeen.Timestamp) {
+			break
+		}
+		end := start.Add(s.cfg.Duration)
+		if w, ok := s.build(start, end); ok {
+			out = append(out, w)
+		}
+		s.nextIdx++
+		s.gc(start.Add(s.cfg.Shift))
+	}
+	return out
+}
+
+// Emitted returns the number of windows produced so far.
+func (s *Streamer) Emitted() int { return s.emitCount }
+
+// build aggregates buffered transactions inside [start, end).
+func (s *Streamer) build(start, end time.Time) (Window, bool) {
+	acc := sparse.NewAccumulator(s.vocab.NumericCols())
+	users := make(map[string]int)
+	for i := range s.buf {
+		ts := s.buf[i].Timestamp
+		if ts.Before(start) || !ts.Before(end) {
+			continue
+		}
+		acc.Add(s.vocab.Extract(&s.buf[i]))
+		users[s.buf[i].UserID]++
+	}
+	if acc.Count() == 0 {
+		return Window{}, false
+	}
+	s.emitCount++
+	return Window{
+		Start:      start,
+		End:        end,
+		Vector:     acc.Vector(),
+		Count:      acc.Count(),
+		Entity:     s.entity,
+		UserCounts: users,
+	}, true
+}
+
+// gc drops buffered transactions older than the next window's start.
+func (s *Streamer) gc(nextStart time.Time) {
+	drop := 0
+	for drop < len(s.buf) && s.buf[drop].Timestamp.Before(nextStart) {
+		drop++
+	}
+	if drop > 0 {
+		s.buf = append(s.buf[:0], s.buf[drop:]...)
+	}
+}

@@ -1,0 +1,389 @@
+// Package grid implements the paper's learning-parameter optimization
+// (Sect. IV-C): a global grid search over window duration D and shifting
+// factor S (Table II) and a per-user grid search over the kernel and the
+// ν/C parameter (Table III), both scored by the global acceptance
+// ACC = ACC_self − ACC_other. Work distributes over a bounded worker pool.
+package grid
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"webtxprofile/internal/eval"
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/svm"
+	"webtxprofile/internal/weblog"
+)
+
+// PaperParams are the ν/C grid values of Table III, in row order.
+var PaperParams = []float64{
+	0.999, 0.99, 0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1,
+	0.05, 0.01, 0.001,
+}
+
+// PaperWindowCombos returns the (D, S) combinations of Table II.
+func PaperWindowCombos() []features.WindowConfig {
+	m := func(d, s int) features.WindowConfig {
+		return features.WindowConfig{
+			Duration: time.Duration(d) * time.Second,
+			Shift:    time.Duration(s) * time.Second,
+		}
+	}
+	return []features.WindowConfig{
+		m(60, 6), m(60, 30), m(300, 60), m(600, 60), m(1800, 300), m(3600, 300),
+	}
+}
+
+// PaperKernels returns the four Table III kernel columns with LIBSVM-style
+// defaults scaled to the feature dimensionality (γ = 1/dim).
+func PaperKernels(dim int) []svm.Kernel {
+	gamma := 1.0
+	if dim > 0 {
+		gamma = 1 / float64(dim)
+	}
+	return []svm.Kernel{
+		svm.Linear(),
+		svm.Poly(gamma, 0, 3),
+		svm.RBF(gamma),
+		svm.Sigmoid(gamma, 0),
+	}
+}
+
+// Config bounds the cost of a search on large corpora; zero values select
+// the documented defaults.
+type Config struct {
+	// Algorithm is OC-SVM or SVDD; required.
+	Algorithm svm.Algorithm
+	// MaxTrainWindows caps the per-user windows used to fit grid models
+	// (chronological prefix; default 600, 0 keeps the default, negative
+	// means unlimited).
+	MaxTrainWindows int
+	// MaxOtherWindows caps the per-user windows used to score ACC_other
+	// (uniform subsample; default 200, 0 keeps the default, negative
+	// means unlimited).
+	MaxOtherWindows int
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// Train carries SMO knobs (Eps, MaxIter, CacheMB); the Kernel field
+	// is ignored where the grid supplies kernels.
+	Train svm.TrainConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTrainWindows == 0 {
+		c.MaxTrainWindows = 600
+	}
+	if c.MaxOtherWindows == 0 {
+		c.MaxOtherWindows = 200
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// capPrefix keeps the chronological prefix of windows.
+func capPrefix(ws []features.Window, n int) []features.Window {
+	if n > 0 && len(ws) > n {
+		return ws[:n]
+	}
+	return ws
+}
+
+// subsample keeps at most n windows, uniformly spread (deterministic).
+func subsample(ws []features.Window, n int) []features.Window {
+	if n <= 0 || len(ws) <= n {
+		return ws
+	}
+	out := make([]features.Window, 0, n)
+	step := float64(len(ws)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, ws[int(float64(i)*step)])
+	}
+	return out
+}
+
+// WindowResult is one Table II column: averaged acceptance over users for
+// one (D, S) combination.
+type WindowResult struct {
+	Window features.WindowConfig
+	Mean   eval.Acceptance
+	// PerUser holds each user's triple in sorted user order.
+	PerUser map[string]eval.Acceptance
+}
+
+// WindowSearch reproduces the Table II sweep: for each (D, S) combination,
+// fit one model per user (fixed kernel and parameter) on the user's
+// training windows and score ACC_self on those same windows and ACC_other
+// on every other user's training windows, averaging over users — exactly
+// the paper's protocol for this table.
+func WindowSearch(train *weblog.Dataset, vocab *features.Vocabulary, combos []features.WindowConfig, kernel svm.Kernel, param float64, cfg Config) ([]WindowResult, error) {
+	cfg = cfg.withDefaults()
+	if len(combos) == 0 {
+		return nil, fmt.Errorf("grid: no window combinations")
+	}
+	users := train.Users()
+	if len(users) == 0 {
+		return nil, fmt.Errorf("grid: empty training set")
+	}
+	results := make([]WindowResult, len(combos))
+	for ci, combo := range combos {
+		windows, err := features.ComposeUsers(vocab, combo, train)
+		if err != nil {
+			return nil, err
+		}
+		trainSets := make(map[string][]features.Window, len(users))
+		otherSets := make(map[string][]features.Window, len(users))
+		for _, u := range users {
+			trainSets[u] = capPrefix(windows[u], cfg.MaxTrainWindows)
+			otherSets[u] = subsample(windows[u], cfg.MaxOtherWindows)
+		}
+		models, err := trainAll(users, trainSets, cfg, func(string) svm.Kernel { return kernel }, func(string) float64 { return param })
+		if err != nil {
+			return nil, err
+		}
+		res := WindowResult{Window: combo, PerUser: make(map[string]eval.Acceptance, len(users))}
+		var selfSum, otherSum float64
+		for _, u := range users {
+			a := eval.Acceptance{Self: eval.Accept(models[u], trainSets[u])}
+			var sum float64
+			n := 0
+			for _, o := range users {
+				if o == u || len(otherSets[o]) == 0 {
+					continue
+				}
+				sum += eval.Accept(models[u], otherSets[o])
+				n++
+			}
+			if n > 0 {
+				a.Other = sum / float64(n)
+			}
+			res.PerUser[u] = a
+			selfSum += a.Self
+			otherSum += a.Other
+		}
+		res.Mean = eval.Acceptance{
+			Self:  selfSum / float64(len(users)),
+			Other: otherSum / float64(len(users)),
+		}
+		results[ci] = res
+	}
+	return results, nil
+}
+
+// BestWindow returns the combination maximizing mean ACC_self — the
+// paper's retention rule for Table II (it keeps D=60s, S=30s for its best
+// self-acceptance, not the best global ACC).
+func BestWindow(results []WindowResult) (features.WindowConfig, error) {
+	if len(results) == 0 {
+		return features.WindowConfig{}, fmt.Errorf("grid: no results")
+	}
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if results[i].Mean.Self > results[best].Mean.Self {
+			best = i
+		}
+	}
+	return results[best].Window, nil
+}
+
+// ParamCell is one cell of a Table III grid: the acceptance achieved by
+// one (kernel, param) pair for one user.
+type ParamCell struct {
+	Kernel svm.Kernel
+	Param  float64
+	Acc    eval.Acceptance
+	Err    error // training failure for this cell, if any
+}
+
+// ParamTable is a full per-user grid (Table III for that user): rows are
+// params, columns kernels.
+type ParamTable struct {
+	User    string
+	Params  []float64
+	Kernels []svm.Kernel
+	Cells   [][]ParamCell // [param][kernel]
+}
+
+// Best returns the cell with maximal ACC (ties: first in row-major order,
+// matching the paper's table reading order).
+func (t *ParamTable) Best() (ParamCell, error) {
+	var best *ParamCell
+	for i := range t.Cells {
+		for j := range t.Cells[i] {
+			c := &t.Cells[i][j]
+			if c.Err != nil {
+				continue
+			}
+			if best == nil || c.Acc.ACC() > best.Acc.ACC() {
+				best = c
+			}
+		}
+	}
+	if best == nil {
+		return ParamCell{}, fmt.Errorf("grid: no successful cell for %s", t.User)
+	}
+	return *best, nil
+}
+
+// ParamSearch reproduces the Table III per-user optimization for every
+// user: for each (kernel, param) cell it fits a model on the user's
+// training windows and scores ACC_self on those windows and ACC_other on
+// the other users' windows. It returns one full table per user, keyed by
+// user id.
+func ParamSearch(trainSets map[string][]features.Window, params []float64, kernels []svm.Kernel, cfg Config) (map[string]*ParamTable, error) {
+	users := make([]string, 0, len(trainSets))
+	for u := range trainSets {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	return ParamSearchUsers(users, trainSets, params, kernels, cfg)
+}
+
+// ParamSearchUsers runs the per-user grid only for the named subset while
+// still scoring ACC_other against every user present in trainSets — the
+// exact setting of the paper's Table III, which shows the full grid for
+// user1 alone.
+func ParamSearchUsers(subset []string, trainSets map[string][]features.Window, params []float64, kernels []svm.Kernel, cfg Config) (map[string]*ParamTable, error) {
+	cfg = cfg.withDefaults()
+	if len(params) == 0 || len(kernels) == 0 {
+		return nil, fmt.Errorf("grid: empty parameter or kernel grid")
+	}
+	users := make([]string, 0, len(trainSets))
+	for u := range trainSets {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	if len(users) == 0 || len(subset) == 0 {
+		return nil, fmt.Errorf("grid: no users")
+	}
+	for _, u := range subset {
+		if _, ok := trainSets[u]; !ok {
+			return nil, fmt.Errorf("grid: subset user %q not in training sets", u)
+		}
+	}
+
+	capped := make(map[string][]features.Window, len(users))
+	others := make(map[string][]features.Window, len(users))
+	for _, u := range users {
+		capped[u] = capPrefix(trainSets[u], cfg.MaxTrainWindows)
+		others[u] = subsample(trainSets[u], cfg.MaxOtherWindows)
+	}
+
+	tables := make(map[string]*ParamTable, len(subset))
+	for _, u := range subset {
+		t := &ParamTable{User: u, Params: params, Kernels: kernels}
+		t.Cells = make([][]ParamCell, len(params))
+		for i := range t.Cells {
+			t.Cells[i] = make([]ParamCell, len(kernels))
+		}
+		tables[u] = t
+	}
+
+	type task struct {
+		user   string
+		pi, ki int
+	}
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				cell := runCell(tk.user, users, capped, others, params[tk.pi], kernels[tk.ki], cfg)
+				tables[tk.user].Cells[tk.pi][tk.ki] = cell
+			}
+		}()
+	}
+	for _, u := range subset {
+		for pi := range params {
+			for ki := range kernels {
+				tasks <- task{user: u, pi: pi, ki: ki}
+			}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	return tables, nil
+}
+
+// runCell fits and scores one grid cell.
+func runCell(user string, users []string, trainSets, otherSets map[string][]features.Window, param float64, kernel svm.Kernel, cfg Config) ParamCell {
+	cell := ParamCell{Kernel: kernel, Param: param}
+	tc := cfg.Train
+	tc.Kernel = kernel
+	model, err := svm.Train(cfg.Algorithm, features.Vectors(trainSets[user]), param, tc)
+	if err != nil {
+		cell.Err = fmt.Errorf("grid: user %s %v param=%g: %w", user, kernel, param, err)
+		return cell
+	}
+	cell.Acc.Self = eval.Accept(model, trainSets[user])
+	var sum float64
+	n := 0
+	for _, o := range users {
+		if o == user || len(otherSets[o]) == 0 {
+			continue
+		}
+		sum += eval.Accept(model, otherSets[o])
+		n++
+	}
+	if n > 0 {
+		cell.Acc.Other = sum / float64(n)
+	}
+	return cell
+}
+
+// BestParams extracts each user's winning (kernel, param) from the tables.
+func BestParams(tables map[string]*ParamTable) (map[string]ParamCell, error) {
+	out := make(map[string]ParamCell, len(tables))
+	for u, t := range tables {
+		best, err := t.Best()
+		if err != nil {
+			return nil, err
+		}
+		out[u] = best
+	}
+	return out, nil
+}
+
+// trainAll fits one model per user over a worker pool.
+func trainAll(users []string, trainSets map[string][]features.Window, cfg Config, kernelOf func(string) svm.Kernel, paramOf func(string) float64) (map[string]*svm.Model, error) {
+	models := make(map[string]*svm.Model, len(users))
+	var mu sync.Mutex
+	var firstErr error
+	tasks := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range tasks {
+				tc := cfg.Train
+				tc.Kernel = kernelOf(u)
+				m, err := svm.Train(cfg.Algorithm, features.Vectors(trainSets[u]), paramOf(u), tc)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("grid: training %s: %w", u, err)
+					}
+				} else {
+					models[u] = m
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, u := range users {
+		tasks <- u
+	}
+	close(tasks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return models, nil
+}

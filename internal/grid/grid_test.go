@@ -1,0 +1,251 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/eval"
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/sparse"
+	"webtxprofile/internal/svm"
+	"webtxprofile/internal/taxonomy"
+	"webtxprofile/internal/weblog"
+)
+
+var start = time.Date(2015, 1, 5, 9, 0, 0, 0, time.UTC)
+
+// buildTrainSet synthesizes a small two-user dataset where the users visit
+// disjoint categories, trivially separable.
+func buildTrainSet() *weblog.Dataset {
+	ds := weblog.NewDataset()
+	r := rand.New(rand.NewSource(3))
+	cats := map[string][]string{
+		"user_1": {"Games", "News"},
+		"user_2": {"Banking", "Travel"},
+	}
+	for u, cs := range cats {
+		ip := "10.0.0.1"
+		if u == "user_2" {
+			ip = "10.0.0.2"
+		}
+		for i := 0; i < 400; i++ {
+			ds.Add(weblog.Transaction{
+				Timestamp: start.Add(time.Duration(i)*20*time.Second + time.Duration(r.Intn(1000))*time.Millisecond),
+				Host:      "h.example.com", Scheme: taxonomy.SchemeHTTP,
+				Action: taxonomy.ActionGet, UserID: u, SourceIP: ip,
+				Category:   cs[i%len(cs)],
+				MediaType:  taxonomy.MediaType{Super: "text", Sub: "html"},
+				AppType:    "App" + u,
+				Reputation: taxonomy.MinimalRisk,
+			})
+		}
+	}
+	ds.SortByTime()
+	return ds
+}
+
+func TestPaperGrids(t *testing.T) {
+	if len(PaperParams) != 15 {
+		t.Errorf("PaperParams has %d values, want 15 (Table III rows)", len(PaperParams))
+	}
+	combos := PaperWindowCombos()
+	if len(combos) != 6 {
+		t.Fatalf("combos = %d, want 6 (Table II columns)", len(combos))
+	}
+	for _, c := range combos {
+		if err := c.Validate(); err != nil {
+			t.Errorf("combo %v invalid: %v", c, err)
+		}
+	}
+	if combos[1].Duration != time.Minute || combos[1].Shift != 30*time.Second {
+		t.Errorf("retained combo = %v, want D=60s S=30s", combos[1])
+	}
+	kernels := PaperKernels(843)
+	if len(kernels) != 4 {
+		t.Fatalf("kernels = %d", len(kernels))
+	}
+	for _, k := range kernels {
+		if err := k.Validate(); err != nil {
+			t.Errorf("kernel %v invalid: %v", k, err)
+		}
+	}
+}
+
+func TestWindowSearch(t *testing.T) {
+	ds := buildTrainSet()
+	vocab := features.BuildFromDataset(ds)
+	combos := []features.WindowConfig{
+		{Duration: time.Minute, Shift: 30 * time.Second},
+		{Duration: 5 * time.Minute, Shift: time.Minute},
+	}
+	cfg := Config{Algorithm: svm.SVDD, Workers: 2}
+	results, err := WindowSearch(ds, vocab, combos, svm.Linear(), 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Mean.Self < 0.8 {
+			t.Errorf("%v: mean self = %v", r.Window, r.Mean.Self)
+		}
+		if r.Mean.Other > 0.2 {
+			t.Errorf("%v: mean other = %v", r.Window, r.Mean.Other)
+		}
+		if len(r.PerUser) != 2 {
+			t.Errorf("%v: per-user = %d entries", r.Window, len(r.PerUser))
+		}
+	}
+	best, err := BestWindow(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := best.Validate(); err != nil {
+		t.Errorf("best window invalid: %v", err)
+	}
+}
+
+func TestWindowSearchErrors(t *testing.T) {
+	ds := buildTrainSet()
+	vocab := features.BuildFromDataset(ds)
+	if _, err := WindowSearch(ds, vocab, nil, svm.Linear(), 0.5, Config{Algorithm: svm.SVDD}); err == nil {
+		t.Error("empty combos accepted")
+	}
+	empty := weblog.NewDataset()
+	combos := []features.WindowConfig{{Duration: time.Minute, Shift: time.Minute}}
+	if _, err := WindowSearch(empty, vocab, combos, svm.Linear(), 0.5, Config{Algorithm: svm.SVDD}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := BestWindow(nil); err == nil {
+		t.Error("BestWindow(nil) succeeded")
+	}
+}
+
+func windowsFor(t *testing.T, ds *weblog.Dataset) map[string][]features.Window {
+	t.Helper()
+	vocab := features.BuildFromDataset(ds)
+	ws, err := features.ComposeUsers(vocab, features.WindowConfig{Duration: time.Minute, Shift: 30 * time.Second}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+func TestParamSearchAndBest(t *testing.T) {
+	ds := buildTrainSet()
+	ws := windowsFor(t, ds)
+	params := []float64{0.5, 0.1}
+	kernels := []svm.Kernel{svm.Linear(), svm.RBF(0.1)}
+	tables, err := ParamSearch(ws, params, kernels, Config{Algorithm: svm.OCSVM, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for u, tbl := range tables {
+		if tbl.User != u || len(tbl.Cells) != 2 || len(tbl.Cells[0]) != 2 {
+			t.Fatalf("table shape wrong for %s", u)
+		}
+		for i := range tbl.Cells {
+			for j := range tbl.Cells[i] {
+				if tbl.Cells[i][j].Err != nil {
+					t.Errorf("%s cell [%d][%d]: %v", u, i, j, tbl.Cells[i][j].Err)
+				}
+			}
+		}
+		best, err := tbl.Best()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Acc.ACC() < 0.6 {
+			t.Errorf("%s best ACC = %v", u, best.Acc.ACC())
+		}
+	}
+	bests, err := BestParams(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bests) != 2 {
+		t.Errorf("bests = %d", len(bests))
+	}
+}
+
+func TestParamSearchErrors(t *testing.T) {
+	ds := buildTrainSet()
+	ws := windowsFor(t, ds)
+	if _, err := ParamSearch(ws, nil, []svm.Kernel{svm.Linear()}, Config{Algorithm: svm.OCSVM}); err == nil {
+		t.Error("empty params accepted")
+	}
+	if _, err := ParamSearch(map[string][]features.Window{}, []float64{0.5}, []svm.Kernel{svm.Linear()}, Config{Algorithm: svm.OCSVM}); err == nil {
+		t.Error("no users accepted")
+	}
+}
+
+func TestParamSearchRecordsCellErrors(t *testing.T) {
+	ds := buildTrainSet()
+	ws := windowsFor(t, ds)
+	// An invalid kernel makes every cell fail but ParamSearch itself
+	// succeeds, recording the error per cell.
+	tables, err := ParamSearch(ws, []float64{0.5}, []svm.Kernel{{Kind: svm.KernelRBF, Gamma: -1}}, Config{Algorithm: svm.OCSVM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, tbl := range tables {
+		if tbl.Cells[0][0].Err == nil {
+			t.Errorf("%s: expected cell error", u)
+		}
+		if _, err := tbl.Best(); err == nil {
+			t.Errorf("%s: Best succeeded with all cells failed", u)
+		}
+	}
+}
+
+func TestSubsampleAndCap(t *testing.T) {
+	ws := make([]features.Window, 10)
+	for i := range ws {
+		ws[i].Count = i
+	}
+	if got := len(subsample(ws, 3)); got != 3 {
+		t.Errorf("subsample len = %d", got)
+	}
+	if got := subsample(ws, 20); len(got) != 10 {
+		t.Errorf("subsample overshoot len = %d", len(got))
+	}
+	if got := subsample(ws, -1); len(got) != 10 {
+		t.Errorf("subsample unlimited len = %d", len(got))
+	}
+	if got := capPrefix(ws, 4); len(got) != 4 || got[0].Count != 0 {
+		t.Errorf("capPrefix = %v", got)
+	}
+	if got := capPrefix(ws, -1); len(got) != 10 {
+		t.Errorf("capPrefix unlimited len = %d", len(got))
+	}
+}
+
+func TestWindowSearchHonorsCaps(t *testing.T) {
+	ds := buildTrainSet()
+	vocab := features.BuildFromDataset(ds)
+	combos := []features.WindowConfig{{Duration: time.Minute, Shift: 30 * time.Second}}
+	cfg := Config{Algorithm: svm.OCSVM, MaxTrainWindows: 10, MaxOtherWindows: 5}
+	results, err := WindowSearch(ds, vocab, combos, svm.Linear(), 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 10 train windows the model has at most 10 SVs.
+	_ = results
+}
+
+func TestAcceptHelper(t *testing.T) {
+	v := sparse.New(map[int]float64{0: 1})
+	m, err := svm.TrainOCSVM([]sparse.Vector{v, v, v, v}, 0.5, svm.TrainConfig{Kernel: svm.Linear()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []features.Window{{Vector: v}}
+	if got := eval.Accept(m, ws); got != 1 {
+		t.Errorf("Accept = %v", got)
+	}
+}

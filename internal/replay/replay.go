@@ -1,0 +1,99 @@
+// Package replay streams a recorded transaction log to a destination in
+// (optionally accelerated) log time — the test harness for the live
+// continuous-authentication deployment: profilerd listens, replay plays a
+// recorded day back at 60× speed.
+package replay
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"webtxprofile/internal/weblog"
+)
+
+// Sink consumes replayed transactions (collector.Client.Send satisfies
+// this shape via a closure).
+type Sink func(tx weblog.Transaction) error
+
+// Config controls pacing.
+type Config struct {
+	// Speedup divides inter-transaction gaps: 1 = real time, 60 = one
+	// minute of log time per second, 0 = as fast as possible.
+	Speedup float64
+	// MaxGap caps a single sleep regardless of the log gap (long idle
+	// periods skip ahead). Zero means no cap.
+	MaxGap time.Duration
+	// Sleep injects the clock; nil uses a context-aware time.Sleep.
+	// Tests replace it to run instantly.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Speedup < 0 {
+		return fmt.Errorf("replay: negative speedup %g", c.Speedup)
+	}
+	if c.MaxGap < 0 {
+		return fmt.Errorf("replay: negative max gap %v", c.MaxGap)
+	}
+	return nil
+}
+
+// Run replays the transactions in order, sleeping between records to
+// reproduce the original pacing (divided by Speedup). It stops early when
+// the context is cancelled or the sink errors, reporting how many records
+// were delivered.
+func Run(ctx context.Context, txs []weblog.Transaction, sink Sink, cfg Config) (int, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if sink == nil {
+		return 0, fmt.Errorf("replay: nil sink")
+	}
+	sent := 0
+	for i := range txs {
+		if i > 0 && cfg.Speedup > 0 {
+			gap := txs[i].Timestamp.Sub(txs[i-1].Timestamp)
+			if gap < 0 {
+				return sent, fmt.Errorf("replay: transactions not sorted at index %d", i)
+			}
+			pause := time.Duration(float64(gap) / cfg.Speedup)
+			if cfg.MaxGap > 0 && pause > cfg.MaxGap {
+				pause = cfg.MaxGap
+			}
+			if pause > 0 {
+				if err := cfg.Sleep(ctx, pause); err != nil {
+					return sent, err
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return sent, err
+		}
+		if err := sink(txs[i]); err != nil {
+			return sent, fmt.Errorf("replay: sink at record %d: %w", i, err)
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// sleepCtx sleeps for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,140 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/taxonomy"
+	"webtxprofile/internal/weblog"
+)
+
+func txAt(offset time.Duration) weblog.Transaction {
+	return weblog.Transaction{
+		Timestamp: time.Date(2015, 1, 5, 9, 0, 0, 0, time.UTC).Add(offset),
+		Host:      "a.example.com", Scheme: taxonomy.SchemeHTTP,
+		Action: taxonomy.ActionGet, UserID: "u", SourceIP: "10.0.0.1",
+		Category: "Games", Reputation: taxonomy.MinimalRisk,
+	}
+}
+
+// fakeSleep records requested pauses without sleeping.
+type fakeSleep struct{ pauses []time.Duration }
+
+func (f *fakeSleep) sleep(_ context.Context, d time.Duration) error {
+	f.pauses = append(f.pauses, d)
+	return nil
+}
+
+func TestRunPacing(t *testing.T) {
+	txs := []weblog.Transaction{txAt(0), txAt(10 * time.Second), txAt(70 * time.Second)}
+	fs := &fakeSleep{}
+	var got []weblog.Transaction
+	sink := func(tx weblog.Transaction) error {
+		got = append(got, tx)
+		return nil
+	}
+	n, err := Run(context.Background(), txs, sink, Config{Speedup: 10, Sleep: fs.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("sent %d", n)
+	}
+	// Gaps 10s and 60s divided by 10.
+	want := []time.Duration{time.Second, 6 * time.Second}
+	if len(fs.pauses) != 2 || fs.pauses[0] != want[0] || fs.pauses[1] != want[1] {
+		t.Errorf("pauses = %v, want %v", fs.pauses, want)
+	}
+}
+
+func TestRunMaxGapCapsSleeps(t *testing.T) {
+	txs := []weblog.Transaction{txAt(0), txAt(time.Hour)}
+	fs := &fakeSleep{}
+	_, err := Run(context.Background(), txs, func(weblog.Transaction) error { return nil },
+		Config{Speedup: 1, MaxGap: 2 * time.Second, Sleep: fs.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.pauses) != 1 || fs.pauses[0] != 2*time.Second {
+		t.Errorf("pauses = %v", fs.pauses)
+	}
+}
+
+func TestRunFullSpeedSkipsSleeps(t *testing.T) {
+	txs := []weblog.Transaction{txAt(0), txAt(time.Hour)}
+	fs := &fakeSleep{}
+	n, err := Run(context.Background(), txs, func(weblog.Transaction) error { return nil },
+		Config{Speedup: 0, Sleep: fs.sleep})
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if len(fs.pauses) != 0 {
+		t.Errorf("pauses = %v, want none", fs.pauses)
+	}
+}
+
+func TestRunSinkErrorStops(t *testing.T) {
+	txs := []weblog.Transaction{txAt(0), txAt(time.Second), txAt(2 * time.Second)}
+	boom := errors.New("boom")
+	calls := 0
+	sink := func(weblog.Transaction) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	}
+	n, err := Run(context.Background(), txs, sink, Config{Speedup: 0})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 1 {
+		t.Errorf("sent = %d, want 1", n)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	txs := []weblog.Transaction{txAt(0), txAt(time.Second)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := Run(ctx, txs, func(weblog.Transaction) error { return nil }, Config{Speedup: 0})
+	if err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+	if n != 0 {
+		t.Errorf("sent = %d", n)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), nil, nil, Config{}); err == nil {
+		t.Error("nil sink accepted")
+	}
+	if _, err := Run(context.Background(), nil, func(weblog.Transaction) error { return nil },
+		Config{Speedup: -1}); err == nil {
+		t.Error("negative speedup accepted")
+	}
+	unsorted := []weblog.Transaction{txAt(time.Minute), txAt(0)}
+	if _, err := Run(context.Background(), unsorted, func(weblog.Transaction) error { return nil },
+		Config{Speedup: 1, Sleep: (&fakeSleep{}).sleep}); err == nil {
+		t.Error("unsorted input accepted")
+	}
+}
+
+func TestSleepCtxHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sleepCtx(ctx, 5*time.Second)
+	if err == nil {
+		t.Fatal("no cancellation error")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("sleep did not abort promptly")
+	}
+}

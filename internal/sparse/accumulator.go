@@ -1,0 +1,80 @@
+package sparse
+
+import "sort"
+
+// Accumulator aggregates many transaction vectors into one window vector
+// following Sect. III-C of the paper: binary (bag-of-words) columns combine
+// by logical OR, numeric columns by arithmetic mean over the windowed
+// transactions.
+//
+// The caller declares which columns are numeric via the numeric mask; every
+// other column is treated as binary. Means divide by the total number of
+// accumulated transactions (not by the count of transactions that stored
+// the column), matching the paper's worked example where reputation 0, 0.5,
+// 0 over three transactions yields 0.167.
+type Accumulator struct {
+	numeric map[int32]bool
+	sums    map[int32]float64 // numeric columns: running sums
+	present map[int32]bool    // binary columns: OR
+	count   int
+}
+
+// NewAccumulator returns an empty accumulator. numericCols lists the column
+// indexes aggregated by mean; it is retained by reference and must not be
+// mutated while the accumulator is in use.
+func NewAccumulator(numericCols map[int32]bool) *Accumulator {
+	return &Accumulator{
+		numeric: numericCols,
+		sums:    make(map[int32]float64),
+		present: make(map[int32]bool),
+	}
+}
+
+// Add folds one transaction vector into the window.
+func (a *Accumulator) Add(v Vector) {
+	a.count++
+	for k, i := range v.Idx {
+		if a.numeric[i] {
+			a.sums[i] += v.Val[k]
+		} else {
+			a.present[i] = true
+		}
+	}
+}
+
+// Count returns the number of transactions accumulated so far.
+func (a *Accumulator) Count() int { return a.count }
+
+// Vector materializes the aggregated window vector. It returns the zero
+// Vector when no transactions were added.
+func (a *Accumulator) Vector() Vector {
+	if a.count == 0 {
+		return Vector{}
+	}
+	idx := make([]int32, 0, len(a.present)+len(a.sums))
+	for i := range a.present {
+		idx = append(idx, i)
+	}
+	for i := range a.sums {
+		if a.sums[i] != 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(x, y int) bool { return idx[x] < idx[y] })
+	val := make([]float64, len(idx))
+	for k, i := range idx {
+		if a.numeric[i] {
+			val[k] = a.sums[i] / float64(a.count)
+		} else {
+			val[k] = 1
+		}
+	}
+	return Vector{Idx: idx, Val: val}
+}
+
+// Reset clears the accumulator for reuse.
+func (a *Accumulator) Reset() {
+	a.count = 0
+	clear(a.sums)
+	clear(a.present)
+}

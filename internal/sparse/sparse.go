@@ -1,0 +1,197 @@
+// Package sparse provides the sparse float vector used throughout the
+// profiling pipeline. Feature vectors have 800+ columns (Table I of the
+// paper) but only ~20 non-zeros per window, so kernels and aggregation
+// operate on sorted (index, value) pairs.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Vector is a sparse float64 vector: parallel slices of strictly increasing
+// column indexes and their non-zero values. The zero Vector is the empty
+// (all-zero) vector and is ready to use.
+type Vector struct {
+	Idx []int32
+	Val []float64
+}
+
+// New builds a Vector from a dense map of column -> value, dropping zeros.
+func New(dense map[int]float64) Vector {
+	idx := make([]int32, 0, len(dense))
+	for i, v := range dense {
+		if v != 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	val := make([]float64, len(idx))
+	for k, i := range idx {
+		val[k] = dense[int(i)]
+	}
+	return Vector{Idx: idx, Val: val}
+}
+
+// FromDense builds a Vector from a dense slice, dropping zeros.
+func FromDense(dense []float64) Vector {
+	var v Vector
+	for i, x := range dense {
+		if x != 0 {
+			v.Idx = append(v.Idx, int32(i))
+			v.Val = append(v.Val, x)
+		}
+	}
+	return v
+}
+
+// NNZ returns the number of stored non-zeros.
+func (v Vector) NNZ() int { return len(v.Idx) }
+
+// At returns the value at column i (0 when not stored).
+func (v Vector) At(i int) float64 {
+	k := sort.Search(len(v.Idx), func(k int) bool { return v.Idx[k] >= int32(i) })
+	if k < len(v.Idx) && v.Idx[k] == int32(i) {
+		return v.Val[k]
+	}
+	return 0
+}
+
+// Dense expands the vector into a dense slice of length n. Stored indexes
+// beyond n-1 cause a panic, indicating a vocabulary mismatch.
+func (v Vector) Dense(n int) []float64 {
+	out := make([]float64, n)
+	for k, i := range v.Idx {
+		out[i] = v.Val[k]
+	}
+	return out
+}
+
+// Dot returns the inner product v·w in O(nnz(v)+nnz(w)).
+func Dot(v, w Vector) float64 {
+	var sum float64
+	i, j := 0, 0
+	for i < len(v.Idx) && j < len(w.Idx) {
+		switch {
+		case v.Idx[i] == w.Idx[j]:
+			sum += v.Val[i] * w.Val[j]
+			i++
+			j++
+		case v.Idx[i] < w.Idx[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return sum
+}
+
+// NormSq returns ||v||².
+func (v Vector) NormSq() float64 {
+	var sum float64
+	for _, x := range v.Val {
+		sum += x * x
+	}
+	return sum
+}
+
+// SqDist returns ||v-w||² in O(nnz(v)+nnz(w)).
+func SqDist(v, w Vector) float64 {
+	var sum float64
+	i, j := 0, 0
+	for i < len(v.Idx) || j < len(w.Idx) {
+		switch {
+		case j >= len(w.Idx) || (i < len(v.Idx) && v.Idx[i] < w.Idx[j]):
+			sum += v.Val[i] * v.Val[i]
+			i++
+		case i >= len(v.Idx) || w.Idx[j] < v.Idx[i]:
+			sum += w.Val[j] * w.Val[j]
+			j++
+		default:
+			d := v.Val[i] - w.Val[j]
+			sum += d * d
+			i++
+			j++
+		}
+	}
+	return sum
+}
+
+// Equal reports exact equality of stored indexes and values.
+func Equal(v, w Vector) bool {
+	if len(v.Idx) != len(w.Idx) {
+		return false
+	}
+	for k := range v.Idx {
+		if v.Idx[k] != w.Idx[k] || v.Val[k] != w.Val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for exact-match window deduplication
+// (the Fig. 2 novelty analysis compares windows for strict equality).
+// Values are rendered with enough precision that distinct float64 values map
+// to distinct keys.
+func (v Vector) Key() string {
+	var b strings.Builder
+	b.Grow(len(v.Idx) * 12)
+	for k := range v.Idx {
+		if k > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.FormatInt(int64(v.Idx[k]), 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(v.Val[k], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := Vector{Idx: make([]int32, len(v.Idx)), Val: make([]float64, len(v.Val))}
+	copy(out.Idx, v.Idx)
+	copy(out.Val, v.Val)
+	return out
+}
+
+// Validate checks the structural invariants: strictly increasing indexes,
+// no explicit zeros, no NaN/Inf values, matching slice lengths.
+func (v Vector) Validate() error {
+	if len(v.Idx) != len(v.Val) {
+		return fmt.Errorf("sparse: index/value length mismatch %d != %d", len(v.Idx), len(v.Val))
+	}
+	for k := range v.Idx {
+		if k > 0 && v.Idx[k] <= v.Idx[k-1] {
+			return fmt.Errorf("sparse: indexes not strictly increasing at position %d", k)
+		}
+		if v.Idx[k] < 0 {
+			return fmt.Errorf("sparse: negative index %d", v.Idx[k])
+		}
+		if v.Val[k] == 0 {
+			return fmt.Errorf("sparse: explicit zero at column %d", v.Idx[k])
+		}
+		if math.IsNaN(v.Val[k]) || math.IsInf(v.Val[k], 0) {
+			return fmt.Errorf("sparse: non-finite value at column %d", v.Idx[k])
+		}
+	}
+	return nil
+}
+
+// String renders the vector as "{i:v, ...}" for debugging.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for k := range v.Idx {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%g", v.Idx[k], v.Val[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,250 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genVector is the testing/quick generator for random sparse vectors over a
+// small column universe so collisions between vectors are common.
+type genVector Vector
+
+func (genVector) Generate(r *rand.Rand, size int) reflect.Value {
+	dense := make(map[int]float64)
+	n := r.Intn(size + 1)
+	for i := 0; i < n; i++ {
+		col := r.Intn(32)
+		val := math.Round(r.Float64()*8) / 8 // grid values; zeros possible
+		dense[col] = val
+	}
+	return reflect.ValueOf(genVector(New(dense)))
+}
+
+func TestNewSortsAndDropsZeros(t *testing.T) {
+	v := New(map[int]float64{5: 1, 2: 0.5, 9: 0, 0: 2})
+	if err := v.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := Vector{Idx: []int32{0, 2, 5}, Val: []float64{2, 0.5, 1}}
+	if !Equal(v, want) {
+		t.Errorf("got %v, want %v", v, want)
+	}
+}
+
+func TestFromDense(t *testing.T) {
+	v := FromDense([]float64{0, 1, 0, 0.5})
+	want := New(map[int]float64{1: 1, 3: 0.5})
+	if !Equal(v, want) {
+		t.Errorf("got %v, want %v", v, want)
+	}
+}
+
+func TestAtAndDense(t *testing.T) {
+	v := New(map[int]float64{1: 1, 3: 0.5})
+	if v.At(1) != 1 || v.At(3) != 0.5 || v.At(0) != 0 || v.At(2) != 0 || v.At(7) != 0 {
+		t.Errorf("At lookups wrong: %v", v)
+	}
+	d := v.Dense(5)
+	want := []float64{0, 1, 0, 0.5, 0}
+	if !reflect.DeepEqual(d, want) {
+		t.Errorf("Dense = %v, want %v", d, want)
+	}
+}
+
+func TestDotMatchesDense(t *testing.T) {
+	f := func(a, b genVector) bool {
+		va, vb := Vector(a), Vector(b)
+		got := Dot(va, vb)
+		da, db := va.Dense(32), vb.Dense(32)
+		var want float64
+		for i := range da {
+			want += da[i] * db[i]
+		}
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqDistMatchesDense(t *testing.T) {
+	f := func(a, b genVector) bool {
+		va, vb := Vector(a), Vector(b)
+		got := SqDist(va, vb)
+		da, db := va.Dense(32), vb.Dense(32)
+		var want float64
+		for i := range da {
+			d := da[i] - db[i]
+			want += d * d
+		}
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqDistIdentities(t *testing.T) {
+	f := func(a, b genVector) bool {
+		va, vb := Vector(a), Vector(b)
+		// ||a-b||² == ||a||² + ||b||² - 2a·b
+		lhs := SqDist(va, vb)
+		rhs := va.NormSq() + vb.NormSq() - 2*Dot(va, vb)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			return false
+		}
+		// symmetry and self-distance
+		return math.Abs(SqDist(va, vb)-SqDist(vb, va)) < 1e-12 && SqDist(va, va) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyEqualConsistency(t *testing.T) {
+	f := func(a, b genVector) bool {
+		va, vb := Vector(a), Vector(b)
+		return Equal(va, vb) == (va.Key() == vb.Key())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := New(map[int]float64{1: 1, 2: 2})
+	c := v.Clone()
+	if !Equal(v, c) {
+		t.Fatal("clone differs")
+	}
+	if len(c.Val) > 0 {
+		c.Val[0] = 99
+		if v.Val[0] == 99 {
+			t.Error("clone shares backing array")
+		}
+	}
+}
+
+func TestValidateRejectsBadVectors(t *testing.T) {
+	bad := []Vector{
+		{Idx: []int32{1}, Val: nil},
+		{Idx: []int32{2, 1}, Val: []float64{1, 1}},
+		{Idx: []int32{1, 1}, Val: []float64{1, 1}},
+		{Idx: []int32{-1}, Val: []float64{1}},
+		{Idx: []int32{1}, Val: []float64{0}},
+		{Idx: []int32{1}, Val: []float64{math.NaN()}},
+		{Idx: []int32{1}, Val: []float64{math.Inf(1)}},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid vector %v", i, v)
+		}
+	}
+}
+
+func TestZeroVectorReady(t *testing.T) {
+	var v Vector
+	if v.NNZ() != 0 || v.NormSq() != 0 || v.Key() != "" {
+		t.Errorf("zero vector misbehaves: %v", v)
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("zero vector invalid: %v", err)
+	}
+	if Dot(v, New(map[int]float64{1: 1})) != 0 {
+		t.Error("dot with zero vector != 0")
+	}
+}
+
+func TestAccumulatorPaperExample(t *testing.T) {
+	// The worked example from Sect. III-C: columns are
+	// CONNECT(0) | HTTP(1) | reputation(2) | verified(3) | Messaging(4)
+	// with reputation and verified numeric. Three transactions:
+	//   1 1 0   1 0
+	//   0 0 0.5 1 0
+	//   0 1 0   0 0
+	// must aggregate to 1 1 0.167 0.667 0.
+	numeric := map[int32]bool{2: true, 3: true}
+	acc := NewAccumulator(numeric)
+	acc.Add(New(map[int]float64{0: 1, 1: 1, 3: 1}))
+	acc.Add(New(map[int]float64{2: 0.5, 3: 1}))
+	acc.Add(New(map[int]float64{1: 1}))
+	got := acc.Vector()
+	if got.At(0) != 1 || got.At(1) != 1 || got.At(4) != 0 {
+		t.Errorf("binary OR columns wrong: %v", got)
+	}
+	if math.Abs(got.At(2)-0.5/3) > 1e-9 {
+		t.Errorf("reputation mean = %v, want 0.167", got.At(2))
+	}
+	if math.Abs(got.At(3)-2.0/3) > 1e-9 {
+		t.Errorf("verified mean = %v, want 0.667", got.At(3))
+	}
+	if acc.Count() != 3 {
+		t.Errorf("Count = %d", acc.Count())
+	}
+}
+
+func TestAccumulatorEmptyAndReset(t *testing.T) {
+	acc := NewAccumulator(nil)
+	if v := acc.Vector(); v.NNZ() != 0 {
+		t.Errorf("empty accumulator vector: %v", v)
+	}
+	acc.Add(New(map[int]float64{1: 1}))
+	acc.Reset()
+	if acc.Count() != 0 || acc.Vector().NNZ() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestAccumulatorSingleTransactionIdentity(t *testing.T) {
+	// Aggregating a single transaction must reproduce it exactly. Binary
+	// (bag-of-words) columns hold 0/1 in transaction vectors, so force
+	// non-numeric columns to 1 as the feature extractor does.
+	numeric := map[int32]bool{3: true, 7: true}
+	f := func(a genVector) bool {
+		v := Vector(a)
+		for k, i := range v.Idx {
+			if !numeric[i] {
+				v.Val[k] = 1
+			}
+		}
+		acc := NewAccumulator(numeric)
+		acc.Add(v)
+		return Equal(acc.Vector(), v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorBinaryIdempotent(t *testing.T) {
+	// With no numeric columns, adding the same binary vector k times must
+	// yield that vector (OR is idempotent).
+	f := func(a genVector, k uint8) bool {
+		v := Vector(a)
+		// Force binary values.
+		for i := range v.Val {
+			v.Val[i] = 1
+		}
+		acc := NewAccumulator(nil)
+		n := int(k%5) + 1
+		for i := 0; i < n; i++ {
+			acc.Add(v)
+		}
+		return Equal(acc.Vector(), v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateAcceptsGenerated(t *testing.T) {
+	f := func(a genVector) bool {
+		return Vector(a).Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package stats provides the descriptive statistics the experiment harness
+// reports: means/variances for the novelty curves (Figs. 1–2), five-number
+// box-plot summaries for prediction latency (Fig. 4) and least-squares
+// linear fits for the composition-speed scaling (Fig. 5).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It sorts a copy; the input is
+// not modified. NaN is returned for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FiveNum is a box-and-whiskers summary: minimum, lower quartile, median,
+// upper quartile and maximum, as plotted in Fig. 4 of the paper.
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summarize computes the five-number summary of xs.
+func Summarize(xs []float64) (FiveNum, error) {
+	if len(xs) == 0 {
+		return FiveNum{}, fmt.Errorf("stats: empty sample")
+	}
+	return FiveNum{
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+	}, nil
+}
+
+// IQR returns the interquartile range.
+func (f FiveNum) IQR() float64 { return f.Q3 - f.Q1 }
+
+// String renders the summary compactly.
+func (f FiveNum) String() string {
+	return fmt.Sprintf("min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g",
+		f.Min, f.Q1, f.Median, f.Q3, f.Max)
+}
+
+// LinearFit is a least-squares line y = Slope·x + Intercept with its
+// coefficient of determination.
+type LinearFit struct {
+	Slope, Intercept, R2 float64
+}
+
+// FitLine fits a least-squares line through (xs[i], ys[i]).
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d, %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: degenerate x values")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // all residuals zero on a flat line
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 {
+	return f.Slope*x + f.Intercept
+}
+
+// Histogram counts xs into n equal-width bins over [min, max]. Values at
+// max land in the last bin.
+func Histogram(xs []float64, n int, min, max float64) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: non-positive bin count %d", n)
+	}
+	if max <= min {
+		return nil, fmt.Errorf("stats: empty range [%g, %g]", min, max)
+	}
+	bins := make([]int, n)
+	width := (max - min) / float64(n)
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		b := int((x - min) / width)
+		if b >= n {
+			b = n - 1
+		}
+		bins[b]++
+	}
+	return bins, nil
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVariance(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of singleton != 0")
+	}
+	if !almost(Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 4) {
+		t.Errorf("Variance = %v, want 4", Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Error("StdDev wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	if !almost(Quantile(xs, 0), 1) || !almost(Quantile(xs, 1), 5) {
+		t.Error("extremes wrong")
+	}
+	if !almost(Quantile(xs, 0.5), 3) {
+		t.Errorf("median = %v", Quantile(xs, 0.5))
+	}
+	if !almost(Quantile(xs, 0.25), 2) {
+		t.Errorf("q1 = %v", Quantile(xs, 0.25))
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+	// Clamping.
+	if !almost(Quantile(xs, -1), 1) || !almost(Quantile(xs, 2), 5) {
+		t.Error("clamping wrong")
+	}
+	// Input must not be reordered.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		qa, qb := math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(raw, qa) <= Quantile(raw, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) succeeded")
+	}
+	f, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Min != 1 || f.Max != 5 || f.Median != 3 || f.Q1 != 2 || f.Q3 != 4 {
+		t.Errorf("summary = %+v", f)
+	}
+	if !almost(f.IQR(), 2) {
+		t.Errorf("IQR = %v", f.IQR())
+	}
+	if f.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 2) || !almost(fit.Intercept, 1) || !almost(fit.R2, 1) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almost(fit.Predict(10), 21) {
+		t.Errorf("Predict(10) = %v", fit.Predict(10))
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 0.5*xs[i] + 3 + 0.1*r.NormFloat64()
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.5) > 0.01 || math.Abs(fit.Intercept-3) > 0.5 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R² = %v", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestFitLineFlat(t *testing.T) {
+	fit, err := FitLine([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 0) || !almost(fit.Intercept, 4) || !almost(fit.R2, 1) {
+		t.Errorf("flat fit = %+v", fit)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins, err := Histogram([]float64{0, 0.5, 1, 1.5, 2, 9, 10, -5, 11}, 5, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,2): 0, 0.5, 1, 1.5 -> 4; [2,4): 2 -> 1; [8,10]: 9, 10 -> 2.
+	want := []int{4, 1, 0, 0, 2}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Errorf("bins = %v, want %v", bins, want)
+			break
+		}
+	}
+	if _, err := Histogram(nil, 0, 0, 1); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := Histogram(nil, 3, 5, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+}

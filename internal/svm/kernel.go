@@ -1,0 +1,184 @@
+// Package svm implements the two one-class classifiers the paper uses to
+// profile users (Sect. II): the ν-one-class SVM of Schölkopf et al. and the
+// Support Vector Data Description (SVDD) of Tax & Duin. Both duals are
+// solved from scratch with an SMO solver equivalent to LIBSVM's (the
+// paper's reference [1]), supporting the paper's four kernels: linear,
+// polynomial, RBF and sigmoid.
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"webtxprofile/internal/sparse"
+)
+
+// KernelKind enumerates the kernel families from Table III of the paper.
+type KernelKind int
+
+// Kernel kinds. The zero value is invalid so that forgotten configuration
+// fails loudly.
+const (
+	KernelLinear KernelKind = iota + 1
+	KernelPoly
+	KernelRBF
+	KernelSigmoid
+)
+
+var kernelNames = map[KernelKind]string{
+	KernelLinear:  "linear",
+	KernelPoly:    "polynomial",
+	KernelRBF:     "rbf",
+	KernelSigmoid: "sigmoid",
+}
+
+// String returns the kernel family name.
+func (k KernelKind) String() string {
+	if s, ok := kernelNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
+// ParseKernelKind converts a kernel family name back into a KernelKind.
+func ParseKernelKind(s string) (KernelKind, error) {
+	for k, name := range kernelNames {
+		if s == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("svm: unknown kernel %q", s)
+}
+
+// AllKernels lists the kernel kinds in Table III column order.
+var AllKernels = []KernelKind{KernelLinear, KernelPoly, KernelRBF, KernelSigmoid}
+
+// Kernel is a parameterized kernel function:
+//
+//	linear:     k(x,y) = x·y
+//	polynomial: k(x,y) = (γ·x·y + c₀)^d
+//	rbf:        k(x,y) = exp(-γ·‖x−y‖²)   (the paper's e^{−‖x−y‖²/C} with γ=1/C)
+//	sigmoid:    k(x,y) = tanh(γ·x·y + c₀)
+type Kernel struct {
+	Kind   KernelKind `json:"kind"`
+	Gamma  float64    `json:"gamma,omitempty"`
+	Coef0  float64    `json:"coef0,omitempty"`
+	Degree int        `json:"degree,omitempty"`
+}
+
+// Linear returns the linear kernel.
+func Linear() Kernel { return Kernel{Kind: KernelLinear} }
+
+// Poly returns a polynomial kernel.
+func Poly(gamma, coef0 float64, degree int) Kernel {
+	return Kernel{Kind: KernelPoly, Gamma: gamma, Coef0: coef0, Degree: degree}
+}
+
+// RBF returns a Gaussian kernel with the given γ.
+func RBF(gamma float64) Kernel { return Kernel{Kind: KernelRBF, Gamma: gamma} }
+
+// Sigmoid returns a sigmoid kernel.
+func Sigmoid(gamma, coef0 float64) Kernel {
+	return Kernel{Kind: KernelSigmoid, Gamma: gamma, Coef0: coef0}
+}
+
+// Validate checks parameter sanity for the kernel family.
+func (k Kernel) Validate() error {
+	switch k.Kind {
+	case KernelLinear:
+	case KernelPoly:
+		if k.Gamma <= 0 {
+			return fmt.Errorf("svm: polynomial kernel needs gamma > 0, got %v", k.Gamma)
+		}
+		if k.Degree < 1 {
+			return fmt.Errorf("svm: polynomial kernel needs degree >= 1, got %d", k.Degree)
+		}
+	case KernelRBF:
+		if k.Gamma <= 0 {
+			return fmt.Errorf("svm: rbf kernel needs gamma > 0, got %v", k.Gamma)
+		}
+	case KernelSigmoid:
+		if k.Gamma <= 0 {
+			return fmt.Errorf("svm: sigmoid kernel needs gamma > 0, got %v", k.Gamma)
+		}
+	default:
+		return fmt.Errorf("svm: unknown kernel kind %d", int(k.Kind))
+	}
+	return nil
+}
+
+// String renders the kernel with its parameters.
+func (k Kernel) String() string {
+	switch k.Kind {
+	case KernelLinear:
+		return "linear"
+	case KernelPoly:
+		return fmt.Sprintf("polynomial(γ=%g,c0=%g,d=%d)", k.Gamma, k.Coef0, k.Degree)
+	case KernelRBF:
+		return fmt.Sprintf("rbf(γ=%g)", k.Gamma)
+	case KernelSigmoid:
+		return fmt.Sprintf("sigmoid(γ=%g,c0=%g)", k.Gamma, k.Coef0)
+	default:
+		return k.Kind.String()
+	}
+}
+
+// Eval computes k(x, y).
+func (k Kernel) Eval(x, y sparse.Vector) float64 {
+	switch k.Kind {
+	case KernelLinear:
+		return sparse.Dot(x, y)
+	case KernelPoly:
+		return ipow(k.Gamma*sparse.Dot(x, y)+k.Coef0, k.Degree)
+	case KernelRBF:
+		return math.Exp(-k.Gamma * sparse.SqDist(x, y))
+	case KernelSigmoid:
+		return math.Tanh(k.Gamma*sparse.Dot(x, y) + k.Coef0)
+	default:
+		panic("svm: Eval on invalid kernel; call Validate first")
+	}
+}
+
+// evalNorms computes k(x, y) reusing precomputed squared norms, which turns
+// the RBF distance into dot products (‖x−y‖² = ‖x‖²+‖y‖²−2x·y).
+func (k Kernel) evalNorms(x, y sparse.Vector, nx, ny float64) float64 {
+	switch k.Kind {
+	case KernelLinear:
+		return sparse.Dot(x, y)
+	case KernelPoly:
+		return ipow(k.Gamma*sparse.Dot(x, y)+k.Coef0, k.Degree)
+	case KernelRBF:
+		d2 := nx + ny - 2*sparse.Dot(x, y)
+		if d2 < 0 {
+			d2 = 0
+		}
+		return math.Exp(-k.Gamma * d2)
+	case KernelSigmoid:
+		return math.Tanh(k.Gamma*sparse.Dot(x, y) + k.Coef0)
+	default:
+		panic("svm: evalNorms on invalid kernel; call Validate first")
+	}
+}
+
+// ipow computes base^exp for small positive integer exponents without the
+// math.Pow overhead.
+func ipow(base float64, exp int) float64 {
+	result := 1.0
+	for exp > 0 {
+		if exp&1 == 1 {
+			result *= base
+		}
+		base *= base
+		exp >>= 1
+	}
+	return result
+}
+
+// norms precomputes ‖x‖² for a set of vectors.
+func norms(xs []sparse.Vector) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		out[i] = xs[i].NormSq()
+	}
+	return out
+}

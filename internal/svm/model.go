@@ -1,0 +1,171 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"webtxprofile/internal/sparse"
+)
+
+// Algorithm selects between the two one-class classifiers of Sect. II.
+type Algorithm int
+
+// Supported algorithms. The zero value is invalid.
+const (
+	OCSVM Algorithm = iota + 1
+	SVDD
+)
+
+var algorithmNames = map[Algorithm]string{OCSVM: "oc-svm", SVDD: "svdd"}
+
+// String returns the algorithm name as used in the paper's tables.
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts an algorithm name back into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, name := range algorithmNames {
+		if s == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("svm: unknown algorithm %q", s)
+}
+
+// Model is a trained one-class classifier: the support vectors with their
+// dual coefficients and the decision threshold. The decision functions are
+// Eq. 6 (OC-SVM) and Eq. 12 (SVDD) of the paper; Accept reports f(x) ≥ 0.
+type Model struct {
+	Algo   Algorithm       `json:"algorithm"`
+	Kernel Kernel          `json:"kernel"`
+	SVs    []sparse.Vector `json:"support_vectors"`
+	Coef   []float64       `json:"coefficients"`
+	// Rho is the OC-SVM offset ρ (Eq. 6); unused for SVDD.
+	Rho float64 `json:"rho,omitempty"`
+	// R2 is the squared SVDD radius (Eq. 11); unused for OC-SVM.
+	R2 float64 `json:"r2,omitempty"`
+	// SumAA is ΣΣ αᵢαⱼk(xᵢ,xⱼ) over support vectors, precomputed for the
+	// SVDD decision function (Eq. 12); unused for OC-SVM.
+	SumAA float64 `json:"sum_aa,omitempty"`
+	// Param records the training parameter: ν for OC-SVM, C for SVDD.
+	Param float64 `json:"param"`
+	// TrainSize is the number of training windows the model was fit on.
+	TrainSize int `json:"train_size"`
+	// Converged records whether SMO reached the KKT tolerance.
+	Converged bool `json:"converged"`
+	// Iterations is the SMO iteration count.
+	Iterations int `json:"iterations"`
+
+	// svNorms caches ‖sv‖² for RBF decisions. Train and UnmarshalJSON
+	// populate it; hand-assembled models get it on first use (via
+	// Validate or Decision). Models are safe for concurrent Decision
+	// calls once populated.
+	svNorms []float64
+}
+
+// acceptTol absorbs floating-point dust at the decision boundary: training
+// points that sit exactly on the separating surface (duplicated windows in
+// particular) evaluate to ±few ulps around zero because Σα carries rounding
+// error. The tolerance scales with the magnitude of the threshold terms and
+// is ~9 orders of magnitude below any meaningful rejection margin.
+func (m *Model) acceptTol() float64 {
+	return 1e-9 * (1 + math.Abs(m.Rho) + math.Abs(m.R2) + math.Abs(m.SumAA))
+}
+
+// NumSVs returns the support vector count.
+func (m *Model) NumSVs() int { return len(m.SVs) }
+
+// Decision evaluates the signed decision value f(x): non-negative means
+// the window is accepted as belonging to the profiled user.
+//
+//	OC-SVM: f(x) = Σᵢ αᵢ k(xᵢ, x) − ρ                            (Eq. 6)
+//	SVDD:   f(x) = R² − ΣΣ αᵢαⱼk(xᵢ,xⱼ) + 2Σᵢ αᵢk(xᵢ,x) − k(x,x) (Eq. 12)
+func (m *Model) Decision(x sparse.Vector) float64 {
+	if m.svNorms == nil {
+		m.svNorms = norms(m.SVs)
+	}
+	nx := x.NormSq()
+	var sum float64
+	for i := range m.SVs {
+		sum += m.Coef[i] * m.Kernel.evalNorms(m.SVs[i], x, m.svNorms[i], nx)
+	}
+	switch m.Algo {
+	case OCSVM:
+		return sum - m.Rho
+	case SVDD:
+		return m.R2 - m.SumAA + 2*sum - m.Kernel.evalNorms(x, x, nx, nx)
+	default:
+		panic("svm: Decision on invalid model")
+	}
+}
+
+// Accept reports whether the model accepts x (f(x) ≥ 0, up to
+// floating-point tolerance at the boundary).
+func (m *Model) Accept(x sparse.Vector) bool {
+	return m.Decision(x) >= -m.acceptTol()
+}
+
+// AcceptanceRatio returns the fraction of xs accepted by the model — the
+// building block of the paper's ACC_self and ACC_other metrics.
+func (m *Model) AcceptanceRatio(xs []sparse.Vector) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	accepted := 0
+	for _, x := range xs {
+		if m.Accept(x) {
+			accepted++
+		}
+	}
+	return float64(accepted) / float64(len(xs))
+}
+
+// Validate checks structural integrity after deserialization.
+func (m *Model) Validate() error {
+	switch m.Algo {
+	case OCSVM, SVDD:
+	default:
+		return fmt.Errorf("svm: invalid algorithm %d", int(m.Algo))
+	}
+	if err := m.Kernel.Validate(); err != nil {
+		return err
+	}
+	if len(m.SVs) == 0 {
+		return fmt.Errorf("svm: model has no support vectors")
+	}
+	if len(m.SVs) != len(m.Coef) {
+		return fmt.Errorf("svm: %d support vectors but %d coefficients", len(m.SVs), len(m.Coef))
+	}
+	for i := range m.SVs {
+		if err := m.SVs[i].Validate(); err != nil {
+			return fmt.Errorf("svm: support vector %d: %w", i, err)
+		}
+		if m.Coef[i] <= 0 {
+			return fmt.Errorf("svm: non-positive coefficient %g at %d", m.Coef[i], i)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON serializes the model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	type alias Model // strip methods to avoid recursion
+	return json.Marshal((*alias)(m))
+}
+
+// UnmarshalJSON restores a model and validates it.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	type alias Model
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*m = Model(a)
+	m.svNorms = norms(m.SVs)
+	return m.Validate()
+}

@@ -1,0 +1,288 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseProblem wraps an explicit Q matrix as an smoProblem.
+func denseProblem(q [][]float64, p []float64, u float64) *smoProblem {
+	n := len(q)
+	diag := make([]float64, n)
+	for i := range q {
+		diag[i] = q[i][i]
+	}
+	return &smoProblem{
+		n:     n,
+		qcol:  func(i int) []float64 { return column(q, i) },
+		qdiag: diag,
+		p:     p,
+		u:     u,
+		eps:   1e-9,
+	}
+}
+
+func column(q [][]float64, i int) []float64 {
+	n := len(q)
+	col := make([]float64, n)
+	for t := 0; t < n; t++ {
+		col[t] = q[t][i]
+	}
+	return col
+}
+
+func TestSolverTwoVariableExact(t *testing.T) {
+	// min ½(α1² + 2α2²) s.t. α1+α2 = 1, 0 ≤ α ≤ 1.
+	// Stationarity: α1 = 2α2 ⇒ α = (2/3, 1/3), objective 1/3, b = 2/3.
+	q := [][]float64{{1, 0}, {0, 2}}
+	res, err := denseProblem(q, nil, 1).solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(res.alpha[0]-2.0/3) > 1e-6 || math.Abs(res.alpha[1]-1.0/3) > 1e-6 {
+		t.Errorf("alpha = %v, want (2/3, 1/3)", res.alpha)
+	}
+	// ½αᵀQα = ½(4/9·1 + 1/9·2) = 1/3.
+	if math.Abs(res.obj-1.0/3) > 1e-6 {
+		t.Errorf("objective = %v, want %v", res.obj, 1.0/3)
+	}
+	if math.Abs(res.b-2.0/3) > 1e-6 {
+		t.Errorf("b = %v, want 2/3", res.b)
+	}
+}
+
+func TestSolverThreeVariableInterior(t *testing.T) {
+	// min ½(α1² + α2² + 4α3²) s.t. Σα = 1, 0 ≤ α ≤ 0.5.
+	// Stationarity: α1 = α2 = b, 4α3 = b ⇒ α = (4/9, 4/9, 1/9), b = 4/9.
+	q := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 4}}
+	res, err := denseProblem(q, nil, 0.5).solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4.0 / 9, 4.0 / 9, 1.0 / 9}
+	for i := range want {
+		if math.Abs(res.alpha[i]-want[i]) > 1e-6 {
+			t.Fatalf("alpha = %v, want %v", res.alpha, want)
+		}
+	}
+	if math.Abs(res.b-4.0/9) > 1e-6 {
+		t.Errorf("b = %v, want 4/9", res.b)
+	}
+	if res.freeSVs != 3 {
+		t.Errorf("freeSVs = %d, want 3", res.freeSVs)
+	}
+}
+
+func TestSolverBoxBinds(t *testing.T) {
+	// Same objective but U = 0.4: α1 = α2 want 4/9 > 0.4, so both clamp
+	// to the bound and α3 takes the remainder 0.2.
+	q := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 4}}
+	res, err := denseProblem(q, nil, 0.4).solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.4, 0.4, 0.2}
+	for i := range want {
+		if math.Abs(res.alpha[i]-want[i]) > 1e-6 {
+			t.Fatalf("alpha = %v, want %v", res.alpha, want)
+		}
+	}
+	// Free variable α3 fixes b = 4·0.2 = 0.8.
+	if math.Abs(res.b-0.8) > 1e-6 {
+		t.Errorf("b = %v, want 0.8", res.b)
+	}
+}
+
+func TestSolverWithLinearTerm(t *testing.T) {
+	// min ½(α1² + α2²) − α2 s.t. Σα = 1, 0 ≤ α ≤ 1.
+	// Stationarity: α1 = b, α2 − 1 = b ⇒ α = (0, 1) with the box binding
+	// at the lower end for α1: check KKT instead of interior solution.
+	// Interior candidate: α1 = b, α2 = b + 1, sum = 2b + 1 = 1 ⇒ b = 0,
+	// α = (0, 1): feasible with α1 at lower bound, α2 at upper bound.
+	q := [][]float64{{1, 0}, {0, 1}}
+	p := []float64{0, -1}
+	res, err := denseProblem(q, p, 1).solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.alpha[0]-0) > 1e-6 || math.Abs(res.alpha[1]-1) > 1e-6 {
+		t.Errorf("alpha = %v, want (0, 1)", res.alpha)
+	}
+	// Objective ½·1 − 1 = −0.5.
+	if math.Abs(res.obj-(-0.5)) > 1e-6 {
+		t.Errorf("objective = %v, want -0.5", res.obj)
+	}
+}
+
+func TestSolverInfeasibleBox(t *testing.T) {
+	q := [][]float64{{1, 0}, {0, 1}}
+	pr := denseProblem(q, nil, 0.4) // 2 × 0.4 < 1
+	if _, err := pr.solve(); err == nil {
+		t.Error("infeasible box accepted")
+	}
+}
+
+func TestSolverEmpty(t *testing.T) {
+	pr := &smoProblem{n: 0, u: 1}
+	if _, err := pr.solve(); err == nil {
+		t.Error("empty problem accepted")
+	}
+}
+
+func TestSolverMaxIterReported(t *testing.T) {
+	// A hard random PSD problem with a 1-iteration budget must report
+	// non-convergence but still return a feasible α.
+	r := rand.New(rand.NewSource(1))
+	n := 20
+	q := randomPSD(r, n)
+	pr := denseProblem(q, nil, 0.2)
+	pr.maxItr = 1
+	res, err := pr.solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.converged {
+		t.Error("claimed convergence after 1 iteration")
+	}
+	var sum float64
+	for _, a := range res.alpha {
+		if a < -1e-12 || a > 0.2+1e-12 {
+			t.Errorf("alpha out of box: %v", a)
+		}
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σα = %v", sum)
+	}
+}
+
+func TestSolverMatchesQuadraticLowerBound(t *testing.T) {
+	// On random PSD problems the solver's objective must beat (or match)
+	// the uniform feasible point — a weak but fully general optimality
+	// smoke test — and satisfy the KKT tolerance.
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + r.Intn(20)
+		q := randomPSD(r, n)
+		u := 2.0 / float64(n)
+		pr := denseProblem(q, nil, u)
+		res, err := pr.solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniform := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = 1.0 / float64(n)
+		}
+		if res.obj > quadObj(q, uniform)+1e-9 {
+			t.Errorf("trial %d: solver objective %v worse than uniform %v",
+				trial, res.obj, quadObj(q, uniform))
+		}
+		checkSolverKKT(t, q, res, u)
+	}
+}
+
+// quadObj computes ½αᵀQα.
+func quadObj(q [][]float64, alpha []float64) float64 {
+	var obj float64
+	for i := range q {
+		for j := range q {
+			obj += alpha[i] * q[i][j] * alpha[j]
+		}
+	}
+	return obj / 2
+}
+
+// checkSolverKKT verifies the stationarity conditions within tolerance.
+func checkSolverKKT(t *testing.T, q [][]float64, res *smoResult, u float64) {
+	t.Helper()
+	n := len(q)
+	for i := 0; i < n; i++ {
+		var g float64
+		for j := 0; j < n; j++ {
+			g += q[i][j] * res.alpha[j]
+		}
+		switch {
+		case res.alpha[i] <= 1e-10: // at zero: G ≥ b − eps
+			if g < res.b-1e-3 {
+				t.Errorf("KKT violated at zero var %d: G=%v b=%v", i, g, res.b)
+			}
+		case res.alpha[i] >= u-1e-10: // at bound: G ≤ b + eps
+			if g > res.b+1e-3 {
+				t.Errorf("KKT violated at bound var %d: G=%v b=%v", i, g, res.b)
+			}
+		default: // free: G ≈ b
+			if math.Abs(g-res.b) > 1e-3 {
+				t.Errorf("KKT violated at free var %d: G=%v b=%v", i, g, res.b)
+			}
+		}
+	}
+}
+
+// randomPSD builds MᵀM + εI for a random M.
+func randomPSD(r *rand.Rand, n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = r.NormFloat64()
+		}
+	}
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+		for j := range q[i] {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += m[k][i] * m[k][j]
+			}
+			q[i][j] = s
+			if i == j {
+				q[i][j] += 1e-6
+			}
+		}
+	}
+	return q
+}
+
+func TestCalibratedBias(t *testing.T) {
+	// Two at-bound variables with the smallest gradients: b must be the
+	// 2nd-order statistic (0-based index 2).
+	alpha := []float64{0.5, 0.5, 0.2, 0}
+	grad := []float64{1, 2, 3, 4}
+	if got := calibratedBias(alpha, grad, 0.5); got != 3 {
+		t.Errorf("calibratedBias = %v, want 3", got)
+	}
+	// No at-bound variables: b is the smallest gradient (everything
+	// accepted).
+	alpha2 := []float64{0.3, 0.3, 0.4}
+	if got := calibratedBias(alpha2, grad[:3], 0.5); got != 1 {
+		t.Errorf("calibratedBias = %v, want 1", got)
+	}
+	// All at bound: index clamps to len-1.
+	alpha3 := []float64{0.5, 0.5}
+	if got := calibratedBias(alpha3, []float64{7, 9}, 0.5); got != 9 {
+		t.Errorf("calibratedBias = %v, want 9", got)
+	}
+}
+
+func TestEstimateBias(t *testing.T) {
+	// Free variables average.
+	alpha := []float64{0.25, 0.25, 0.5, 0}
+	grad := []float64{2, 4, 1, 9}
+	b, free := estimateBias(alpha, grad, 0.5)
+	if free != 2 || math.Abs(b-3) > 1e-12 {
+		t.Errorf("b = %v free = %d, want 3 with 2 free", b, free)
+	}
+	// No free: midpoint of bound gradients.
+	alpha2 := []float64{0.5, 0}
+	grad2 := []float64{1, 5}
+	b2, free2 := estimateBias(alpha2, grad2, 0.5)
+	if free2 != 0 || math.Abs(b2-3) > 1e-12 {
+		t.Errorf("b = %v free = %d, want 3 with 0 free", b2, free2)
+	}
+}

@@ -1,0 +1,538 @@
+package svm
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"webtxprofile/internal/sparse"
+)
+
+// gaussCluster generates n points around a center in dim dimensions.
+func gaussCluster(r *rand.Rand, n, dim int, center, spread float64) []sparse.Vector {
+	out := make([]sparse.Vector, n)
+	for i := range out {
+		dense := make([]float64, dim)
+		for d := range dense {
+			dense[d] = center + spread*r.NormFloat64()
+		}
+		out[i] = sparse.FromDense(dense)
+	}
+	return out
+}
+
+// binaryCluster generates window-like vectors: a core set of always-on
+// columns plus a few noisy ones, mimicking real feature vectors.
+func binaryCluster(r *rand.Rand, n int, core []int, noise []int, pNoise float64) []sparse.Vector {
+	out := make([]sparse.Vector, n)
+	for i := range out {
+		dense := make(map[int]float64)
+		for _, c := range core {
+			dense[c] = 1
+		}
+		for _, c := range noise {
+			if r.Float64() < pNoise {
+				dense[c] = 1
+			}
+		}
+		out[i] = sparse.New(dense)
+	}
+	return out
+}
+
+func kernelsUnderTest() []Kernel {
+	return []Kernel{
+		Linear(),
+		RBF(0.5),
+		Poly(1, 1, 2),
+		Sigmoid(0.1, 0),
+	}
+}
+
+func TestKernelValues(t *testing.T) {
+	x := sparse.New(map[int]float64{0: 1, 2: 1})
+	y := sparse.New(map[int]float64{0: 1, 1: 1})
+	if got := Linear().Eval(x, y); got != 1 {
+		t.Errorf("linear = %v, want 1", got)
+	}
+	if got := RBF(1).Eval(x, y); math.Abs(got-math.Exp(-2)) > 1e-12 {
+		t.Errorf("rbf = %v, want e^-2", got)
+	}
+	if got := Poly(1, 1, 2).Eval(x, y); got != 4 {
+		t.Errorf("poly = %v, want (1+1)^2 = 4", got)
+	}
+	if got := Sigmoid(1, 0).Eval(x, y); math.Abs(got-math.Tanh(1)) > 1e-12 {
+		t.Errorf("sigmoid = %v, want tanh(1)", got)
+	}
+}
+
+func TestKernelSymmetryAndRBFSelf(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := gaussCluster(r, 20, 6, 0.5, 1)
+	for _, k := range kernelsUnderTest() {
+		for i := 0; i < len(xs); i++ {
+			for j := i; j < len(xs); j++ {
+				a, b := k.Eval(xs[i], xs[j]), k.Eval(xs[j], xs[i])
+				if math.Abs(a-b) > 1e-12 {
+					t.Fatalf("%v not symmetric: %v vs %v", k, a, b)
+				}
+			}
+		}
+	}
+	for _, x := range xs {
+		if got := RBF(0.7).Eval(x, x); math.Abs(got-1) > 1e-12 {
+			t.Errorf("rbf self = %v, want 1", got)
+		}
+	}
+}
+
+func TestEvalNormsMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	xs := gaussCluster(r, 10, 5, 0, 1)
+	for _, k := range kernelsUnderTest() {
+		for i := range xs {
+			for j := range xs {
+				want := k.Eval(xs[i], xs[j])
+				got := k.evalNorms(xs[i], xs[j], xs[i].NormSq(), xs[j].NormSq())
+				if math.Abs(want-got) > 1e-9 {
+					t.Fatalf("%v evalNorms mismatch: %v vs %v", k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	good := kernelsUnderTest()
+	for _, k := range good {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", k, err)
+		}
+	}
+	bad := []Kernel{
+		{},
+		{Kind: KernelKind(99)},
+		{Kind: KernelRBF, Gamma: 0},
+		{Kind: KernelPoly, Gamma: 1, Degree: 0},
+		{Kind: KernelSigmoid, Gamma: -1},
+	}
+	for _, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("%+v accepted", k)
+		}
+	}
+}
+
+func TestParseKernelKindRoundTrip(t *testing.T) {
+	for _, k := range AllKernels {
+		got, err := ParseKernelKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v: %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKernelKind("fourier"); err == nil {
+		t.Error("ParseKernelKind accepted junk")
+	}
+}
+
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for _, a := range []Algorithm{OCSVM, SVDD} {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip %v: %v, %v", a, got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("k-means"); err == nil {
+		t.Error("ParseAlgorithm accepted junk")
+	}
+}
+
+// checkKKT asserts the solver invariants on a trained model's dual
+// solution: Σα = 1 and 0 ≤ αᵢ ≤ U.
+func checkKKT(t *testing.T, m *Model, u float64) {
+	t.Helper()
+	var sum float64
+	for _, a := range m.Coef {
+		if a < -1e-9 || a > u+1e-9 {
+			t.Errorf("coefficient %g outside [0, %g]", a, u)
+		}
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("Σα = %v, want 1", sum)
+	}
+}
+
+func TestOCSVMTrainsOnAllKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := gaussCluster(r, 120, 8, 1, 0.3)
+	for _, k := range kernelsUnderTest() {
+		m, err := TrainOCSVM(xs, 0.1, TrainConfig{Kernel: k})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if !m.Converged {
+			t.Errorf("%v: did not converge in %d iterations", k, m.Iterations)
+		}
+		checkKKT(t, m, 1/(0.1*float64(len(xs))))
+		// ν upper-bounds the training outlier fraction (soft check with
+		// slack for the boundary).
+		self := m.AcceptanceRatio(xs)
+		if self < 1-0.1-0.08 {
+			t.Errorf("%v: self acceptance %.3f too low for nu=0.1", k, self)
+		}
+	}
+}
+
+func TestOCSVMNuControlsSupportVectors(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs := gaussCluster(r, 150, 6, 0, 1)
+	for _, nu := range []float64{0.05, 0.2, 0.5} {
+		m, err := TrainOCSVM(xs, nu, TrainConfig{Kernel: RBF(0.5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ν lower-bounds the support-vector fraction.
+		frac := float64(m.NumSVs()) / float64(len(xs))
+		if frac < nu-0.05 {
+			t.Errorf("nu=%v: SV fraction %.3f below bound", nu, frac)
+		}
+		// And upper-bounds the rejected-training fraction.
+		rejected := 1 - m.AcceptanceRatio(xs)
+		if rejected > nu+0.05 {
+			t.Errorf("nu=%v: rejected fraction %.3f above bound", nu, rejected)
+		}
+	}
+}
+
+func TestOCSVMRejectsFarOutliers(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	train := gaussCluster(r, 100, 6, 1, 0.2)
+	far := gaussCluster(r, 50, 6, 8, 0.2)
+	m, err := TrainOCSVM(train, 0.1, TrainConfig{Kernel: RBF(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AcceptanceRatio(far); got > 0.02 {
+		t.Errorf("far cluster acceptance %.3f, want ~0", got)
+	}
+	if got := m.AcceptanceRatio(train); got < 0.85 {
+		t.Errorf("train acceptance %.3f, want >= 0.85", got)
+	}
+}
+
+func TestSVDDTrainsOnAllKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	xs := gaussCluster(r, 120, 8, 1, 0.3)
+	for _, k := range kernelsUnderTest() {
+		m, err := TrainSVDD(xs, 0.1, TrainConfig{Kernel: k})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		checkKKT(t, m, 0.1)
+		if m.Algo != SVDD {
+			t.Errorf("algo = %v", m.Algo)
+		}
+	}
+}
+
+func TestSVDDGeometryLinearKernel(t *testing.T) {
+	// With a linear kernel and C = 1 (hard SVDD), the decision boundary is
+	// a sphere enclosing all the data: every training point is accepted
+	// and R² ≥ max ‖x − a‖² − tol.
+	r := rand.New(rand.NewSource(5))
+	xs := gaussCluster(r, 60, 4, 0, 1)
+	m, err := TrainSVDD(xs, 1, TrainConfig{Kernel: Linear()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 <= 0 {
+		t.Fatalf("R² = %v, want positive", m.R2)
+	}
+	if got := m.AcceptanceRatio(xs); got < 0.99 {
+		t.Errorf("hard SVDD train acceptance %.3f, want 1", got)
+	}
+}
+
+func TestSVDDRejectsFarOutliers(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	train := gaussCluster(r, 100, 6, 1, 0.2)
+	far := gaussCluster(r, 50, 6, 8, 0.2)
+	m, err := TrainSVDD(train, 0.1, TrainConfig{Kernel: RBF(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AcceptanceRatio(far); got > 0.02 {
+		t.Errorf("far cluster acceptance %.3f, want ~0", got)
+	}
+	if got := m.AcceptanceRatio(train); got < 0.8 {
+		t.Errorf("train acceptance %.3f, want >= 0.8", got)
+	}
+}
+
+func TestSVDDCClampedToFeasible(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := gaussCluster(r, 50, 4, 0, 1)
+	// C below 1/l would make Σα=1 infeasible; the trainer clamps.
+	m, err := TrainSVDD(xs, 1e-6, TrainConfig{Kernel: Linear()})
+	if err != nil {
+		t.Fatalf("clamped SVDD failed: %v", err)
+	}
+	checkKKT(t, m, 1/float64(len(xs))+1e-9)
+}
+
+func TestSVDDFreeSVDecisionIsZero(t *testing.T) {
+	// At any free support vector (0 < α < C) the decision value must be
+	// ~0: the vector lies exactly on the hypersphere (Eq. 11/12).
+	r := rand.New(rand.NewSource(8))
+	xs := gaussCluster(r, 80, 5, 0, 1)
+	c := 0.05
+	m, err := TrainSVDD(xs, c, TrainConfig{Kernel: RBF(0.3), Eps: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i, a := range m.Coef {
+		if a > 1e-6 && a < c-1e-6 {
+			if d := m.Decision(m.SVs[i]); math.Abs(d) > 1e-4 {
+				t.Errorf("free SV %d decision = %g, want ~0", i, d)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no free SVs in this configuration")
+	}
+}
+
+func TestOCSVMFreeSVDecisionIsZero(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	xs := gaussCluster(r, 80, 5, 0, 1)
+	nu := 0.2
+	m, err := TrainOCSVM(xs, nu, TrainConfig{Kernel: RBF(0.3), Eps: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := 1 / (nu * float64(len(xs)))
+	checked := 0
+	for i, a := range m.Coef {
+		if a > 1e-6 && a < u-1e-6 {
+			if d := m.Decision(m.SVs[i]); math.Abs(d) > 1e-4 {
+				t.Errorf("free SV %d decision = %g, want ~0", i, d)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no free SVs in this configuration")
+	}
+}
+
+func TestTrainDispatch(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	xs := gaussCluster(r, 40, 4, 0, 1)
+	cfg := TrainConfig{Kernel: Linear()}
+	mo, err := Train(OCSVM, xs, 0.2, cfg)
+	if err != nil || mo.Algo != OCSVM {
+		t.Errorf("Train(OCSVM): %v %v", mo, err)
+	}
+	ms, err := Train(SVDD, xs, 0.2, cfg)
+	if err != nil || ms.Algo != SVDD {
+		t.Errorf("Train(SVDD): %v %v", ms, err)
+	}
+	if _, err := Train(Algorithm(0), xs, 0.2, cfg); err == nil {
+		t.Error("Train accepted invalid algorithm")
+	}
+}
+
+func TestTrainInputValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	xs := gaussCluster(r, 10, 3, 0, 1)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"empty ocsvm", func() error { _, err := TrainOCSVM(nil, 0.5, TrainConfig{Kernel: Linear()}); return err }},
+		{"empty svdd", func() error { _, err := TrainSVDD(nil, 0.5, TrainConfig{Kernel: Linear()}); return err }},
+		{"nu zero", func() error { _, err := TrainOCSVM(xs, 0, TrainConfig{Kernel: Linear()}); return err }},
+		{"nu above one", func() error { _, err := TrainOCSVM(xs, 1.5, TrainConfig{Kernel: Linear()}); return err }},
+		{"c zero", func() error { _, err := TrainSVDD(xs, 0, TrainConfig{Kernel: Linear()}); return err }},
+		{"bad kernel", func() error { _, err := TrainOCSVM(xs, 0.5, TrainConfig{}); return err }},
+		{"negative eps", func() error {
+			_, err := TrainOCSVM(xs, 0.5, TrainConfig{Kernel: Linear(), Eps: -1})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if tc.run() == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	xs := binaryCluster(r, 60, []int{0, 4, 9}, []int{15, 20, 30}, 0.3)
+	for _, algo := range []Algorithm{OCSVM, SVDD} {
+		m, err := Train(algo, xs, 0.2, TrainConfig{Kernel: RBF(0.5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Model
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		probe := binaryCluster(r, 20, []int{0, 4, 9}, []int{15, 20, 30}, 0.3)
+		for _, x := range probe {
+			a, b := m.Decision(x), back.Decision(x)
+			if math.Abs(a-b) > 1e-12 {
+				t.Errorf("%v: decision drift after round trip: %v vs %v", algo, a, b)
+			}
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	xs := gaussCluster(r, 30, 4, 0, 1)
+	m, err := TrainOCSVM(xs, 0.3, TrainConfig{Kernel: Linear()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("trained model invalid: %v", err)
+	}
+	bad := *m
+	bad.Coef = bad.Coef[:len(bad.Coef)-1]
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched coef length accepted")
+	}
+	bad2 := *m
+	bad2.Algo = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("invalid algorithm accepted")
+	}
+	bad3 := *m
+	bad3.SVs = nil
+	bad3.Coef = nil
+	if err := bad3.Validate(); err == nil {
+		t.Error("empty model accepted")
+	}
+}
+
+func TestAcceptanceRatioEmpty(t *testing.T) {
+	m := &Model{}
+	if got := m.AcceptanceRatio(nil); got != 0 {
+		t.Errorf("empty acceptance = %v", got)
+	}
+}
+
+func TestColumnCacheEviction(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	xs := gaussCluster(r, 50, 4, 0, 1)
+	// Budget of 1 column forces eviction (min 2 columns kept).
+	c := newColumnCache(Linear(), xs, 1, 0)
+	c.maxCols = 2
+	c1 := c.column(1)
+	_ = c.column(2)
+	_ = c.column(3) // evicts column 1
+	c1b := c.column(1)
+	for t2 := range c1 {
+		if c1[t2] != c1b[t2] {
+			t.Fatalf("recomputed column differs at %d", t2)
+		}
+	}
+	if len(c.cols) > 2 {
+		t.Errorf("cache grew past cap: %d", len(c.cols))
+	}
+}
+
+func TestBinaryWindowSeparation(t *testing.T) {
+	// Window-vector-like data: two users with overlapping but distinct
+	// column sets must be separable by both algorithms with a linear
+	// kernel — the setting of the paper's Tab. III where linear wins.
+	r := rand.New(rand.NewSource(15))
+	userA := binaryCluster(r, 150, []int{0, 4, 7, 12}, []int{20, 21, 22}, 0.4)
+	userB := binaryCluster(r, 150, []int{0, 4, 30, 31}, []int{40, 41}, 0.4)
+	for _, algo := range []Algorithm{OCSVM, SVDD} {
+		m, err := Train(algo, userA, 0.1, TrainConfig{Kernel: Linear()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		self := m.AcceptanceRatio(userA)
+		other := m.AcceptanceRatio(userB)
+		if self < 0.85 {
+			t.Errorf("%v: self acceptance %.3f", algo, self)
+		}
+		if other > 0.1 {
+			t.Errorf("%v: other acceptance %.3f", algo, other)
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	xs := gaussCluster(r, 60, 5, 0, 1)
+	m1, err := TrainOCSVM(xs, 0.2, TrainConfig{Kernel: RBF(0.4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainOCSVM(xs, 0.2, TrainConfig{Kernel: RBF(0.4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Rho != m2.Rho || m1.NumSVs() != m2.NumSVs() || m1.Iterations != m2.Iterations {
+		t.Error("training is not deterministic")
+	}
+}
+
+func TestSigmoidIndefiniteKernelStillTrains(t *testing.T) {
+	// The sigmoid kernel is indefinite for large gamma: the SMO curvature
+	// guard (tau) must keep the solver stable and the model usable.
+	r := rand.New(rand.NewSource(21))
+	xs := gaussCluster(r, 80, 6, 1, 0.4)
+	m, err := TrainOCSVM(xs, 0.2, TrainConfig{Kernel: Sigmoid(5, -1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkKKT(t, m, 1/(0.2*float64(len(xs))))
+	if self := m.AcceptanceRatio(xs); self < 0.5 {
+		t.Errorf("self acceptance %.3f collapsed under indefinite kernel", self)
+	}
+}
+
+func TestTrainSingleVector(t *testing.T) {
+	// Degenerate but legal: a single training window.
+	x := sparse.New(map[int]float64{0: 1, 3: 1})
+	for _, algo := range []Algorithm{OCSVM, SVDD} {
+		m, err := Train(algo, []sparse.Vector{x}, 0.5, TrainConfig{Kernel: Linear()})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !m.Accept(x) {
+			t.Errorf("%v: rejects its only training vector", algo)
+		}
+	}
+}
+
+func TestModelAcceptToleranceAtBoundary(t *testing.T) {
+	// Duplicated training windows sit exactly on the decision boundary;
+	// Accept must treat float dust below zero as accepted.
+	x := sparse.New(map[int]float64{0: 1, 5: 1, 9: 1})
+	xs := make([]sparse.Vector, 30)
+	for i := range xs {
+		xs[i] = x
+	}
+	m, err := TrainOCSVM(xs, 0.1, TrainConfig{Kernel: Linear()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Accept(x) {
+		t.Errorf("duplicated training vector rejected (decision %g)", m.Decision(x))
+	}
+}

@@ -1,0 +1,172 @@
+package svm
+
+import (
+	"fmt"
+
+	"webtxprofile/internal/sparse"
+)
+
+// TrainConfig carries the shared training knobs. The zero value of Eps,
+// MaxIter and CacheMB selects sensible defaults.
+type TrainConfig struct {
+	// Kernel is the kernel function; required.
+	Kernel Kernel
+	// Eps is the SMO stopping tolerance (default DefaultEps).
+	Eps float64
+	// MaxIter caps SMO iterations (default scales with training size).
+	MaxIter int
+	// CacheMB bounds the kernel column cache (default 64 MB).
+	CacheMB int
+}
+
+func (c TrainConfig) validate() error {
+	if err := c.Kernel.Validate(); err != nil {
+		return err
+	}
+	if c.Eps < 0 {
+		return fmt.Errorf("svm: negative eps %v", c.Eps)
+	}
+	return nil
+}
+
+// TrainOCSVM fits a ν-one-class SVM (Sect. II-A of the paper) on the
+// training vectors. nu ∈ (0, 1] upper-bounds the fraction of training
+// outliers and lower-bounds the fraction of support vectors.
+//
+// The dual solved is Eq. 5: min ½ΣΣ αᵢαⱼk(xᵢ,xⱼ) s.t. 0 ≤ αᵢ ≤ 1/(νl),
+// Σαᵢ = 1. The offset ρ is recovered from the KKT conditions on free
+// support vectors, giving the decision function of Eq. 6.
+func TrainOCSVM(xs []sparse.Vector, nu float64, cfg TrainConfig) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if nu <= 0 || nu > 1 {
+		return nil, fmt.Errorf("svm: nu = %v out of (0, 1]", nu)
+	}
+	l := len(xs)
+	u := 1 / (nu * float64(l))
+	if u > 1 {
+		u = 1 // νl < 1: the box never binds beyond Σα=1
+	}
+	cache := newColumnCache(cfg.Kernel, xs, 1, cfg.CacheMB)
+	pr := &smoProblem{
+		n:      l,
+		qcol:   cache.column,
+		qdiag:  cache.diagonal(),
+		u:      u,
+		eps:    cfg.Eps,
+		maxItr: cfg.MaxIter,
+	}
+	res, err := pr.solve()
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Algo:       OCSVM,
+		Kernel:     cfg.Kernel,
+		Rho:        calibratedBias(res.alpha, res.grad, u),
+		Param:      nu,
+		TrainSize:  l,
+		Converged:  res.converged,
+		Iterations: res.iters,
+	}
+	m.collectSVs(xs, res.alpha)
+	return m, nil
+}
+
+// TrainSVDD fits a Support Vector Data Description (Sect. II-B of the
+// paper). c is the box penalty C controlling the fraction of training data
+// left outside the hypersphere; it is clamped to [1/l, 1] so the dual
+// (Σα = 1, 0 ≤ αᵢ ≤ C) stays feasible, per LIBSVM convention.
+//
+// The dual solved is Eq. 10 negated: min αᵀKα − Σαᵢk(xᵢ,xᵢ), i.e.
+// Q = 2K and p = −diag(K) in the shared SMO form. The squared radius
+// follows from the KKT multiplier b of the equality constraint:
+// R² = ΣΣ αᵢαⱼk(xᵢ,xⱼ) − b, which equals Eq. 11 evaluated at any free
+// support vector.
+func TrainSVDD(xs []sparse.Vector, c float64, cfg TrainConfig) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("svm: C = %v must be positive", c)
+	}
+	l := len(xs)
+	u := c
+	if min := 1 / float64(l); u < min {
+		u = min
+	}
+	if u > 1 {
+		u = 1
+	}
+	cache := newColumnCache(cfg.Kernel, xs, 2, cfg.CacheMB)
+	diag := cache.diagonal() // = 2·k(xᵢ,xᵢ)
+	p := make([]float64, l)
+	for i := range p {
+		p[i] = -diag[i] / 2
+	}
+	pr := &smoProblem{
+		n:      l,
+		qcol:   cache.column,
+		qdiag:  diag,
+		p:      p,
+		u:      u,
+		eps:    cfg.Eps,
+		maxItr: cfg.MaxIter,
+	}
+	res, err := pr.solve()
+	if err != nil {
+		return nil, err
+	}
+	// sumAA = ΣΣ αᵢαⱼ k(xᵢ,xⱼ) = αᵀKα. The solver's objective is
+	// g(α) = ½αᵀ(2K)α + pᵀα = αᵀKα + pᵀα, hence sumAA = obj − pᵀα.
+	var pa float64
+	for i := range p {
+		pa += res.alpha[i] * p[i]
+	}
+	sumAA := res.obj - pa
+	m := &Model{
+		Algo:       SVDD,
+		Kernel:     cfg.Kernel,
+		R2:         sumAA - calibratedBias(res.alpha, res.grad, u),
+		SumAA:      sumAA,
+		Param:      c,
+		TrainSize:  l,
+		Converged:  res.converged,
+		Iterations: res.iters,
+	}
+	m.collectSVs(xs, res.alpha)
+	return m, nil
+}
+
+// Train dispatches on the algorithm, mapping param to ν (OC-SVM) or C
+// (SVDD) — the paper optimizes exactly this pair per user (Sect. IV-C).
+func Train(algo Algorithm, xs []sparse.Vector, param float64, cfg TrainConfig) (*Model, error) {
+	switch algo {
+	case OCSVM:
+		return TrainOCSVM(xs, param, cfg)
+	case SVDD:
+		return TrainSVDD(xs, param, cfg)
+	default:
+		return nil, fmt.Errorf("svm: unknown algorithm %d", int(algo))
+	}
+}
+
+// collectSVs retains the vectors with αᵢ > 0 (the support vectors,
+// Sect. II-A) and their coefficients.
+func (m *Model) collectSVs(xs []sparse.Vector, alpha []float64) {
+	const tol = 1e-12
+	for i, a := range alpha {
+		if a > tol {
+			m.SVs = append(m.SVs, xs[i])
+			m.Coef = append(m.Coef, a)
+		}
+	}
+	m.svNorms = norms(m.SVs)
+}

@@ -1,0 +1,153 @@
+// Package synth generates synthetic enterprise web-transaction datasets
+// with the statistical shape of the paper's vendor benchmark (Sect. IV-A):
+// tens of users on shared devices over months of traffic, heavy-tailed
+// per-user volumes, small per-user service vocabularies (~18 categories,
+// ~17 media sub-types, ~19 application types on average), Zipf-distributed
+// service preferences (which yields the declining novelty curves of
+// Figs. 1–2), and a confusable cluster of users with near-identical
+// behaviour (the m13–m17 block of Table V).
+//
+// The vendor dataset was itself generated programmatically; this package
+// is the reproduction's substitute for it, per DESIGN.md. All generation
+// is deterministic given Config.Seed.
+package synth
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config parameterizes dataset generation. DefaultConfig returns the
+// paper-shaped configuration; tests use smaller values.
+type Config struct {
+	// Seed drives all randomness; identical configs generate identical
+	// datasets.
+	Seed int64
+	// Users is the total number of synthetic users, including the
+	// under-threshold ones (paper: 36).
+	Users int
+	// SmallUsers of the Users are generated with tiny volumes so they fall
+	// below the paper's 1,500-transaction representativeness threshold
+	// (paper: 11, leaving 25 kept users).
+	SmallUsers int
+	// Devices is the number of distinct source addresses (paper: 35).
+	Devices int
+	// Weeks is the monitoring duration (paper: ~26, six months).
+	Weeks int
+	// Start is the first instant of traffic; defaults to a Monday.
+	Start time.Time
+	// Services is the size of the global service pool users draw from.
+	Services int
+	// Archetypes is the number of behavioural archetypes users cluster
+	// around.
+	Archetypes int
+	// ConfusableUsers makes the first N kept users share one archetype
+	// with nearly identical service pools, producing a confusion block as
+	// in Table V.
+	ConfusableUsers int
+	// ServicesPerUserMin/Max bound the personal service pool size; ~30
+	// services across ~18 categories matches the paper's per-user feature
+	// coverage.
+	ServicesPerUserMin, ServicesPerUserMax int
+	// WeeklyTxMedian is the median of the lognormal weekly transaction
+	// budget across kept users.
+	WeeklyTxMedian float64
+	// WeeklyTxSigma is the lognormal σ of the weekly budget (heavy tail).
+	WeeklyTxSigma float64
+	// MinKeptTx floors the expected total volume of kept (non-small)
+	// users so they stay above the paper's 1,500-transaction
+	// representativeness threshold (the paper's smallest kept user has
+	// 2,514 transactions).
+	MinKeptTx float64
+	// MeanSessionTx is the mean number of transactions per browsing
+	// session.
+	MeanSessionTx float64
+	// PExplore is the probability a visit targets a random service outside
+	// the personal pool — the residual long-term novelty (~5% plateau in
+	// Fig. 1).
+	PExplore float64
+	// ZipfExponent shapes the service preference distribution; larger
+	// values concentrate visits on fewer services.
+	ZipfExponent float64
+	// DriftWeek, when positive, makes the first DriftUsers kept users
+	// switch to a partially different service pool from that week on —
+	// the behavioural drift scenario behind profile refreshing.
+	DriftWeek int
+	// DriftUsers is the number of kept users affected by the drift.
+	DriftUsers int
+}
+
+// DefaultConfig returns the paper-shaped generation parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		Users:              36,
+		SmallUsers:         11,
+		Devices:            35,
+		Weeks:              26,
+		Start:              time.Date(2015, 1, 5, 0, 0, 0, 0, time.UTC), // a Monday
+		Services:           600,
+		Archetypes:         12,
+		ConfusableUsers:    5,
+		ServicesPerUserMin: 22,
+		ServicesPerUserMax: 40,
+		WeeklyTxMedian:     250,
+		WeeklyTxSigma:      1.1,
+		MinKeptTx:          2600,
+		MeanSessionTx:      200,
+		PExplore:           0.01,
+		ZipfExponent:       1.1,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return fmt.Errorf("synth: Users = %d must be positive", c.Users)
+	case c.SmallUsers < 0 || c.SmallUsers >= c.Users:
+		return fmt.Errorf("synth: SmallUsers = %d out of [0, Users)", c.SmallUsers)
+	case c.Devices <= 0:
+		return fmt.Errorf("synth: Devices = %d must be positive", c.Devices)
+	case c.Weeks <= 0:
+		return fmt.Errorf("synth: Weeks = %d must be positive", c.Weeks)
+	case c.Services <= 0:
+		return fmt.Errorf("synth: Services = %d must be positive", c.Services)
+	case c.Archetypes <= 0:
+		return fmt.Errorf("synth: Archetypes = %d must be positive", c.Archetypes)
+	case c.ConfusableUsers < 0 || c.ConfusableUsers > c.Users-c.SmallUsers:
+		return fmt.Errorf("synth: ConfusableUsers = %d exceeds kept users", c.ConfusableUsers)
+	case c.ServicesPerUserMin <= 0 || c.ServicesPerUserMax < c.ServicesPerUserMin:
+		return fmt.Errorf("synth: bad services-per-user range [%d, %d]",
+			c.ServicesPerUserMin, c.ServicesPerUserMax)
+	case c.ServicesPerUserMax > c.Services:
+		return fmt.Errorf("synth: ServicesPerUserMax %d exceeds pool %d",
+			c.ServicesPerUserMax, c.Services)
+	case c.WeeklyTxMedian <= 0:
+		return fmt.Errorf("synth: WeeklyTxMedian = %g must be positive", c.WeeklyTxMedian)
+	case c.WeeklyTxSigma < 0:
+		return fmt.Errorf("synth: WeeklyTxSigma = %g must be non-negative", c.WeeklyTxSigma)
+	case c.MinKeptTx < 0:
+		return fmt.Errorf("synth: MinKeptTx = %g must be non-negative", c.MinKeptTx)
+	case c.MeanSessionTx < 1:
+		return fmt.Errorf("synth: MeanSessionTx = %g must be >= 1", c.MeanSessionTx)
+	case c.PExplore < 0 || c.PExplore > 1:
+		return fmt.Errorf("synth: PExplore = %g out of [0, 1]", c.PExplore)
+	case c.ZipfExponent <= 0:
+		return fmt.Errorf("synth: ZipfExponent = %g must be positive", c.ZipfExponent)
+	case c.DriftWeek < 0 || c.DriftWeek >= c.Weeks:
+		if c.DriftWeek != 0 {
+			return fmt.Errorf("synth: DriftWeek = %d out of [1, Weeks)", c.DriftWeek)
+		}
+	case c.DriftUsers < 0 || (c.DriftWeek > 0 && c.DriftUsers > c.Users-c.SmallUsers):
+		return fmt.Errorf("synth: DriftUsers = %d exceeds kept users", c.DriftUsers)
+	}
+	if c.Start.IsZero() {
+		return fmt.Errorf("synth: Start must be set")
+	}
+	return nil
+}
+
+// KeptUsers returns the number of users expected to survive the
+// representativeness filter.
+func (c Config) KeptUsers() int { return c.Users - c.SmallUsers }

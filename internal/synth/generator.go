@@ -1,0 +1,457 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"webtxprofile/internal/taxonomy"
+	"webtxprofile/internal/weblog"
+)
+
+// user is one synthetic user's behavioural profile.
+type user struct {
+	id string
+	// pool is the ranked personal service list; visits follow a Zipf law
+	// over the ranks, so early entries dominate. driftPool, when non-nil,
+	// replaces pool from the configured drift week on.
+	pool      []*service
+	poolCum   []float64
+	driftPool []*service
+	// devices and deviceCum weight the user's devices (primary first).
+	devices   []string
+	deviceCum []float64
+	// weeklyTx is the user's lognormal weekly transaction budget.
+	weeklyTx float64
+	// seed rebuilds rng at the start of every generation run, so repeated
+	// Generate calls yield identical datasets.
+	seed int64
+	// hourWeights shape the diurnal activity profile.
+	hourWeights [24]float64
+	dayWeights  [7]float64
+	rng         *rand.Rand
+}
+
+// Generator produces synthetic datasets. Create with NewGenerator.
+type Generator struct {
+	cfg      Config
+	tax      *taxonomy.Taxonomy
+	services []*service
+	users    []*user
+}
+
+// NewGenerator validates cfg and precomputes the service pool and user
+// profiles.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Start.IsZero() {
+		cfg.Start = DefaultConfig().Start
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg, tax: taxonomy.Default()}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g.services = buildServices(cfg, g.tax, rng)
+	g.buildUsers(rng)
+	return g, nil
+}
+
+// Taxonomy returns the taxonomy backing the generated labels.
+func (g *Generator) Taxonomy() *taxonomy.Taxonomy { return g.tax }
+
+// UserIDs returns all user ids, kept users first.
+func (g *Generator) UserIDs() []string {
+	out := make([]string, len(g.users))
+	for i, u := range g.users {
+		out[i] = u.id
+	}
+	return out
+}
+
+// KeptUserIDs returns the ids of users expected to pass the
+// representativeness filter.
+func (g *Generator) KeptUserIDs() []string {
+	return g.UserIDs()[:g.cfg.KeptUsers()]
+}
+
+// buildUsers constructs profiles: archetype service rankings, personal
+// pools, device assignments and activity shapes.
+func (g *Generator) buildUsers(rng *rand.Rand) {
+	cfg := g.cfg
+	// Archetypes are distinct rankings over disjoint-ish service subsets.
+	// Each archetype also prefers a few service kinds (page-heavy office
+	// users, video-heavy users, API-heavy developers, ...) so archetypes
+	// differ in their action/scheme/media mix, not just in which hosts
+	// they visit — as distinct roles in an enterprise do.
+	archetypes := make([][]*service, cfg.Archetypes)
+	for a := range archetypes {
+		kindPerm := rng.Perm(int(numKinds))
+		preferred := map[serviceKind]bool{
+			serviceKind(kindPerm[0]): true,
+			serviceKind(kindPerm[1]): true,
+		}
+		perm := rng.Perm(len(g.services))
+		size := min(len(g.services), 3*cfg.ServicesPerUserMax)
+		head := make([]*service, 0, size)
+		tail := make([]*service, 0, size)
+		for _, pi := range perm {
+			svc := g.services[pi]
+			if preferred[svc.kind] {
+				head = append(head, svc)
+			} else {
+				tail = append(tail, svc)
+			}
+		}
+		subset := append(head, tail...)[:size]
+		archetypes[a] = subset
+	}
+
+	devices := make([]string, cfg.Devices)
+	for d := range devices {
+		devices[d] = fmt.Sprintf("10.0.%d.%d", d/250, d%250+1)
+	}
+
+	g.users = make([]*user, cfg.Users)
+	kept := cfg.KeptUsers()
+	// The confusable cluster shares archetype 0 and a common base pool.
+	confusableBase := samplePool(rng, archetypes[0], cfg.ServicesPerUserMin, cfg.ServicesPerUserMax)
+
+	for i := 0; i < cfg.Users; i++ {
+		seed := cfg.Seed ^ (int64(-7046029254386353131) * int64(i+1))
+		u := &user{
+			id:   fmt.Sprintf("user_%d", i+1),
+			seed: seed,
+			rng:  rand.New(rand.NewSource(seed)),
+		}
+		small := i >= kept
+		confusable := i < cfg.ConfusableUsers
+
+		switch {
+		case confusable:
+			// Perturb the shared base slightly: drop a couple of entries,
+			// add a couple of personal ones.
+			u.pool = perturbPool(u.rng, confusableBase, archetypes[0], 2)
+		default:
+			// Non-confusable users spread round-robin over the remaining
+			// archetypes (archetype 0 is reserved for the confusable
+			// cluster when one exists): pairs of users that share an
+			// archetype stay moderately similar, everyone else differs —
+			// the structure of the paper's Table V.
+			ai := 0
+			if cfg.Archetypes > 1 {
+				ai = 1 + i%(cfg.Archetypes-1)
+			}
+			u.pool = samplePool(u.rng, archetypes[ai], cfg.ServicesPerUserMin, cfg.ServicesPerUserMax)
+		}
+		u.poolCum = zipfCum(len(u.pool), cfg.ZipfExponent)
+		if cfg.DriftWeek > 0 && !small && i < cfg.DriftUsers {
+			// Drifted users keep the pool size (so poolCum still applies)
+			// but swap the dominant head of their ranking for services
+			// from a different archetype — visits concentrate on the head
+			// (Zipf), so this changes most of the observed behaviour.
+			other := archetypes[(i+1)%cfg.Archetypes]
+			u.driftPool = driftedPool(u.rng, u.pool, other)
+		}
+
+		// Weekly budget: lognormal around the median; small users get a
+		// fraction that keeps them under the paper's 1,500 threshold.
+		u.weeklyTx = cfg.WeeklyTxMedian * math.Exp(cfg.WeeklyTxSigma*u.rng.NormFloat64())
+		if small {
+			limit := 1400.0 / float64(cfg.Weeks)
+			u.weeklyTx = limit * (0.2 + 0.6*u.rng.Float64())
+		} else if floor := cfg.MinKeptTx / float64(cfg.Weeks); u.weeklyTx < floor {
+			u.weeklyTx = floor
+		}
+
+		// Devices: a primary plus a heavy-tailed count of extras (paper:
+		// 1–17 devices per user). Primary assignment round-robins so every
+		// device sees traffic.
+		nExtra := 0
+		for u.rng.Float64() < 0.45 && nExtra < 16 {
+			nExtra++
+		}
+		primary := devices[i%len(devices)]
+		u.devices = append(u.devices, primary)
+		for _, d := range sampleIndexes(u.rng, len(devices), min(nExtra, len(devices))) {
+			if devices[d] != primary {
+				u.devices = append(u.devices, devices[d])
+			}
+		}
+		u.deviceCum = make([]float64, len(u.devices))
+		cum := 0.0
+		for d := range u.devices {
+			w := 0.3 / float64(max(len(u.devices)-1, 1))
+			if d == 0 {
+				w = 0.7
+			}
+			if len(u.devices) == 1 {
+				w = 1
+			}
+			cum += w
+			u.deviceCum[d] = cum
+		}
+
+		// Diurnal shape: office hours dominate with per-user jitter.
+		for h := 0; h < 24; h++ {
+			base := 0.05
+			switch {
+			case h >= 9 && h <= 11, h >= 13 && h <= 17:
+				base = 1.0
+			case h == 12:
+				base = 0.6
+			case h >= 18 && h <= 22:
+				base = 0.35
+			case h >= 7 && h <= 8:
+				base = 0.4
+			}
+			u.hourWeights[h] = base * (0.7 + 0.6*u.rng.Float64())
+		}
+		for d := 0; d < 7; d++ {
+			w := 1.0
+			if d >= 5 { // Saturday, Sunday
+				w = 0.25
+			}
+			u.dayWeights[d] = w * (0.7 + 0.6*u.rng.Float64())
+		}
+		g.users[i] = u
+	}
+}
+
+// Generate produces the full dataset: every user's traffic over the
+// configured weeks, time-sorted. Generation is idempotent: repeated calls
+// on the same generator return identical datasets (per-user streams are
+// re-seeded on every run).
+func (g *Generator) Generate() *weblog.Dataset {
+	ds := weblog.NewDataset()
+	for _, u := range g.users {
+		u.rng = rand.New(rand.NewSource(u.seed))
+		g.generateUser(ds, u)
+	}
+	ds.SortByTime()
+	return ds
+}
+
+// generateUser emits one user's sessions week by week, switching a
+// drifted user's pool at the drift week.
+func (g *Generator) generateUser(ds *weblog.Dataset, u *user) {
+	cfg := g.cfg
+	basePool := u.pool
+	for week := 0; week < cfg.Weeks; week++ {
+		if u.driftPool != nil && cfg.DriftWeek > 0 && week >= cfg.DriftWeek {
+			u.pool = u.driftPool
+		} else {
+			u.pool = basePool
+		}
+		budget := u.weeklyTx * (0.8 + 0.4*u.rng.Float64())
+		for budget >= 1 {
+			sessionTx := 1 + int(u.rng.ExpFloat64()*(cfg.MeanSessionTx-1))
+			if float64(sessionTx) > budget {
+				sessionTx = int(budget)
+			}
+			if sessionTx < 1 {
+				break
+			}
+			start := g.sessionStart(u, week)
+			device := u.sampleDevice()
+			g.generateSession(ds, u, start, device, sessionTx)
+			budget -= float64(sessionTx)
+		}
+	}
+	u.pool = basePool
+}
+
+// sessionStart draws a session start time within the given week following
+// the user's day/hour profile.
+func (g *Generator) sessionStart(u *user, week int) time.Time {
+	day := sampleWeighted(u.rng, u.dayWeights[:])
+	hour := sampleWeighted(u.rng, u.hourWeights[:])
+	minute := u.rng.Intn(60)
+	second := u.rng.Intn(60)
+	return g.cfg.Start.Add(time.Duration(week*7+day)*24*time.Hour +
+		time.Duration(hour)*time.Hour +
+		time.Duration(minute)*time.Minute +
+		time.Duration(second)*time.Second)
+}
+
+// generateSession emits one browsing session: bursts of transactions to
+// Zipf-chosen services with exponential think times.
+func (g *Generator) generateSession(ds *weblog.Dataset, u *user, start time.Time, device string, txCount int) {
+	ts := start
+	remaining := txCount
+	for remaining > 0 {
+		svc := u.sampleService(g.services, g.cfg.PExplore)
+		// Burst: several transactions against the same service (page plus
+		// assets), geometric-ish length. Pacing targets the paper's window
+		// occupancy (median 54 transactions per 1-minute window).
+		burst := 1 + int(u.rng.ExpFloat64()*6)
+		if burst > remaining {
+			burst = remaining
+		}
+		for b := 0; b < burst; b++ {
+			ds.Add(g.transaction(u, svc, device, ts))
+			// Asset fetches follow quickly; think time between bursts.
+			ts = ts.Add(time.Duration(100+u.rng.Intn(700)) * time.Millisecond)
+		}
+		ts = ts.Add(time.Duration(u.rng.ExpFloat64() * 2500 * float64(time.Millisecond)))
+		remaining -= burst
+	}
+}
+
+// transaction materializes one log record for a service visit.
+func (g *Generator) transaction(u *user, svc *service, device string, ts time.Time) weblog.Transaction {
+	https := u.rng.Float64() < svc.httpsProb
+	scheme := taxonomy.SchemeHTTP
+	if https {
+		scheme = taxonomy.SchemeHTTPS
+	}
+	action := svc.sampleAction(u.rng, https)
+	var mt taxonomy.MediaType
+	if action != taxonomy.ActionConnect && action != taxonomy.ActionHead {
+		mt = svc.sampleMedia(u.rng)
+	}
+	return weblog.Transaction{
+		Timestamp:  ts,
+		Host:       svc.host,
+		Scheme:     scheme,
+		Action:     action,
+		UserID:     u.id,
+		SourceIP:   device,
+		Category:   svc.category,
+		MediaType:  mt,
+		AppType:    svc.appType,
+		Reputation: svc.reputation,
+		Private:    svc.private,
+	}
+}
+
+// sampleService draws from the personal pool by Zipf rank, or explores a
+// random global service with probability pExplore.
+func (u *user) sampleService(global []*service, pExplore float64) *service {
+	if pExplore > 0 && u.rng.Float64() < pExplore {
+		return global[u.rng.Intn(len(global))]
+	}
+	total := u.poolCum[len(u.poolCum)-1]
+	r := u.rng.Float64() * total
+	i := sort.SearchFloat64s(u.poolCum, r)
+	if i >= len(u.pool) {
+		i = len(u.pool) - 1
+	}
+	return u.pool[i]
+}
+
+// sampleDevice draws a device per the user's device weights.
+func (u *user) sampleDevice() string {
+	total := u.deviceCum[len(u.deviceCum)-1]
+	r := u.rng.Float64() * total
+	i := sort.SearchFloat64s(u.deviceCum, r)
+	if i >= len(u.devices) {
+		i = len(u.devices) - 1
+	}
+	return u.devices[i]
+}
+
+// samplePool draws a ranked personal pool from an archetype's ranking.
+func samplePool(rng *rand.Rand, arch []*service, minN, maxN int) []*service {
+	n := minN + rng.Intn(maxN-minN+1)
+	if n > len(arch) {
+		n = len(arch)
+	}
+	// Favor the archetype's head: sample ranks with geometric skew, then
+	// keep rank order (pool is ranked by preference).
+	seen := make(map[int]bool, n)
+	ranks := make([]int, 0, n)
+	for len(ranks) < n {
+		r := int(rng.ExpFloat64() * float64(len(arch)) / 2.2)
+		if r >= len(arch) {
+			r = len(arch) - 1
+		}
+		if !seen[r] {
+			seen[r] = true
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Ints(ranks)
+	pool := make([]*service, n)
+	for i, r := range ranks {
+		pool[i] = arch[r]
+	}
+	return pool
+}
+
+// driftedPool replaces the first half of a ranked pool — the Zipf head
+// that receives most visits — with fresh services from another archetype.
+func driftedPool(rng *rand.Rand, base, other []*service) []*service {
+	pool := make([]*service, len(base))
+	copy(pool, base)
+	inPool := make(map[*service]bool, len(pool))
+	for _, s := range pool {
+		inPool[s] = true
+	}
+	for pos := 0; pos < len(pool)/2; pos++ {
+		for tries := 0; tries < 50; tries++ {
+			cand := other[rng.Intn(len(other))]
+			if !inPool[cand] {
+				inPool[cand] = true
+				delete(inPool, pool[pos])
+				pool[pos] = cand
+				break
+			}
+		}
+	}
+	return pool
+}
+
+// perturbPool copies a base pool with k entries swapped for fresh
+// archetype services — confusable users differ this little.
+func perturbPool(rng *rand.Rand, base, arch []*service, k int) []*service {
+	pool := make([]*service, len(base))
+	copy(pool, base)
+	inPool := make(map[*service]bool, len(pool))
+	for _, s := range pool {
+		inPool[s] = true
+	}
+	for i := 0; i < k; i++ {
+		// Replace a random tail entry with a random unused archetype
+		// service; tail swaps keep the dominant head shared.
+		pos := len(pool)/2 + rng.Intn(len(pool)-len(pool)/2)
+		for tries := 0; tries < 50; tries++ {
+			cand := arch[rng.Intn(len(arch))]
+			if !inPool[cand] {
+				inPool[cand] = true
+				delete(inPool, pool[pos])
+				pool[pos] = cand
+				break
+			}
+		}
+	}
+	return pool
+}
+
+// zipfCum returns cumulative Zipf weights 1/r^s for ranks 1..n.
+func zipfCum(n int, s float64) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / math.Pow(float64(r+1), s)
+		cum[r] = total
+	}
+	return cum
+}
+
+// sampleWeighted draws an index proportionally to weights.
+func sampleWeighted(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

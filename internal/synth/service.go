@@ -1,0 +1,195 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"webtxprofile/internal/taxonomy"
+)
+
+// serviceKind drives a service's media-type and action mix.
+type serviceKind int
+
+const (
+	kindPage serviceKind = iota
+	kindVideo
+	kindAudio
+	kindAPI
+	kindDownload
+	kindIntranet
+	numKinds
+)
+
+// service is one synthetic web destination with fixed augmentation labels,
+// standing in for a (host, logging-service knowledge) pair.
+type service struct {
+	host       string
+	category   string
+	appType    string
+	reputation taxonomy.Reputation
+	private    bool
+	kind       serviceKind
+	// httpsProb is the probability a transaction uses HTTPS (and thus
+	// CONNECT tunnelling part of the time).
+	httpsProb float64
+	// mediaTypes are the response media types this service serves, with
+	// cumulative weights.
+	mediaTypes []taxonomy.MediaType
+	mediaCum   []float64
+}
+
+// buildServices creates the global pool. Category and application
+// assignments concentrate on a subset of the taxonomy so per-user coverage
+// matches the paper (users observe ~18 of 105 categories overall).
+func buildServices(cfg Config, tax *taxonomy.Taxonomy, rng *rand.Rand) []*service {
+	services := make([]*service, cfg.Services)
+	// Active label pools: services cluster on ~half the categories and a
+	// fraction of the app types, mirroring enterprise traffic.
+	nCats := min(len(tax.Categories), 60)
+	nApps := min(len(tax.AppTypes), 300)
+	catPool := sampleIndexes(rng, len(tax.Categories), nCats)
+	appPool := sampleIndexes(rng, len(tax.AppTypes), nApps)
+	for i := range services {
+		kind := serviceKind(rng.Intn(int(numKinds)))
+		cat := tax.Categories[catPool[rng.Intn(len(catPool))]]
+		app := tax.AppTypes[appPool[rng.Intn(len(appPool))]]
+		s := &service{
+			host:     fmt.Sprintf("svc%03d.%s.example.com", i, kindSlug(kind)),
+			category: cat,
+			appType:  app,
+			kind:     kind,
+		}
+		switch r := rng.Float64(); {
+		case r < 0.79:
+			s.reputation = taxonomy.MinimalRisk
+		case r < 0.94:
+			s.reputation = taxonomy.Unverified
+		case r < 0.99:
+			s.reputation = taxonomy.MediumRisk
+		default:
+			s.reputation = taxonomy.HighRisk
+		}
+		if kind == kindIntranet {
+			s.private = true
+			s.httpsProb = 0.2
+		} else {
+			s.httpsProb = 0.3 + 0.5*rng.Float64()
+		}
+		s.assignMedia(tax, rng)
+		services[i] = s
+	}
+	return services
+}
+
+// assignMedia gives the service a kind-appropriate media-type mix.
+func (s *service) assignMedia(tax *taxonomy.Taxonomy, rng *rand.Rand) {
+	super := map[serviceKind]string{
+		kindPage:     "text",
+		kindVideo:    "video",
+		kindAudio:    "audio",
+		kindAPI:      "application",
+		kindDownload: "application",
+		kindIntranet: "text",
+	}[s.kind]
+	primary := tax.MediaTypesOf(super)
+	secondary := tax.MediaTypesOf("image")
+	pick := func(pool []string) taxonomy.MediaType {
+		mt, err := taxonomy.ParseMediaType(pool[rng.Intn(len(pool))])
+		if err != nil {
+			panic("synth: taxonomy produced unparsable media type: " + err.Error())
+		}
+		return mt
+	}
+	// 2-4 media types: mostly the kind's super-type plus image assets.
+	n := 2 + rng.Intn(3)
+	weights := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		var mt taxonomy.MediaType
+		if i == 0 || rng.Float64() < 0.7 {
+			mt = pick(primary)
+		} else {
+			mt = pick(secondary)
+		}
+		s.mediaTypes = append(s.mediaTypes, mt)
+		if i == 0 {
+			weights = append(weights, 1)
+		} else {
+			weights = append(weights, 0.15+0.3*rng.Float64())
+		}
+	}
+	var cum float64
+	s.mediaCum = make([]float64, len(weights))
+	for i, w := range weights {
+		cum += w
+		s.mediaCum[i] = cum
+	}
+}
+
+// sampleMedia draws a media type from the service's mix. A small fraction
+// of transactions (CONNECT tunnels) carry no media type; the caller
+// handles that case.
+func (s *service) sampleMedia(rng *rand.Rand) taxonomy.MediaType {
+	total := s.mediaCum[len(s.mediaCum)-1]
+	r := rng.Float64() * total
+	for i, c := range s.mediaCum {
+		if r <= c {
+			return s.mediaTypes[i]
+		}
+	}
+	return s.mediaTypes[len(s.mediaTypes)-1]
+}
+
+// sampleAction draws an HTTP action given the chosen scheme. HTTPS
+// sessions tunnel via CONNECT part of the time; APIs POST more.
+func (s *service) sampleAction(rng *rand.Rand, https bool) string {
+	r := rng.Float64()
+	if https && r < 0.25 {
+		return taxonomy.ActionConnect
+	}
+	switch s.kind {
+	case kindAPI:
+		switch {
+		case r < 0.55:
+			return taxonomy.ActionGet
+		case r < 0.9:
+			return taxonomy.ActionPost
+		default:
+			return taxonomy.ActionHead
+		}
+	default:
+		switch {
+		case r < 0.85:
+			return taxonomy.ActionGet
+		case r < 0.95:
+			return taxonomy.ActionPost
+		default:
+			return taxonomy.ActionHead
+		}
+	}
+}
+
+func kindSlug(k serviceKind) string {
+	switch k {
+	case kindPage:
+		return "web"
+	case kindVideo:
+		return "video"
+	case kindAudio:
+		return "audio"
+	case kindAPI:
+		return "api"
+	case kindDownload:
+		return "dl"
+	case kindIntranet:
+		return "corp"
+	default:
+		return "misc"
+	}
+}
+
+// sampleIndexes picks k distinct indexes out of [0, n) deterministically
+// from rng.
+func sampleIndexes(rng *rand.Rand, n, k int) []int {
+	perm := rng.Perm(n)
+	return perm[:k]
+}

@@ -1,0 +1,441 @@
+package synth
+
+import (
+	"testing"
+	"time"
+)
+
+// testConfig is a small, fast configuration for unit tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 8
+	cfg.SmallUsers = 2
+	cfg.Devices = 6
+	cfg.Weeks = 3
+	cfg.Services = 120
+	cfg.Archetypes = 3
+	cfg.ConfusableUsers = 2
+	cfg.ServicesPerUserMin = 10
+	cfg.ServicesPerUserMax = 20
+	cfg.WeeklyTxMedian = 120
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := map[string]func(*Config){
+		"zero users":        func(c *Config) { c.Users = 0 },
+		"small >= users":    func(c *Config) { c.SmallUsers = c.Users },
+		"zero devices":      func(c *Config) { c.Devices = 0 },
+		"zero weeks":        func(c *Config) { c.Weeks = 0 },
+		"zero services":     func(c *Config) { c.Services = 0 },
+		"zero archetypes":   func(c *Config) { c.Archetypes = 0 },
+		"confusable > kept": func(c *Config) { c.ConfusableUsers = c.Users },
+		"bad pool range":    func(c *Config) { c.ServicesPerUserMin = 30; c.ServicesPerUserMax = 10 },
+		"pool > services":   func(c *Config) { c.ServicesPerUserMax = c.Services + 1 },
+		"zero median":       func(c *Config) { c.WeeklyTxMedian = 0 },
+		"neg sigma":         func(c *Config) { c.WeeklyTxSigma = -1 },
+		"tiny session":      func(c *Config) { c.MeanSessionTx = 0.5 },
+		"bad explore":       func(c *Config) { c.PExplore = 1.5 },
+		"bad zipf":          func(c *Config) { c.ZipfExponent = 0 },
+		"zero start":        func(c *Config) { c.Start = time.Time{} },
+	}
+	for name, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil && name != "zero start" {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Generate()
+	if ds.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	stats := ds.ComputeStats()
+	if stats.Users != 8 {
+		t.Errorf("users = %d, want 8", stats.Users)
+	}
+	// All transactions must validate.
+	for i := range ds.Transactions {
+		if err := ds.Transactions[i].Validate(); err != nil {
+			t.Fatalf("transaction %d invalid: %v", i, err)
+		}
+	}
+	// Chronological order.
+	for i := 1; i < ds.Len(); i++ {
+		if ds.Transactions[i].Timestamp.Before(ds.Transactions[i-1].Timestamp) {
+			t.Fatal("dataset not sorted")
+		}
+	}
+	// Time span within configured weeks (plus slack for trailing sessions).
+	start, end, _ := ds.TimeSpan()
+	if start.Before(testConfig().Start) {
+		t.Errorf("starts before config start: %v", start)
+	}
+	if end.After(testConfig().Start.Add(time.Duration(testConfig().Weeks)*7*24*time.Hour + 2*time.Hour)) {
+		t.Errorf("ends after configured span: %v", end)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := g1.Generate(), g2.Generate()
+	if d1.Len() != d2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", d1.Len(), d2.Len())
+	}
+	for i := range d1.Transactions {
+		if d1.Transactions[i] != d2.Transactions[i] {
+			t.Fatalf("transaction %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	cfg := testConfig()
+	g1, _ := NewGenerator(cfg)
+	cfg.Seed = 99
+	g2, _ := NewGenerator(cfg)
+	d1, d2 := g1.Generate(), g2.Generate()
+	if d1.Len() == d2.Len() {
+		same := true
+		for i := range d1.Transactions {
+			if d1.Transactions[i] != d2.Transactions[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestSmallUsersFallBelowThreshold(t *testing.T) {
+	cfg := testConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Generate()
+	kept, dropped := ds.FilterMinTransactions(1500)
+	if len(dropped) != cfg.SmallUsers {
+		counts := map[string]int{}
+		for _, u := range ds.Users() {
+			counts[u] = ds.UserCount(u)
+		}
+		t.Fatalf("dropped %v (want %d small users); counts: %v", dropped, cfg.SmallUsers, counts)
+	}
+	if got := len(kept.Users()); got != cfg.KeptUsers() {
+		t.Errorf("kept %d users, want %d", got, cfg.KeptUsers())
+	}
+	for _, u := range g.KeptUserIDs() {
+		if ds.UserCount(u) < 1500 {
+			t.Errorf("kept user %s has only %d transactions", u, ds.UserCount(u))
+		}
+	}
+}
+
+func TestUserVocabularyCoverage(t *testing.T) {
+	// Per-user label coverage should be small relative to the taxonomy —
+	// the paper reports ~18 categories / ~19 app types per user on
+	// average.
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Generate()
+	for _, u := range g.KeptUserIDs() {
+		cats := map[string]bool{}
+		apps := map[string]bool{}
+		for _, tx := range ds.UserTransactions(u) {
+			cats[tx.Category] = true
+			apps[tx.AppType] = true
+		}
+		if len(cats) > 40 {
+			t.Errorf("%s observes %d categories, want a small subset", u, len(cats))
+		}
+		if len(apps) > 45 {
+			t.Errorf("%s observes %d app types, want a small subset", u, len(apps))
+		}
+	}
+}
+
+func TestConfusableUsersOverlap(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := func(a, b *user) float64 {
+		set := map[*service]bool{}
+		for _, s := range a.pool {
+			set[s] = true
+		}
+		n := 0
+		for _, s := range b.pool {
+			if set[s] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(b.pool))
+	}
+	// The confusable pair shares most services.
+	if ov := overlap(g.users[0], g.users[1]); ov < 0.7 {
+		t.Errorf("confusable overlap = %.2f, want >= 0.7", ov)
+	}
+}
+
+func TestDeviceSharing(t *testing.T) {
+	// Enough sessions per user that secondary devices actually see
+	// traffic (sessions are ~MeanSessionTx transactions each).
+	cfg := DefaultConfig()
+	cfg.Weeks = 4
+	cfg.WeeklyTxMedian = 800
+	cfg.MinKeptTx = 3000
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Generate()
+	stats := ds.ComputeStats()
+	if stats.Hosts < cfg.Devices/2 {
+		t.Errorf("only %d devices saw traffic (configured %d)", stats.Hosts, cfg.Devices)
+	}
+	if stats.UsersPerHost < 1.5 {
+		t.Errorf("users per device = %.2f, want shared devices", stats.UsersPerHost)
+	}
+	if stats.HostsPerUserMax < 2 {
+		t.Errorf("max devices per user = %d, want multi-device users", stats.HostsPerUserMax)
+	}
+}
+
+func TestHeavyTailVolumes(t *testing.T) {
+	// Full-length run so the kept-user volume floor (MinKeptTx) does not
+	// flatten the lognormal tail.
+	cfg := DefaultConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Generate()
+	stats := ds.ComputeStats()
+	if stats.MaxPerUser < 4*stats.MedianPerUser {
+		t.Errorf("volume tail too light: max %d vs median %d", stats.MaxPerUser, stats.MedianPerUser)
+	}
+}
+
+func TestGenerateDeviceScenario(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := testConfig().Start.Add(100 * 24 * time.Hour)
+	segments := []Segment{
+		{UserID: "user_1", Offset: 0, Length: 40 * time.Minute},
+		{UserID: "user_4", Offset: 40 * time.Minute, Length: 30 * time.Minute},
+		{UserID: "user_5", Offset: 70 * time.Minute, Length: 30 * time.Minute},
+	}
+	ds, err := g.GenerateDeviceScenario("10.0.0.99", start, segments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 {
+		t.Fatal("empty scenario")
+	}
+	if got := ds.Hosts(); len(got) != 1 || got[0] != "10.0.0.99" {
+		t.Errorf("hosts = %v", got)
+	}
+	users := ds.Users()
+	if len(users) != 3 {
+		t.Fatalf("users = %v", users)
+	}
+	// Every transaction falls in its user's segment.
+	for i := range ds.Transactions {
+		tx := &ds.Transactions[i]
+		var seg *Segment
+		for s := range segments {
+			if segments[s].UserID == tx.UserID {
+				seg = &segments[s]
+			}
+		}
+		lo := start.Add(seg.Offset)
+		hi := lo.Add(seg.Length + 30*time.Second) // burst tail slack
+		if tx.Timestamp.Before(lo) || tx.Timestamp.After(hi) {
+			t.Fatalf("transaction at %v outside segment [%v, %v] for %s",
+				tx.Timestamp, lo, hi, tx.UserID)
+		}
+	}
+}
+
+func TestGenerateDeviceScenarioErrors(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.GenerateDeviceScenario("", time.Now(), nil); err == nil {
+		t.Error("empty device accepted")
+	}
+	_, err = g.GenerateDeviceScenario("10.0.0.1", time.Now(), []Segment{{UserID: "nobody", Length: time.Minute}})
+	if err == nil {
+		t.Error("unknown user accepted")
+	}
+	_, err = g.GenerateDeviceScenario("10.0.0.1", time.Now(), []Segment{{UserID: "user_1", Length: 0}})
+	if err == nil {
+		t.Error("zero-length segment accepted")
+	}
+}
+
+func TestZipfCum(t *testing.T) {
+	cum := zipfCum(4, 1)
+	if len(cum) != 4 {
+		t.Fatalf("len = %d", len(cum))
+	}
+	// 1, 1.5, 1.8333, 2.0833
+	if cum[0] != 1 || cum[3] < 2.08 || cum[3] > 2.09 {
+		t.Errorf("cum = %v", cum)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] <= cum[i-1] {
+			t.Error("not increasing")
+		}
+	}
+}
+
+func TestNoveltyDeclines(t *testing.T) {
+	// The Zipf visit process must yield declining novelty over weeks —
+	// the precondition for Figs. 1–2. Check category novelty for one
+	// mid-size user: week-2 novelty should exceed week-(n-1) novelty.
+	cfg := testConfig()
+	cfg.Weeks = 6
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Generate()
+	u := g.KeptUserIDs()[2]
+	txs := ds.UserTransactions(u)
+	novelty := func(week int) float64 {
+		cut := cfg.Start.Add(time.Duration(week) * 7 * 24 * time.Hour)
+		seen := map[string]bool{}
+		after := map[string]bool{} // observed-after set
+		for _, tx := range txs {
+			if tx.Timestamp.Before(cut) {
+				seen[tx.AppType] = true
+			} else {
+				after[tx.AppType] = true
+			}
+		}
+		if len(after) == 0 {
+			return 0
+		}
+		novel := 0
+		for a := range after {
+			if !seen[a] {
+				novel++
+			}
+		}
+		return float64(novel) / float64(len(after))
+	}
+	early, late := novelty(1), novelty(cfg.Weeks-1)
+	if late > early+1e-9 && late > 0.2 {
+		t.Errorf("novelty grew over time: week1=%.3f week%d=%.3f", early, cfg.Weeks-1, late)
+	}
+}
+
+func TestGenerateIdempotent(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := g.Generate()
+	d2 := g.Generate()
+	if d1.Len() != d2.Len() {
+		t.Fatalf("repeated Generate differs in length: %d vs %d", d1.Len(), d2.Len())
+	}
+	for i := range d1.Transactions {
+		if d1.Transactions[i] != d2.Transactions[i] {
+			t.Fatalf("repeated Generate differs at %d", i)
+		}
+	}
+}
+
+func TestDriftChangesBehaviour(t *testing.T) {
+	cfg := testConfig()
+	cfg.Weeks = 4
+	cfg.DriftWeek = 2
+	cfg.DriftUsers = 1
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Generate()
+	u := g.KeptUserIDs()[0]
+	cut := cfg.Start.Add(2 * 7 * 24 * time.Hour)
+	hostsOf := func(before bool) map[string]bool {
+		out := map[string]bool{}
+		for _, tx := range ds.UserTransactions(u) {
+			if tx.Timestamp.Before(cut) == before {
+				out[tx.Host] = true
+			}
+		}
+		return out
+	}
+	pre, post := hostsOf(true), hostsOf(false)
+	fresh := 0
+	for h := range post {
+		if !pre[h] {
+			fresh++
+		}
+	}
+	if frac := float64(fresh) / float64(len(post)); frac < 0.3 {
+		t.Errorf("post-drift novel-host fraction %.2f, want substantial drift", frac)
+	}
+	// A non-drifted user keeps a stable host set.
+	stable := g.KeptUserIDs()[2]
+	preS, postS := map[string]bool{}, map[string]bool{}
+	for _, tx := range ds.UserTransactions(stable) {
+		if tx.Timestamp.Before(cut) {
+			preS[tx.Host] = true
+		} else {
+			postS[tx.Host] = true
+		}
+	}
+	freshS := 0
+	for h := range postS {
+		if !preS[h] {
+			freshS++
+		}
+	}
+	if len(postS) > 0 && float64(freshS)/float64(len(postS)) > 0.5 {
+		t.Errorf("non-drifted user changed hosts too much: %d/%d", freshS, len(postS))
+	}
+}
+
+func TestDriftConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.DriftWeek = cfg.Weeks
+	if cfg.Validate() == nil {
+		t.Error("DriftWeek == Weeks accepted")
+	}
+	cfg = testConfig()
+	cfg.DriftWeek = 1
+	cfg.DriftUsers = cfg.Users
+	if cfg.Validate() == nil {
+		t.Error("DriftUsers beyond kept users accepted")
+	}
+}

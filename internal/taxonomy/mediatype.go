@@ -1,0 +1,38 @@
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MediaType is a MIME-style media type split into its super-type and
+// sub-type, as the feature extraction in Sect. III-B requires
+// ("video/mp4 -> super-type:video, sub-type:mp4").
+type MediaType struct {
+	Super string
+	Sub   string
+}
+
+// String renders the media type in "super/sub" form.
+func (m MediaType) String() string {
+	return m.Super + "/" + m.Sub
+}
+
+// IsZero reports whether the media type is empty (transaction without a
+// response body, e.g. a CONNECT tunnel).
+func (m MediaType) IsZero() bool {
+	return m.Super == "" && m.Sub == ""
+}
+
+// ParseMediaType splits a "super/sub" string into a MediaType. The empty
+// string parses to the zero MediaType.
+func ParseMediaType(s string) (MediaType, error) {
+	if s == "" {
+		return MediaType{}, nil
+	}
+	super, sub, ok := strings.Cut(s, "/")
+	if !ok || super == "" || sub == "" {
+		return MediaType{}, fmt.Errorf("taxonomy: malformed media type %q", s)
+	}
+	return MediaType{Super: super, Sub: sub}, nil
+}

@@ -1,0 +1,157 @@
+package taxonomy
+
+import "fmt"
+
+// The generators below synthesize label pools of arbitrary size from small
+// seed lists of realistic names. Generation is purely positional (no RNG),
+// so the same size always yields the same pool. Seed lists include the
+// labels quoted by the paper (Games, Restaurants, Phishing, Messaging,
+// Rhapsody, CloudFlare, Speedyshare, video/mp4, text/plain, audio/wav,
+// text/html) so the worked examples from Sect. III parse against the
+// default taxonomy.
+
+var seedCategories = []string{
+	"Games", "Restaurants", "Phishing", "Messaging", "News", "Shopping",
+	"SocialNetworking", "Streaming", "Banking", "Travel", "Education",
+	"Government", "Health", "JobSearch", "Gambling", "Sports", "Weather",
+	"WebMail", "SearchEngines", "Technology", "FileSharing", "Adult",
+	"Advertising", "Auctions", "Blogs", "BusinessServices", "Chat",
+	"CloudStorage", "ContentDelivery", "Dating", "Forums", "Hosting",
+	"InstantMessaging", "Malware", "Music", "OnlineTrading", "Parking",
+	"PersonalSites", "Photography", "Politics", "Portals", "RealEstate",
+	"Religion", "Science", "SoftwareDownloads", "Translation", "VPN",
+	"VideoConferencing", "Webcams", "Wikis",
+}
+
+var categoryQualifiers = []string{
+	"Local", "Global", "Corporate", "Community", "Premium", "Academic",
+	"Regional", "Mobile", "Secure", "Public", "Private", "Archived",
+}
+
+var seedSuperTypes = []string{
+	"text", "image", "video", "audio", "application", "font", "message",
+	"model",
+}
+
+// subTypeStems seed media sub-type generation; the first entries reproduce
+// the sub-types quoted in the paper.
+var subTypeStems = []string{
+	"mp4", "plain", "wav", "html", "css", "javascript", "json", "xml",
+	"png", "jpeg", "gif", "webp", "svg", "bmp", "ico", "tiff",
+	"mpeg", "webm", "ogg", "avi", "quicktime", "flv", "3gpp",
+	"mp3", "aac", "flac", "midi", "opus",
+	"pdf", "zip", "gzip", "octet-stream", "x-tar", "msword", "x-rar",
+	"vnd-excel", "vnd-powerpoint", "x-shockwave-flash", "x-font-ttf",
+	"woff", "woff2", "rfc822", "http", "gltf", "obj", "stl", "x-3ds",
+}
+
+var seedAppTypes = []string{
+	"Rhapsody", "CloudFlare", "Speedyshare", "YouTube", "Netflix",
+	"Spotify", "Dropbox", "Slack", "Skype", "Office365", "GoogleDocs",
+	"Salesforce", "GitHub", "Jira", "Confluence", "Zoom", "WebEx",
+	"Twitter", "Facebook", "LinkedIn", "Instagram", "WhatsAppWeb",
+	"Telegram", "OneDrive", "Box", "AmazonAWS", "Akamai", "Fastly",
+	"Steam", "EpicGames", "Twitch", "Reddit", "Pinterest", "Ebay",
+	"Amazon", "PayPal", "Stripe", "Shopify", "Wordpress", "Drupal",
+	"Joomla", "Magento", "Zendesk", "Intercom", "Mailchimp", "HubSpot",
+	"Tableau", "PowerBI", "Datadog", "NewRelic",
+}
+
+var appQualifiers = []string{
+	"CDN", "API", "Sync", "Mobile", "Beta", "Enterprise", "Analytics",
+	"Auth", "Mail", "Chat", "Media", "Upload",
+}
+
+// generateCategories returns n unique website category labels.
+func generateCategories(n int) []string {
+	return expand(seedCategories, categoryQualifiers, n, func(base, qual string) string {
+		return qual + base
+	})
+}
+
+// generateSuperTypes returns the 8 media super-types.
+func generateSuperTypes() []string {
+	out := make([]string, len(seedSuperTypes))
+	copy(out, seedSuperTypes)
+	return out
+}
+
+// generateSubTypeNames returns n unique media sub-type labels.
+func generateSubTypeNames(n int) []string {
+	return expand(subTypeStems, nil, n, nil)
+}
+
+// generateSubToSuper deterministically assigns each generated sub-type to a
+// super-type. The paper-quoted pairs are pinned so that "video/mp4",
+// "text/plain", "audio/wav" and "text/html" hold in the default taxonomy.
+func generateSubToSuper(n int) map[string]string {
+	pinned := map[string]string{
+		"mp4": "video", "plain": "text", "wav": "audio", "html": "text",
+		"css": "text", "javascript": "application", "json": "application",
+		"xml": "text", "png": "image", "jpeg": "image", "gif": "image",
+		"webp": "image", "svg": "image", "bmp": "image", "ico": "image",
+		"tiff": "image", "mpeg": "video", "webm": "video", "ogg": "audio",
+		"avi": "video", "quicktime": "video", "flv": "video",
+		"3gpp": "video", "mp3": "audio", "aac": "audio", "flac": "audio",
+		"midi": "audio", "opus": "audio", "pdf": "application",
+		"zip": "application", "gzip": "application",
+		"octet-stream": "application", "x-tar": "application",
+		"msword": "application", "x-rar": "application",
+		"vnd-excel": "application", "vnd-powerpoint": "application",
+		"x-shockwave-flash": "application", "x-font-ttf": "font",
+		"woff": "font", "woff2": "font", "rfc822": "message",
+		"http": "message", "gltf": "model", "obj": "model", "stl": "model",
+		"x-3ds": "model",
+	}
+	out := make(map[string]string, n)
+	for i, sub := range generateSubTypeNames(n) {
+		if super, ok := pinned[sub]; ok {
+			out[sub] = super
+			continue
+		}
+		out[sub] = seedSuperTypes[i%len(seedSuperTypes)]
+	}
+	return out
+}
+
+// generateAppTypes returns n unique application-type labels.
+func generateAppTypes(n int) []string {
+	return expand(seedAppTypes, appQualifiers, n, func(base, qual string) string {
+		return base + qual
+	})
+}
+
+// expand grows a seed list to exactly n unique labels. Labels beyond the
+// seeds are formed by combining seeds with qualifiers via join; once those
+// combinations are exhausted a numeric suffix guarantees uniqueness.
+func expand(seeds, qualifiers []string, n int, join func(base, qual string) string) []string {
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	add := func(s string) bool {
+		if len(out) >= n {
+			return false
+		}
+		if _, dup := seen[s]; dup {
+			return true
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+		return len(out) < n
+	}
+	for _, s := range seeds {
+		if !add(s) {
+			return out
+		}
+	}
+	for _, q := range qualifiers {
+		for _, s := range seeds {
+			if !add(join(s, q)) {
+				return out
+			}
+		}
+	}
+	for i := 0; len(out) < n; i++ {
+		add(fmt.Sprintf("%s-%d", seeds[i%len(seeds)], i/len(seeds)+2))
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package taxonomy
+
+import "fmt"
+
+// Reputation is the URL reputation reported by the logging service
+// (Sect. III-A of the paper): Minimal, Medium or High risk when verified,
+// or Unverified.
+type Reputation int
+
+// Reputation levels. Unverified is deliberately the zero value so that an
+// absent reputation field decodes safely.
+const (
+	Unverified Reputation = iota
+	MinimalRisk
+	MediumRisk
+	HighRisk
+)
+
+// Reputations lists all reputation levels in canonical order.
+var Reputations = []Reputation{Unverified, MinimalRisk, MediumRisk, HighRisk}
+
+// reputationNames are the on-disk tokens used in log files.
+var reputationNames = map[Reputation]string{
+	Unverified:  "unverified",
+	MinimalRisk: "minimal-risk",
+	MediumRisk:  "medium-risk",
+	HighRisk:    "high-risk",
+}
+
+// String returns the log-file token for r.
+func (r Reputation) String() string {
+	if s, ok := reputationNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("reputation(%d)", int(r))
+}
+
+// Verified reports whether the logging service verified the URL's
+// reputation. Sect. III-B maps this to the first reputation feature.
+func (r Reputation) Verified() bool {
+	return r != Unverified
+}
+
+// Risk returns the numeric risk feature from Sect. III-B:
+// Minimal = 0, Medium = 0.5, High = 1; Unverified defaults to Minimal = 0.
+func (r Reputation) Risk() float64 {
+	switch r {
+	case MediumRisk:
+		return 0.5
+	case HighRisk:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether r is one of the defined reputation levels.
+func (r Reputation) Valid() bool {
+	_, ok := reputationNames[r]
+	return ok
+}
+
+// ParseReputation converts a log-file token back into a Reputation.
+func ParseReputation(s string) (Reputation, error) {
+	for r, name := range reputationNames {
+		if s == name {
+			return r, nil
+		}
+	}
+	return Unverified, fmt.Errorf("taxonomy: unknown reputation %q", s)
+}

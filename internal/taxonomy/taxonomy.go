@@ -1,0 +1,180 @@
+// Package taxonomy models the proprietary service-knowledge base that the
+// paper's secure web proxy uses to augment transaction logs: website
+// categories, application types, media types and URL reputation levels.
+//
+// The paper's vendor taxonomy is proprietary; this package synthesizes a
+// deterministic stand-in with exactly the cardinalities reported in Table I
+// of the paper (105 categories, 8 media super-types, 257 media sub-types,
+// 464 application types). Label strings are opaque to the downstream
+// classifiers, so only these cardinalities — and which labels co-occur —
+// matter for reproduction.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cardinalities of the label pools, matching Table I of the paper.
+const (
+	NumCategories = 105
+	NumSuperTypes = 8
+	NumSubTypes   = 257
+	NumAppTypes   = 464
+)
+
+// HTTP actions observed in web transaction logs (Sect. III-A).
+const (
+	ActionGet     = "GET"
+	ActionPost    = "POST"
+	ActionConnect = "CONNECT"
+	ActionHead    = "HEAD"
+)
+
+// Actions lists all HTTP actions in canonical order.
+var Actions = []string{ActionGet, ActionPost, ActionConnect, ActionHead}
+
+// URI schemes observed in web transaction logs (Sect. III-A).
+const (
+	SchemeHTTP  = "HTTP"
+	SchemeHTTPS = "HTTPS"
+)
+
+// Schemes lists both URI schemes in canonical order.
+var Schemes = []string{SchemeHTTP, SchemeHTTPS}
+
+// Taxonomy is a complete label universe for the log-augmentation service.
+// All slices are sorted and free of duplicates; membership queries use the
+// accompanying lookup sets.
+type Taxonomy struct {
+	Categories []string
+	SuperTypes []string
+	SubTypes   []string
+	AppTypes   []string
+
+	// SubToSuper maps every media sub-type to its super-type, e.g.
+	// "mp4" -> "video".
+	SubToSuper map[string]string
+
+	categorySet map[string]struct{}
+	superSet    map[string]struct{}
+	subSet      map[string]struct{}
+	appSet      map[string]struct{}
+}
+
+// New builds a taxonomy from explicit label pools. It validates that the
+// pools are duplicate-free and that every sub-type maps to a known
+// super-type.
+func New(categories, superTypes, subTypes, appTypes []string, subToSuper map[string]string) (*Taxonomy, error) {
+	t := &Taxonomy{
+		Categories: sortedCopy(categories),
+		SuperTypes: sortedCopy(superTypes),
+		SubTypes:   sortedCopy(subTypes),
+		AppTypes:   sortedCopy(appTypes),
+		SubToSuper: make(map[string]string, len(subToSuper)),
+	}
+	var err error
+	if t.categorySet, err = toSet("category", t.Categories); err != nil {
+		return nil, err
+	}
+	if t.superSet, err = toSet("super-type", t.SuperTypes); err != nil {
+		return nil, err
+	}
+	if t.subSet, err = toSet("sub-type", t.SubTypes); err != nil {
+		return nil, err
+	}
+	if t.appSet, err = toSet("application-type", t.AppTypes); err != nil {
+		return nil, err
+	}
+	for sub, super := range subToSuper {
+		if _, ok := t.subSet[sub]; !ok {
+			return nil, fmt.Errorf("taxonomy: sub-type mapping references unknown sub-type %q", sub)
+		}
+		if _, ok := t.superSet[super]; !ok {
+			return nil, fmt.Errorf("taxonomy: sub-type %q maps to unknown super-type %q", sub, super)
+		}
+		t.SubToSuper[sub] = super
+	}
+	for _, sub := range t.SubTypes {
+		if _, ok := t.SubToSuper[sub]; !ok {
+			return nil, fmt.Errorf("taxonomy: sub-type %q has no super-type mapping", sub)
+		}
+	}
+	return t, nil
+}
+
+// Default returns the standard synthetic taxonomy with the paper's Table I
+// cardinalities. The result is deterministic: repeated calls return
+// identical label pools.
+func Default() *Taxonomy {
+	t, err := New(
+		generateCategories(NumCategories),
+		generateSuperTypes(),
+		generateSubTypeNames(NumSubTypes),
+		generateAppTypes(NumAppTypes),
+		generateSubToSuper(NumSubTypes),
+	)
+	if err != nil {
+		// The generators are deterministic and tested; a failure here is a
+		// programming error, not an input error.
+		panic("taxonomy: default taxonomy invalid: " + err.Error())
+	}
+	return t
+}
+
+// HasCategory reports whether c is a known website category.
+func (t *Taxonomy) HasCategory(c string) bool {
+	_, ok := t.categorySet[c]
+	return ok
+}
+
+// HasSuperType reports whether s is a known media super-type.
+func (t *Taxonomy) HasSuperType(s string) bool {
+	_, ok := t.superSet[s]
+	return ok
+}
+
+// HasSubType reports whether s is a known media sub-type.
+func (t *Taxonomy) HasSubType(s string) bool {
+	_, ok := t.subSet[s]
+	return ok
+}
+
+// HasAppType reports whether a is a known application type.
+func (t *Taxonomy) HasAppType(a string) bool {
+	_, ok := t.appSet[a]
+	return ok
+}
+
+// MediaTypesOf returns, in deterministic order, the full media type strings
+// ("super/sub") whose super-type is super.
+func (t *Taxonomy) MediaTypesOf(super string) []string {
+	var out []string
+	for _, sub := range t.SubTypes {
+		if t.SubToSuper[sub] == super {
+			out = append(out, super+"/"+sub)
+		}
+	}
+	return out
+}
+
+func sortedCopy(in []string) []string {
+	out := make([]string, len(in))
+	copy(out, in)
+	sort.Strings(out)
+	return out
+}
+
+func toSet(kind string, in []string) (map[string]struct{}, error) {
+	set := make(map[string]struct{}, len(in))
+	for _, v := range in {
+		if v == "" {
+			return nil, fmt.Errorf("taxonomy: empty %s label", kind)
+		}
+		if _, dup := set[v]; dup {
+			return nil, fmt.Errorf("taxonomy: duplicate %s label %q", kind, v)
+		}
+		set[v] = struct{}{}
+	}
+	return set, nil
+}

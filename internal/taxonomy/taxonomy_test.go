@@ -1,0 +1,192 @@
+package taxonomy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDefaultCardinalities(t *testing.T) {
+	tax := Default()
+	if got := len(tax.Categories); got != NumCategories {
+		t.Errorf("categories: got %d, want %d", got, NumCategories)
+	}
+	if got := len(tax.SuperTypes); got != NumSuperTypes {
+		t.Errorf("super-types: got %d, want %d", got, NumSuperTypes)
+	}
+	if got := len(tax.SubTypes); got != NumSubTypes {
+		t.Errorf("sub-types: got %d, want %d", got, NumSubTypes)
+	}
+	if got := len(tax.AppTypes); got != NumAppTypes {
+		t.Errorf("application types: got %d, want %d", got, NumAppTypes)
+	}
+}
+
+func TestDefaultDeterministic(t *testing.T) {
+	a, b := Default(), Default()
+	if !reflect.DeepEqual(a.Categories, b.Categories) {
+		t.Error("categories differ between calls")
+	}
+	if !reflect.DeepEqual(a.SubTypes, b.SubTypes) {
+		t.Error("sub-types differ between calls")
+	}
+	if !reflect.DeepEqual(a.AppTypes, b.AppTypes) {
+		t.Error("application types differ between calls")
+	}
+	if !reflect.DeepEqual(a.SubToSuper, b.SubToSuper) {
+		t.Error("sub-to-super mapping differs between calls")
+	}
+}
+
+func TestDefaultContainsPaperLabels(t *testing.T) {
+	tax := Default()
+	for _, c := range []string{"Games", "Restaurants", "Phishing", "Messaging"} {
+		if !tax.HasCategory(c) {
+			t.Errorf("missing paper category %q", c)
+		}
+	}
+	for _, a := range []string{"Rhapsody", "CloudFlare", "Speedyshare"} {
+		if !tax.HasAppType(a) {
+			t.Errorf("missing paper application type %q", a)
+		}
+	}
+	// Paper-quoted media types must resolve with the right super-type.
+	for sub, super := range map[string]string{
+		"mp4": "video", "plain": "text", "wav": "audio", "html": "text",
+	} {
+		if got := tax.SubToSuper[sub]; got != super {
+			t.Errorf("SubToSuper[%q] = %q, want %q", sub, got, super)
+		}
+	}
+}
+
+func TestSubToSuperComplete(t *testing.T) {
+	tax := Default()
+	for _, sub := range tax.SubTypes {
+		super, ok := tax.SubToSuper[sub]
+		if !ok {
+			t.Fatalf("sub-type %q has no super-type", sub)
+		}
+		if !tax.HasSuperType(super) {
+			t.Fatalf("sub-type %q maps to unknown super-type %q", sub, super)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name       string
+		categories []string
+		subs       []string
+		subToSuper map[string]string
+	}{
+		{"duplicate category", []string{"A", "A"}, []string{"x"}, map[string]string{"x": "text"}},
+		{"empty category", []string{""}, []string{"x"}, map[string]string{"x": "text"}},
+		{"unmapped sub-type", []string{"A"}, []string{"x"}, nil},
+		{"unknown super-type", []string{"A"}, []string{"x"}, map[string]string{"x": "nosuch"}},
+		{"mapping for unknown sub", []string{"A"}, []string{"x"}, map[string]string{"x": "text", "y": "text"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.categories, []string{"text"}, tc.subs, []string{"App"}, tc.subToSuper)
+			if err == nil {
+				t.Fatal("expected validation error, got nil")
+			}
+		})
+	}
+}
+
+func TestMediaTypesOf(t *testing.T) {
+	tax := Default()
+	videos := tax.MediaTypesOf("video")
+	if len(videos) == 0 {
+		t.Fatal("no video media types")
+	}
+	found := false
+	for _, m := range videos {
+		if m == "video/mp4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("video/mp4 not listed under super-type video")
+	}
+}
+
+func TestExpandUniqueAndSized(t *testing.T) {
+	for _, n := range []int{1, 10, 50, 105, 257, 464, 1000} {
+		got := expand(seedCategories, categoryQualifiers, n, func(b, q string) string { return q + b })
+		if len(got) != n {
+			t.Fatalf("expand(n=%d): got %d labels", n, len(got))
+		}
+		seen := make(map[string]struct{}, n)
+		for _, s := range got {
+			if _, dup := seen[s]; dup {
+				t.Fatalf("expand(n=%d): duplicate label %q", n, s)
+			}
+			seen[s] = struct{}{}
+		}
+	}
+}
+
+func TestReputation(t *testing.T) {
+	cases := []struct {
+		r        Reputation
+		verified bool
+		risk     float64
+		token    string
+	}{
+		{Unverified, false, 0, "unverified"},
+		{MinimalRisk, true, 0, "minimal-risk"},
+		{MediumRisk, true, 0.5, "medium-risk"},
+		{HighRisk, true, 1, "high-risk"},
+	}
+	for _, c := range cases {
+		if c.r.Verified() != c.verified {
+			t.Errorf("%v.Verified() = %v", c.r, c.r.Verified())
+		}
+		if c.r.Risk() != c.risk {
+			t.Errorf("%v.Risk() = %v, want %v", c.r, c.r.Risk(), c.risk)
+		}
+		if c.r.String() != c.token {
+			t.Errorf("%v.String() = %q, want %q", c.r, c.r.String(), c.token)
+		}
+		back, err := ParseReputation(c.token)
+		if err != nil || back != c.r {
+			t.Errorf("ParseReputation(%q) = %v, %v", c.token, back, err)
+		}
+		if !c.r.Valid() {
+			t.Errorf("%v.Valid() = false", c.r)
+		}
+	}
+	if _, err := ParseReputation("bogus"); err == nil {
+		t.Error("ParseReputation(bogus) succeeded")
+	}
+	if Reputation(99).Valid() {
+		t.Error("Reputation(99).Valid() = true")
+	}
+}
+
+func TestMediaTypeParse(t *testing.T) {
+	m, err := ParseMediaType("video/mp4")
+	if err != nil {
+		t.Fatalf("ParseMediaType: %v", err)
+	}
+	if m.Super != "video" || m.Sub != "mp4" {
+		t.Errorf("got %+v", m)
+	}
+	if m.String() != "video/mp4" {
+		t.Errorf("String() = %q", m.String())
+	}
+	if m.IsZero() {
+		t.Error("IsZero() = true for video/mp4")
+	}
+	z, err := ParseMediaType("")
+	if err != nil || !z.IsZero() {
+		t.Errorf("empty media type: %+v, %v", z, err)
+	}
+	for _, bad := range []string{"video", "/mp4", "video/"} {
+		if _, err := ParseMediaType(bad); err == nil {
+			t.Errorf("ParseMediaType(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package weblog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Dataset is an in-memory collection of transactions with per-user and
+// per-host views. The profiling pipeline slices it chronologically
+// (train/test epochs, Sect. IV-B) and by entity (user-specific vs
+// host-specific windowing, Sect. III-C/D).
+type Dataset struct {
+	Transactions []Transaction
+
+	sorted  bool
+	byUser  map[string][]int
+	byHost  map[string][]int
+	indexed bool
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{}
+}
+
+// FromTransactions builds a dataset from a slice (which is retained).
+func FromTransactions(txs []Transaction) *Dataset {
+	ds := &Dataset{Transactions: txs}
+	ds.SortByTime()
+	return ds
+}
+
+// Add appends one transaction, invalidating indexes.
+func (d *Dataset) Add(tx Transaction) {
+	d.Transactions = append(d.Transactions, tx)
+	d.sorted = false
+	d.indexed = false
+}
+
+// Len returns the number of transactions.
+func (d *Dataset) Len() int { return len(d.Transactions) }
+
+// SortByTime sorts transactions chronologically (stable, so equal
+// timestamps keep input order).
+func (d *Dataset) SortByTime() {
+	if d.sorted {
+		return
+	}
+	sort.SliceStable(d.Transactions, func(i, j int) bool {
+		return d.Transactions[i].Timestamp.Before(d.Transactions[j].Timestamp)
+	})
+	d.sorted = true
+	d.indexed = false
+}
+
+func (d *Dataset) buildIndex() {
+	if d.indexed {
+		return
+	}
+	d.SortByTime()
+	d.byUser = make(map[string][]int)
+	d.byHost = make(map[string][]int)
+	for i := range d.Transactions {
+		tx := &d.Transactions[i]
+		d.byUser[tx.UserID] = append(d.byUser[tx.UserID], i)
+		d.byHost[tx.SourceIP] = append(d.byHost[tx.SourceIP], i)
+	}
+	d.indexed = true
+}
+
+// Users returns all user ids in deterministic (sorted) order.
+func (d *Dataset) Users() []string {
+	d.buildIndex()
+	users := make([]string, 0, len(d.byUser))
+	for u := range d.byUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	return users
+}
+
+// Hosts returns all source addresses in deterministic (sorted) order.
+func (d *Dataset) Hosts() []string {
+	d.buildIndex()
+	hosts := make([]string, 0, len(d.byHost))
+	for h := range d.byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// UserCount returns the number of transactions for user id.
+func (d *Dataset) UserCount(id string) int {
+	d.buildIndex()
+	return len(d.byUser[id])
+}
+
+// UserTransactions returns the chronologically ordered transactions of one
+// user. The returned slice is freshly allocated.
+func (d *Dataset) UserTransactions(id string) []Transaction {
+	d.buildIndex()
+	return d.collect(d.byUser[id])
+}
+
+// HostTransactions returns the chronologically ordered transactions seen
+// from one source address. The returned slice is freshly allocated.
+func (d *Dataset) HostTransactions(ip string) []Transaction {
+	d.buildIndex()
+	return d.collect(d.byHost[ip])
+}
+
+func (d *Dataset) collect(idx []int) []Transaction {
+	out := make([]Transaction, len(idx))
+	for k, i := range idx {
+		out[k] = d.Transactions[i]
+	}
+	return out
+}
+
+// TimeSpan returns the timestamps of the first and last transactions.
+// ok is false for an empty dataset.
+func (d *Dataset) TimeSpan() (start, end time.Time, ok bool) {
+	if len(d.Transactions) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	d.SortByTime()
+	return d.Transactions[0].Timestamp, d.Transactions[len(d.Transactions)-1].Timestamp, true
+}
+
+// FilterMinTransactions returns a new dataset containing only users with
+// at least min transactions, plus the ids of the dropped users. The paper
+// drops users with fewer than 1,500 transactions (Sect. IV-A).
+func (d *Dataset) FilterMinTransactions(min int) (*Dataset, []string) {
+	d.buildIndex()
+	keep := make(map[string]bool, len(d.byUser))
+	var dropped []string
+	for u, idx := range d.byUser {
+		if len(idx) >= min {
+			keep[u] = true
+		} else {
+			dropped = append(dropped, u)
+		}
+	}
+	sort.Strings(dropped)
+	out := NewDataset()
+	for i := range d.Transactions {
+		if keep[d.Transactions[i].UserID] {
+			out.Add(d.Transactions[i])
+		}
+	}
+	out.SortByTime()
+	out.sorted = true
+	return out, dropped
+}
+
+// SplitChronological splits each user's transactions at the given fraction
+// (0 < frac < 1): the oldest frac go to train, the remainder to test. This
+// is the per-user 75/25 split of Sect. IV-B.
+func (d *Dataset) SplitChronological(frac float64) (train, test *Dataset, err error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("weblog: split fraction %v out of (0,1)", frac)
+	}
+	d.buildIndex()
+	train, test = NewDataset(), NewDataset()
+	for _, u := range d.Users() {
+		idx := d.byUser[u]
+		cut := int(float64(len(idx)) * frac)
+		for k, i := range idx {
+			if k < cut {
+				train.Add(d.Transactions[i])
+			} else {
+				test.Add(d.Transactions[i])
+			}
+		}
+	}
+	train.SortByTime()
+	test.SortByTime()
+	return train, test, nil
+}
+
+// SplitAtTime splits the dataset into transactions strictly before t
+// (observed) and at-or-after t (subsequent). Used by the novelty analysis
+// of Sect. IV-B.
+func (d *Dataset) SplitAtTime(t time.Time) (observed, subsequent *Dataset) {
+	d.SortByTime()
+	observed, subsequent = NewDataset(), NewDataset()
+	for i := range d.Transactions {
+		if d.Transactions[i].Timestamp.Before(t) {
+			observed.Add(d.Transactions[i])
+		} else {
+			subsequent.Add(d.Transactions[i])
+		}
+	}
+	observed.sorted = true
+	subsequent.sorted = true
+	return observed, subsequent
+}
+
+// Stats summarizes a dataset the way Sect. IV-A reports the vendor
+// benchmark: transaction total, user/device counts and the distribution of
+// per-user volumes.
+type Stats struct {
+	Transactions  int
+	Users         int
+	Hosts         int
+	MinPerUser    int
+	MedianPerUser int
+	MaxPerUser    int
+	// UsersPerHost is the mean number of distinct users per device.
+	UsersPerHost float64
+	// HostsPerUserMin/Max bound the devices-per-user distribution.
+	HostsPerUserMin int
+	HostsPerUserMax int
+}
+
+// ComputeStats derives summary statistics.
+func (d *Dataset) ComputeStats() Stats {
+	d.buildIndex()
+	s := Stats{
+		Transactions: len(d.Transactions),
+		Users:        len(d.byUser),
+		Hosts:        len(d.byHost),
+	}
+	counts := make([]int, 0, len(d.byUser))
+	for _, idx := range d.byUser {
+		counts = append(counts, len(idx))
+	}
+	sort.Ints(counts)
+	if len(counts) > 0 {
+		s.MinPerUser = counts[0]
+		s.MedianPerUser = counts[len(counts)/2]
+		s.MaxPerUser = counts[len(counts)-1]
+	}
+	usersOnHost := make(map[string]map[string]bool)
+	hostsOfUser := make(map[string]map[string]bool)
+	for i := range d.Transactions {
+		tx := &d.Transactions[i]
+		if usersOnHost[tx.SourceIP] == nil {
+			usersOnHost[tx.SourceIP] = make(map[string]bool)
+		}
+		usersOnHost[tx.SourceIP][tx.UserID] = true
+		if hostsOfUser[tx.UserID] == nil {
+			hostsOfUser[tx.UserID] = make(map[string]bool)
+		}
+		hostsOfUser[tx.UserID][tx.SourceIP] = true
+	}
+	var totalUsers int
+	for _, us := range usersOnHost {
+		totalUsers += len(us)
+	}
+	if len(usersOnHost) > 0 {
+		s.UsersPerHost = float64(totalUsers) / float64(len(usersOnHost))
+	}
+	first := true
+	for _, hs := range hostsOfUser {
+		n := len(hs)
+		if first {
+			s.HostsPerUserMin, s.HostsPerUserMax = n, n
+			first = false
+			continue
+		}
+		if n < s.HostsPerUserMin {
+			s.HostsPerUserMin = n
+		}
+		if n > s.HostsPerUserMax {
+			s.HostsPerUserMax = n
+		}
+	}
+	return s
+}
+
+// BusiestHost returns the source address with the most transactions
+// (ties broken lexicographically); ok is false for an empty dataset.
+func (d *Dataset) BusiestHost() (host string, ok bool) {
+	d.buildIndex()
+	bestN := -1
+	for _, h := range d.Hosts() {
+		if n := len(d.byHost[h]); n > bestN {
+			host, bestN = h, n
+		}
+	}
+	return host, bestN >= 0
+}

@@ -1,0 +1,115 @@
+package weblog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Header is the first line of a transaction log file. It names the fields
+// so the format is self-describing.
+const Header = "# timestamp, host, scheme, action, user, source-ip, category, media-type, application-type, reputation, visibility"
+
+// Writer streams transactions to an io.Writer in the log-line format.
+type Writer struct {
+	bw       *bufio.Writer
+	wroteHdr bool
+	count    int
+}
+
+// NewWriter wraps w. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one transaction. The header line is emitted before the
+// first record.
+func (w *Writer) Write(tx Transaction) error {
+	if err := tx.Validate(); err != nil {
+		return err
+	}
+	if !w.wroteHdr {
+		if _, err := w.bw.WriteString(Header + "\n"); err != nil {
+			return err
+		}
+		w.wroteHdr = true
+	}
+	if _, err := w.bw.WriteString(tx.MarshalLine()); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.count }
+
+// Flush flushes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams transactions from an io.Reader, skipping header and
+// comment lines (prefix '#') and blank lines.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next transaction, or io.EOF when the input is
+// exhausted. Malformed lines return an error identifying the line number.
+func (r *Reader) Read() (Transaction, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tx, err := ParseLine(line)
+		if err != nil {
+			return Transaction{}, fmt.Errorf("weblog: line %d: %w", r.line, err)
+		}
+		return tx, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Transaction{}, err
+	}
+	return Transaction{}, io.EOF
+}
+
+// ReadAll consumes the remaining input into a Dataset.
+func (r *Reader) ReadAll() (*Dataset, error) {
+	ds := NewDataset()
+	for {
+		tx, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		ds.Add(tx)
+	}
+	ds.SortByTime()
+	return ds, nil
+}
+
+// WriteDataset writes all transactions of ds to w in time order.
+func WriteDataset(w io.Writer, ds *Dataset) error {
+	lw := NewWriter(w)
+	for i := range ds.Transactions {
+		if err := lw.Write(ds.Transactions[i]); err != nil {
+			return err
+		}
+	}
+	return lw.Flush()
+}
