@@ -7,12 +7,16 @@
 package webtxprofile_test
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
+	"webtxprofile"
 	"webtxprofile/internal/experiments"
 	"webtxprofile/internal/features"
+	"webtxprofile/internal/sparse"
 	"webtxprofile/internal/svm"
 	"webtxprofile/internal/weblog"
 )
@@ -231,5 +235,138 @@ func BenchmarkLogParse(b *testing.B) {
 		if _, err := weblog.ParseLine(line); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// syntheticLinearModel hand-assembles a linear OC-SVM with nsv random
+// support vectors (window-shaped: ~20 non-zeros over 800 columns) plus
+// probe vectors; Validate populates the weight-vector fast path.
+func syntheticLinearModel(b *testing.B, nsv int) (*svm.Model, []sparse.Vector) {
+	b.Helper()
+	r := rand.New(rand.NewSource(int64(nsv)))
+	randVec := func(dim, nnz int) sparse.Vector {
+		dense := make(map[int]float64, nnz)
+		for len(dense) < nnz {
+			dense[r.Intn(dim)] = 0.1 + r.Float64()
+		}
+		return sparse.New(dense)
+	}
+	m := &svm.Model{Algo: svm.OCSVM, Kernel: svm.Linear(), Param: 0.1, TrainSize: nsv, Rho: 1}
+	for i := 0; i < nsv; i++ {
+		m.SVs = append(m.SVs, randVec(800, 20))
+		m.Coef = append(m.Coef, 0.01+r.Float64())
+	}
+	if err := m.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	probes := make([]sparse.Vector, 256)
+	for i := range probes {
+		probes[i] = randVec(800, 20)
+	}
+	return m, probes
+}
+
+// BenchmarkDecisionLinear compares the precomputed-weight-vector fast path
+// against the per-support-vector kernel sum at growing support-vector
+// counts — the tentpole speedup: the fast path is O(nnz(x)) regardless of
+// the SV count, the generic path O(#SVs × nnz).
+func BenchmarkDecisionLinear(b *testing.B) {
+	for _, nsv := range []int{50, 200, 800} {
+		m, probes := syntheticLinearModel(b, nsv)
+		b.Run(fmt.Sprintf("fast/svs=%d", nsv), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Decision(probes[i%len(probes)])
+			}
+		})
+		b.Run(fmt.Sprintf("generic/svs=%d", nsv), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.DecisionGeneric(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+// BenchmarkDecisionBatch measures one window scored against a fleet of
+// linear models through the batch scorer — the per-window cost of the
+// streaming identification loop.
+func BenchmarkDecisionBatch(b *testing.B) {
+	const fleet = 32
+	models := make([]*svm.Model, fleet)
+	var probes []sparse.Vector
+	for i := range models {
+		models[i], probes = syntheticLinearModel(b, 60+i)
+	}
+	sc := svm.NewScorer(models)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Decisions(probes[i%len(probes)])
+	}
+}
+
+// monitorBenchSet trains a compact profile set once for the monitor feed
+// benchmarks.
+var (
+	monitorSetOnce sync.Once
+	monitorSetVal  *webtxprofile.ProfileSet
+	monitorSetErr  error
+)
+
+func monitorBenchSet(b *testing.B) *webtxprofile.ProfileSet {
+	b.Helper()
+	env := benchEnv(b)
+	monitorSetOnce.Do(func() {
+		monitorSetVal, monitorSetErr = webtxprofile.BuildProfiles(env.Train, webtxprofile.Config{
+			MaxTrainWindows: 200,
+			Train:           svm.TrainConfig{CacheMB: 16},
+		})
+	})
+	if monitorSetErr != nil {
+		b.Fatal(monitorSetErr)
+	}
+	return monitorSetVal
+}
+
+// BenchmarkMonitorFeed measures sharded-monitor ingest throughput
+// (transactions/op = 1) with the device population the paper's deployment
+// scenario implies: every transaction is routed to its device's streaming
+// identifier and completed windows are scored against every profile.
+func BenchmarkMonitorFeed(b *testing.B) {
+	for _, devices := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			set := monitorBenchSet(b)
+			env := benchEnv(b)
+			mon, err := webtxprofile.NewMonitorWithConfig(set, 5, func(webtxprofile.Alert) {},
+				webtxprofile.MonitorConfig{Shards: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mon.Close()
+			names := make([]string, devices)
+			for i := range names {
+				names[i] = fmt.Sprintf("10.%d.%d.%d", i>>16&0xff, i>>8&0xff, i&0xff)
+			}
+			base := env.Train.Transactions
+			start := base[len(base)-1].Timestamp.Add(time.Hour)
+			const batchSize = 512
+			batch := make([]webtxprofile.Transaction, 0, batchSize)
+			b.ResetTimer()
+			fed := 0
+			for fed < b.N {
+				n := min(batchSize, b.N-fed)
+				batch = batch[:0]
+				for j := 0; j < n; j++ {
+					tx := base[(fed+j)%len(base)]
+					tx.SourceIP = names[(fed+j)%devices]
+					tx.Timestamp = start.Add(time.Duration(fed+j) * 50 * time.Millisecond)
+					batch = append(batch, tx)
+				}
+				if err := mon.FeedBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				fed += n
+			}
+			b.StopTimer()
+			mon.Flush()
+		})
 	}
 }

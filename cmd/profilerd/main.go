@@ -5,9 +5,17 @@
 // for automatic logout (continuous authentication) or administrator alerts
 // (intrusion monitoring).
 //
+// The live path is the sharded streaming engine: parsed transactions are
+// batched per connection and fed through Monitor.FeedBatch, devices are
+// lock-striped across -shards shards (each with its own scoring scratch),
+// alerts are delivered from a dedicated goroutine rather than under a
+// lock, and devices idle longer than -idle-ttl (in stream time) are
+// evicted so tracked-device memory stays bounded.
+//
 // Usage:
 //
-//	profilerd -bundle profiles.gz -listen 127.0.0.1:7000 -k 5
+//	profilerd -bundle profiles.gz -listen 127.0.0.1:7000 -k 5 \
+//	          -shards 16 -idle-ttl 1h -batch 256
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"webtxprofile"
 )
@@ -30,9 +39,12 @@ func main() {
 
 func run() error {
 	var (
-		bundle = flag.String("bundle", "profiles.gz", "trained profile bundle")
-		listen = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
-		k      = flag.Int("k", 5, "consecutive accepted windows for identification")
+		bundle  = flag.String("bundle", "profiles.gz", "trained profile bundle")
+		listen  = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
+		k       = flag.Int("k", 5, "consecutive accepted windows for identification")
+		shards  = flag.Int("shards", 16, "device lock stripes in the monitor")
+		idleTTL = flag.Duration("idle-ttl", time.Hour, "evict devices idle this long in stream time (0 disables)")
+		batch   = flag.Int("batch", 256, "max transactions per ingestion batch")
 	)
 	flag.Parse()
 
@@ -42,36 +54,44 @@ func run() error {
 	}
 	logger := log.New(os.Stdout, "profilerd: ", log.LstdFlags)
 
-	mon, err := webtxprofile.NewMonitor(set, *k, func(a webtxprofile.Alert) {
-		at := a.Event.Window.Start.Format("15:04:05")
-		switch a.Kind {
-		case webtxprofile.AlertIdentified:
+	mon, err := webtxprofile.NewMonitorWithConfig(set, *k, func(a webtxprofile.Alert) {
+		switch {
+		case a.Kind == webtxprofile.AlertIdentified:
 			logger.Printf("device %s: identified %s (window %s, %d models accepted)",
-				a.Device, a.User, at, len(a.Event.Accepted))
-		case webtxprofile.AlertLost:
+				a.Device, a.User, a.Event.Window.Start.Format("15:04:05"), len(a.Event.Accepted))
+		case a.Kind == webtxprofile.AlertLost && a.Event.Window.Start.IsZero():
+			// Idle eviction: the session ended silently, with no closing
+			// window.
+			logger.Printf("device %s: ALERT — %s's session ended (device idle, evicted)",
+				a.Device, a.User)
+		case a.Kind == webtxprofile.AlertLost:
 			logger.Printf("device %s: ALERT — activity no longer matches %s (window %s)",
-				a.Device, a.User, at)
+				a.Device, a.User, a.Event.Window.Start.Format("15:04:05"))
 		}
-	})
+	}, webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL})
 	if err != nil {
 		return err
 	}
 
-	srv, err := webtxprofile.ListenCollector(*listen, func(tx webtxprofile.Transaction) {
-		if err := mon.Feed(tx); err != nil {
-			logger.Printf("device %s: %v", tx.SourceIP, err)
+	srv, err := webtxprofile.ListenCollectorBatch(*listen, func(txs []webtxprofile.Transaction) {
+		if err := mon.FeedBatch(txs); err != nil {
+			logger.Printf("feed: %v", err)
 		}
-	})
+	}, webtxprofile.CollectorBatchConfig{MaxBatch: *batch})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	logger.Printf("listening on %s with %d profiles (k=%d)", srv.Addr(), len(set.Profiles), *k)
+	logger.Printf("listening on %s with %d profiles (k=%d, %d shards, idle-ttl %v)",
+		srv.Addr(), len(set.Profiles), *k, *shards, *idleTTL)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	srv.Close() // stop ingestion before the final flush
+	devices := mon.Devices()
 	mon.Flush()
-	logger.Printf("shutting down after monitoring %d devices", mon.Devices())
+	mon.Close()
+	logger.Printf("shutting down after monitoring %d devices", devices)
 	return nil
 }

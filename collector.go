@@ -9,10 +9,22 @@ type CollectorServer = collector.Server
 // CollectorClient streams transactions to a CollectorServer.
 type CollectorClient = collector.Client
 
+// CollectorBatchConfig tunes batched ingestion (batch size, flush
+// interval); the zero value selects the defaults.
+type CollectorBatchConfig = collector.BatchConfig
+
 // ListenCollector starts a TCP log collector on addr; handler receives
 // every parsed transaction (from per-connection goroutines).
 func ListenCollector(addr string, handler func(Transaction)) (*CollectorServer, error) {
 	return collector.Listen(addr, collector.Handler(handler))
+}
+
+// ListenCollectorBatch starts a TCP log collector that delivers parsed
+// transactions in batches — pair it with Monitor.FeedBatch so each shard
+// lock is taken once per batch. The batch slice is reused after the
+// handler returns.
+func ListenCollectorBatch(addr string, handler func([]Transaction), cfg CollectorBatchConfig) (*CollectorServer, error) {
+	return collector.ListenBatch(addr, collector.BatchHandler(handler), cfg)
 }
 
 // DialCollector connects a log-producing client to a collector.

@@ -20,6 +20,29 @@
 //	// handle err
 //	fmt.Println(cm.Mean()) // ACC_self / ACC_other / ACC
 //
+// # Streaming identification engine
+//
+// The live path — the proxy-side daemon of the paper's deployment
+// scenario — is a sharded, allocation-lean engine:
+//
+//   - Linear-kernel models precompute the dense weight vector w = Σᵢ αᵢxᵢ,
+//     so each decision is one O(nnz(x)) sparse-dense dot product instead
+//     of a per-support-vector kernel sum; a batch scorer evaluates one
+//     window against every profile with reusable scratch buffers.
+//   - The Monitor lock-stripes devices across configurable shards
+//     (MonitorConfig.Shards); each device hashes to one shard, preserving
+//     per-device event order while devices on different shards feed in
+//     parallel (Feed or the batched FeedBatch).
+//   - Alerts are delivered in enqueue order from a dedicated goroutine
+//     rather than under a lock; Flush waits for delivery, Close stops the
+//     engine.
+//   - Devices idle longer than MonitorConfig.IdleTTL (in stream time) are
+//     flushed and evicted, bounding tracked-device memory.
+//
+// The collector can deliver parsed transactions in batches
+// (ListenCollectorBatch), pairing with FeedBatch so each shard lock is
+// taken once per batch.
+//
 // See the examples/ directory for runnable end-to-end programs and
 // DESIGN.md for the experiment-by-experiment reproduction map.
 package webtxprofile

@@ -64,6 +64,10 @@ func main() {
 			alertCount.Add(1)
 			fmt.Printf("[%s] device %s: ALERT — %s's session is now used by %s\n",
 				at, a.Device, a.Previous, a.User)
+		case a.Kind == webtxprofile.AlertLost && a.Event.Window.Start.IsZero():
+			alertCount.Add(1)
+			fmt.Printf("device %s: ALERT — %s's session ended (device idle, evicted)\n",
+				a.Device, a.User)
 		case a.Kind == webtxprofile.AlertLost:
 			alertCount.Add(1)
 			fmt.Printf("[%s] device %s: ALERT — behaviour no longer matches %s\n",
@@ -108,12 +112,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Wait for the collector to drain, then flush pending windows.
+	// Wait for the collector to drain, stop ingestion (Close waits for the
+	// connection goroutines, so no Feed is in flight), then flush pending
+	// windows.
 	deadline := time.Now().Add(5 * time.Second)
 	for srv.Received() < int64(scenario.Len()) && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
+	srv.Close()
 	mon.Flush()
+	mon.Close()
 	fmt.Printf("\nprocessed %d transactions over the wire; alerts raised: %d\n",
 		srv.Received(), alertCount.Load())
 }

@@ -1,0 +1,3 @@
+module webtxprofile
+
+go 1.24

@@ -1,0 +1,108 @@
+package collector
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/weblog"
+)
+
+// batchGather records delivered batches (copying each, since the batch
+// slice is reused by the server).
+type batchGather struct {
+	mu      sync.Mutex
+	txs     []weblog.Transaction
+	batches int
+	maxSeen int
+}
+
+func (g *batchGather) add(txs []weblog.Transaction) {
+	g.mu.Lock()
+	g.txs = append(g.txs, txs...)
+	g.batches++
+	if len(txs) > g.maxSeen {
+		g.maxSeen = len(txs)
+	}
+	g.mu.Unlock()
+}
+
+func (g *batchGather) len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.txs)
+}
+
+func TestServerBatchDelivery(t *testing.T) {
+	var g batchGather
+	s, err := ListenBatch("127.0.0.1:0", g.add, BatchConfig{MaxBatch: 8, FlushInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 21 // 2 full batches of 8 + a timer-flushed remainder of 5
+	for i := 0; i < n; i++ {
+		if err := c.Send(sampleTx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return g.len() == n })
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.maxSeen > 8 {
+		t.Errorf("batch of %d exceeds MaxBatch 8", g.maxSeen)
+	}
+	if g.batches < 3 {
+		t.Errorf("batches = %d, want >= 3", g.batches)
+	}
+	for i, tx := range g.txs {
+		if !tx.Timestamp.Equal(sampleTx(i).Timestamp) {
+			t.Fatalf("batch delivery out of order at %d", i)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Received(); got != n {
+		t.Errorf("received = %d, want %d", got, n)
+	}
+}
+
+func TestServerBatchFlushOnDisconnect(t *testing.T) {
+	var g batchGather
+	// Long flush interval: only the connection close can flush the
+	// partial batch.
+	s, err := ListenBatch("127.0.0.1:0", g.add, BatchConfig{MaxBatch: 64, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Send(sampleTx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return g.len() == 5 })
+}
+
+func TestListenBatchValidation(t *testing.T) {
+	if _, err := ListenBatch("127.0.0.1:0", nil, BatchConfig{}); err == nil {
+		t.Error("nil batch handler accepted")
+	}
+}

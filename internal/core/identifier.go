@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"webtxprofile/internal/features"
 	"webtxprofile/internal/weblog"
@@ -27,9 +26,12 @@ type Event struct {
 type Identifier struct {
 	set      *ProfileSet
 	streamer *features.Streamer
+	sc       *scorer
 	k        int
-	runs     map[string]int
-	host     string
+	// runs tracks each user's current consecutive-accept streak, parallel
+	// to sc.users.
+	runs []int
+	host string
 }
 
 // NewIdentifier creates a streaming identifier for one device.
@@ -37,6 +39,17 @@ type Identifier struct {
 // report identification (1 = identify on any accepted window; the paper
 // suggests e.g. 10 windows ≈ 5 minutes at S=30s).
 func NewIdentifier(set *ProfileSet, host string, consecutiveK int) (*Identifier, error) {
+	sc, err := newScorer(set)
+	if err != nil {
+		return nil, err
+	}
+	return newIdentifierWithScorer(set, host, consecutiveK, sc)
+}
+
+// newIdentifierWithScorer creates an identifier sharing an existing scorer
+// (and its scratch buffers) — the Monitor hands every identifier in a
+// shard the shard's scorer, since the shard lock already serializes them.
+func newIdentifierWithScorer(set *ProfileSet, host string, consecutiveK int, sc *scorer) (*Identifier, error) {
 	if consecutiveK <= 0 {
 		consecutiveK = 1
 	}
@@ -47,8 +60,9 @@ func NewIdentifier(set *ProfileSet, host string, consecutiveK int) (*Identifier,
 	return &Identifier{
 		set:      set,
 		streamer: st,
+		sc:       sc,
 		k:        consecutiveK,
-		runs:     make(map[string]int, len(set.Profiles)),
+		runs:     make([]int, len(sc.users)),
 		host:     host,
 	}, nil
 }
@@ -75,32 +89,26 @@ func (id *Identifier) classify(ws []features.Window) []Event {
 	if len(ws) == 0 {
 		return nil
 	}
-	users := id.set.Users()
+	users := id.sc.users
 	events := make([]Event, 0, len(ws))
 	for i := range ws {
 		ev := Event{Window: ws[i]}
-		accepted := make(map[string]bool, 4)
-		for _, u := range users {
-			if id.set.Profiles[u].Model.Accept(ws[i].Vector) {
-				ev.Accepted = append(ev.Accepted, u)
-				accepted[u] = true
-			}
-		}
-		sort.Strings(ev.Accepted)
-		for _, u := range users {
-			if accepted[u] {
-				id.runs[u]++
+		mask := id.sc.acceptMask(ws[i].Vector)
+		for j, accepted := range mask {
+			if accepted {
+				ev.Accepted = append(ev.Accepted, users[j])
+				id.runs[j]++
 			} else {
-				id.runs[u] = 0
+				id.runs[j] = 0
 			}
 		}
 		// Deterministic winner: longest current run ≥ k, ties broken by
-		// user id.
+		// user id (users are sorted, strict > keeps the first).
 		bestRun := 0
-		for _, u := range users {
-			if id.runs[u] >= id.k && id.runs[u] > bestRun {
-				bestRun = id.runs[u]
-				ev.Identified = u
+		for j := range users {
+			if id.runs[j] >= id.k && id.runs[j] > bestRun {
+				bestRun = id.runs[j]
+				ev.Identified = users[j]
 			}
 		}
 		events = append(events, ev)

@@ -1,8 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"hash/maphash"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"webtxprofile/internal/weblog"
 )
@@ -48,29 +53,178 @@ func (k AlertKind) String() string {
 	}
 }
 
+// MonitorConfig tunes the sharded monitor. The zero value selects the
+// defaults, which behave exactly like the original single-lock monitor
+// (no eviction) while removing its lock contention.
+type MonitorConfig struct {
+	// Shards is the number of lock-striped device shards (default 16).
+	// Each device hashes to one shard, so per-device event order is
+	// preserved while devices on different shards feed in parallel.
+	Shards int
+	// IdleTTL evicts a device whose last transaction is older than this,
+	// measured in stream time (the maximum transaction timestamp seen by
+	// the whole monitor, not wall clock), bounding tracked-device memory.
+	// Pending windows of an evicted device are flushed first, and a
+	// device evicted while an identity is confirmed fires a final
+	// AlertLost, so consumers always see sessions end. Sweeps cover every
+	// shard — including quiet ones — and are amortized to one full pass
+	// per IdleTTL of stream time, so an idle device lingers for at most
+	// 2×IdleTTL while any traffic flows anywhere.
+	//
+	// The stream clock defends against corrupt timestamps: a single
+	// transaction advances it by at most IdleTTL, sweeps pause while
+	// recent input disagrees with the clock, and a clock poisoned by a
+	// corrupt far-future timestamp snaps back once enough legitimate
+	// traffic follows. A client whose clock is *persistently* years
+	// ahead and that dominates the stream is indistinguishable from
+	// genuine stream progress and can still starve other devices of
+	// stream time — feed the monitor from time-sane sources or disable
+	// eviction. 0 disables eviction.
+	IdleTTL time.Duration
+	// AlertBuffer is the capacity of the alert delivery channel
+	// (default 256). Feeding blocks when the callback falls this far
+	// behind.
+	AlertBuffer int
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.AlertBuffer <= 0 {
+		c.AlertBuffer = 256
+	}
+	return c
+}
+
 // Monitor tracks every device seen in a transaction stream, maintaining
 // one streaming Identifier per device and emitting Alerts on identity
 // transitions. It is the reusable core of the profilerd daemon and the
-// intrusion-monitor example. Safe for concurrent use.
+// intrusion-monitor example. Safe for concurrent use: devices are
+// lock-striped across shards, and alerts are delivered in enqueue order
+// by one dedicated goroutine rather than under a shard lock, so the
+// callback may block briefly without stalling ingestion (until
+// AlertBuffer fills). Alerts for one device always arrive in that
+// device's event order. The callback must not call back into the
+// Monitor: a feeder blocked on a full alert buffer holds its shard lock,
+// and a re-entrant callback could wait on that same lock.
 type Monitor struct {
 	set *ProfileSet
 	k   int
+	cfg MonitorConfig
 
+	seed   maphash.Seed
+	shards []*monitorShard
+
+	// streamNow is the maximum transaction timestamp (unix nanos) seen so
+	// far — the monitor-wide stream clock driving idle eviction.
+	// lastSweep is the stream time of the last full eviction sweep.
+	// behind counts consecutive transactions observed far behind the
+	// clock; a long unbroken run means the clock was poisoned by a
+	// corrupt timestamp and triggers a regression (see advanceClock).
+	streamNow atomic.Int64
+	lastSweep atomic.Int64
+	behind    atomic.Int64
+
+	// pump owns alert delivery. It is a separate allocation referenced by
+	// the delivery goroutine instead of the Monitor itself, so an
+	// abandoned Monitor can be collected (a GC cleanup then stops the
+	// goroutine) even when Close was never called.
+	pump *alertPump
+}
+
+// alertPump delivers alerts in enqueue order from one goroutine and lets
+// Flush/Close wait until everything enqueued has been handed to the
+// callback. The in-flight count is guarded by a mutex/cond (not a
+// WaitGroup) so waiting and enqueueing may overlap freely — a Flush
+// racing a concurrent feeder must not trip WaitGroup's add-during-wait
+// misuse detection.
+type alertPump struct {
+	ch      chan Alert
+	cb      func(Alert)
+	drained chan struct{}
+	stop    sync.Once
+
+	mu       sync.Mutex
+	cond     sync.Cond
+	inFlight int
+}
+
+func newAlertPump(cb func(Alert), buffer int) *alertPump {
+	p := &alertPump{
+		ch:      make(chan Alert, buffer),
+		cb:      cb,
+		drained: make(chan struct{}),
+	}
+	p.cond.L = &p.mu
+	return p
+}
+
+// run delivers until the channel closes. Running outside the shard locks
+// means a slow callback stalls delivery, not ingestion (until the buffer
+// fills).
+func (p *alertPump) run() {
+	for a := range p.ch {
+		p.cb(a)
+		p.mu.Lock()
+		p.inFlight--
+		if p.inFlight == 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+	close(p.drained)
+}
+
+func (p *alertPump) emit(a Alert) {
+	p.mu.Lock()
+	p.inFlight++
+	p.mu.Unlock()
+	p.ch <- a
+}
+
+// wait blocks until every alert enqueued so far has been delivered.
+func (p *alertPump) wait() {
+	p.mu.Lock()
+	for p.inFlight > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// halt closes the channel exactly once; run drains what is buffered and
+// exits.
+func (p *alertPump) halt() {
+	p.stop.Do(func() { close(p.ch) })
+}
+
+// monitorShard is one lock stripe: its devices, plus a shard-owned scorer
+// whose scratch buffers every identifier in the shard shares.
+type monitorShard struct {
 	mu      sync.Mutex
 	devices map[string]*deviceTrack
-	alerts  func(Alert)
+	sc      *scorer
 }
 
 type deviceTrack struct {
 	id      *Identifier
 	current string
+	// lastSeen is the newest transaction timestamp, driving IdleTTL
+	// eviction in stream time.
+	lastSeen time.Time
 }
 
-// NewMonitor creates a monitor over a trained profile set. consecutiveK
-// is the identification threshold; alerts receives every transition (it
-// is called with the monitor's lock held — keep it fast, hand off to a
-// channel for heavy work).
+// NewMonitor creates a monitor with the default configuration. alerts
+// receives every transition from a dedicated delivery goroutine; Flush
+// (and Close) wait for deliveries to complete.
 func NewMonitor(set *ProfileSet, consecutiveK int, alerts func(Alert)) (*Monitor, error) {
+	return NewMonitorWithConfig(set, consecutiveK, alerts, MonitorConfig{})
+}
+
+// NewMonitorWithConfig creates a monitor over a trained profile set with
+// explicit sharding/eviction configuration. consecutiveK is the
+// identification threshold.
+func NewMonitorWithConfig(set *ProfileSet, consecutiveK int, alerts func(Alert), cfg MonitorConfig) (*Monitor, error) {
 	if set == nil || len(set.Profiles) == 0 {
 		return nil, fmt.Errorf("core: monitor needs a trained profile set")
 	}
@@ -80,27 +234,134 @@ func NewMonitor(set *ProfileSet, consecutiveK int, alerts func(Alert)) (*Monitor
 	if consecutiveK <= 0 {
 		consecutiveK = 1
 	}
-	return &Monitor{
-		set:     set,
-		k:       consecutiveK,
-		devices: make(map[string]*deviceTrack),
-		alerts:  alerts,
-	}, nil
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		set:    set,
+		k:      consecutiveK,
+		cfg:    cfg,
+		seed:   maphash.MakeSeed(),
+		shards: make([]*monitorShard, cfg.Shards),
+		pump:   newAlertPump(alerts, cfg.AlertBuffer),
+	}
+	for i := range m.shards {
+		sc, err := newScorer(set)
+		if err != nil {
+			return nil, err
+		}
+		m.shards[i] = &monitorShard{devices: make(map[string]*deviceTrack), sc: sc}
+	}
+	go m.pump.run()
+	// Safety net for monitors dropped without Close: the pump goroutine
+	// references only the pump, so an unreachable Monitor is collectable
+	// and this cleanup stops the goroutine. (A callback that captures the
+	// Monitor keeps it reachable — such callers must Close explicitly.)
+	runtime.AddCleanup(m, func(p *alertPump) { p.halt() }, m.pump)
+	return m, nil
+}
+
+// shardIndex is the single device→shard routing rule; Feed, FeedBatch and
+// Current must all agree on it or per-device ordering breaks.
+func (m *Monitor) shardIndex(device string) int {
+	if len(m.shards) == 1 {
+		return 0
+	}
+	return int(maphash.String(m.seed, device) % uint64(len(m.shards)))
+}
+
+func (m *Monitor) shardFor(device string) *monitorShard {
+	return m.shards[m.shardIndex(device)]
 }
 
 // Feed routes one transaction to its device's identifier, emitting alerts
 // for any identity transitions the completed windows cause.
 func (m *Monitor) Feed(tx weblog.Transaction) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tr, ok := m.devices[tx.SourceIP]
+	sh := m.shardFor(tx.SourceIP)
+	sh.mu.Lock()
+	err := m.feedLocked(sh, tx)
+	sh.mu.Unlock()
+	m.maybeSweep()
+	return err
+}
+
+// FeedBatch feeds a slice of transactions (non-decreasing timestamps per
+// device, as with Feed), taking each shard lock once per batch instead of
+// once per transaction. Transactions for the same device are processed in
+// slice order. Per-transaction errors (e.g. out-of-order timestamps) are
+// collected — annotated with the offending device, capped so a fully bad
+// batch cannot produce an unbounded error — and joined; the rest of the
+// batch still feeds.
+func (m *Monitor) FeedBatch(txs []weblog.Transaction) error {
+	if len(txs) == 0 {
+		return nil
+	}
+	// Stable counting-sort partition by shard: three fixed allocations,
+	// no copies of the Transaction structs themselves.
+	shardOf := make([]int32, len(txs))
+	starts := make([]int, len(m.shards)+1)
+	for i := range txs {
+		s := m.shardIndex(txs[i].SourceIP)
+		shardOf[i] = int32(s)
+		starts[s+1]++
+	}
+	for s := 0; s < len(m.shards); s++ {
+		starts[s+1] += starts[s]
+	}
+	order := make([]int32, len(txs))
+	fill := append([]int(nil), starts[:len(m.shards)]...)
+	for i := range txs {
+		s := shardOf[i]
+		order[fill[s]] = int32(i)
+		fill[s]++
+	}
+	const maxErrs = 8
+	var errs []error
+	suppressed := 0
+	for si, sh := range m.shards {
+		lo, hi := starts[si], starts[si+1]
+		if lo == hi {
+			continue
+		}
+		sh.mu.Lock()
+		for _, ti := range order[lo:hi] {
+			if err := m.feedLocked(sh, txs[ti]); err != nil {
+				if len(errs) < maxErrs {
+					errs = append(errs, fmt.Errorf("device %s: %w", txs[ti].SourceIP, err))
+				} else {
+					suppressed++
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	m.maybeSweep()
+	if suppressed > 0 {
+		errs = append(errs, fmt.Errorf("core: %d more feed errors in batch", suppressed))
+	}
+	return errors.Join(errs...)
+}
+
+// feedLocked runs under sh.mu.
+func (m *Monitor) feedLocked(sh *monitorShard, tx weblog.Transaction) error {
+	tr, ok := sh.devices[tx.SourceIP]
 	if !ok {
-		id, err := NewIdentifier(m.set, tx.SourceIP, m.k)
+		id, err := newIdentifierWithScorer(m.set, tx.SourceIP, m.k, sh.sc)
 		if err != nil {
 			return err
 		}
 		tr = &deviceTrack{id: id}
-		m.devices[tx.SourceIP] = tr
+		sh.devices[tx.SourceIP] = tr
+	}
+	if m.cfg.IdleTTL > 0 {
+		// Record lastSeen in stream-clock coordinates: the clock is
+		// clamped (below), so a corrupt far-future timestamp must not
+		// give its device an unevictable far-future lastSeen either.
+		seen := m.advanceClock(tx.Timestamp.UnixNano())
+		if ts := tx.Timestamp.UnixNano(); ts < seen {
+			seen = ts
+		}
+		if t := time.Unix(0, seen); t.After(tr.lastSeen) {
+			tr.lastSeen = t
+		}
 	}
 	events, err := tr.id.Feed(tx)
 	if err != nil {
@@ -110,48 +371,205 @@ func (m *Monitor) Feed(tx weblog.Transaction) error {
 	return nil
 }
 
-// Flush completes all devices' pending windows (end of stream) and emits
-// any final alerts.
-func (m *Monitor) Flush() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for device, tr := range m.devices {
-		m.process(device, tr, tr.id.Flush())
+// clockRegressAfter is the number of consecutive far-behind transactions
+// that convict the stream clock of being poisoned and snap it back.
+const clockRegressAfter = 512
+
+// advanceClock advances the monitor-wide stream clock to ts (strict
+// monotonic max across concurrent feeders) and returns the resulting
+// clock value. A single transaction may advance the clock by at most
+// IdleTTL once initialized: without the clamp, one corrupt far-future
+// timestamp would move the eviction cutoff past every device's lastSeen
+// and wipe all identification state on the next sweep.
+//
+// The first transaction initializes the clock unclamped (there is nothing
+// to clamp against), so a corrupt *first* timestamp can pin the clock in
+// the far future and stall eviction. That case self-heals: when
+// clockRegressAfter consecutive transactions arrive more than 2×IdleTTL
+// behind the clock, the clock snaps back to the observed stream.
+func (m *Monitor) advanceClock(ts int64) int64 {
+	ttl := int64(m.cfg.IdleTTL)
+	for {
+		cur := m.streamNow.Load()
+		if cur == 0 {
+			if m.streamNow.CompareAndSwap(0, ts) {
+				return ts
+			}
+			continue
+		}
+		switch {
+		case ts+2*ttl < cur:
+			// Far behind the clock: suspicion, not progress. Count toward
+			// a regression instead of advancing; while any suspicion is
+			// outstanding, maybeSweep holds off eviction.
+			if m.behind.Add(1) < clockRegressAfter {
+				return cur
+			}
+			if m.streamNow.CompareAndSwap(cur, ts) {
+				m.behind.Store(0)
+				m.lastSweep.Store(ts) // resume the sweep schedule from here
+				return ts
+			}
+			continue
+		case ts > cur+2*ttl:
+			// Far ahead: clamp the advance and leave the suspicion count
+			// alone — a persistently clock-skewed client must not keep
+			// "confirming" a poisoned clock and defeat the recovery.
+			if m.streamNow.CompareAndSwap(cur, cur+ttl) {
+				return cur + ttl
+			}
+			continue
+		case ts > cur+ttl:
+			ts = cur + ttl
+		}
+		if ts <= cur {
+			m.behind.Store(0)
+			return cur
+		}
+		if m.streamNow.CompareAndSwap(cur, ts) {
+			m.behind.Store(0)
+			return ts
+		}
 	}
+}
+
+// maybeSweep runs a full eviction sweep across every shard — quiet ones
+// included — once per IdleTTL of stream time. Driving the sweep from the
+// monitor-wide stream clock (rather than per-shard feeds) means devices
+// on a shard that stops receiving traffic are still evicted as long as
+// traffic flows anywhere. Called without any shard lock held; the CAS
+// elects a single sweeping feeder.
+func (m *Monitor) maybeSweep() {
+	if m.cfg.IdleTTL <= 0 {
+		return
+	}
+	if m.behind.Load() > 0 {
+		// Recent transactions arrived far behind the clock — either a
+		// stale replay burst or a clock poisoned by a corrupt far-future
+		// timestamp (e.g. as the first-ever transaction, where the init
+		// is unclamped). Either way, evicting against a suspect clock
+		// could wipe legitimately-timestamped devices; hold off until
+		// the stream looks sane again (or the regression snaps the clock
+		// back and resets the count).
+		return
+	}
+	now := m.streamNow.Load()
+	last := m.lastSweep.Load()
+	if now-last < int64(m.cfg.IdleTTL) || !m.lastSweep.CompareAndSwap(last, now) {
+		return
+	}
+	cutoff := time.Unix(0, now).Add(-m.cfg.IdleTTL)
+	future := time.Unix(0, now).Add(m.cfg.IdleTTL)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for device, tr := range sh.devices {
+			// A lastSeen more than IdleTTL ahead of the clock means the
+			// clock moved backwards under the device: either its lastSeen
+			// is a remnant of a corrupt timestamp, or the clock
+			// legitimately regressed after a stale replay burst. Touch
+			// rather than evict — live devices keep their identification
+			// state, and a true remnant simply idles out one TTL later.
+			if tr.lastSeen.After(future) {
+				tr.lastSeen = time.Unix(0, now)
+				continue
+			}
+			// Strictly idle longer than IdleTTL: a device seen at the
+			// clock's own time must survive one maximal (clamped) clock
+			// jump, or a single corrupt timestamp could still evict it.
+			if tr.lastSeen.Before(cutoff) {
+				m.evictLocked(sh, device, tr)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// evictLocked flushes and drops one idle device. If an identity is still
+// confirmed after the flush, a final AlertLost fires (with a zero
+// Event.Window — there is no closing window for a silent departure), so
+// continuous-authentication consumers always see the session end.
+func (m *Monitor) evictLocked(sh *monitorShard, device string, tr *deviceTrack) {
+	m.process(device, tr, tr.id.Flush())
+	if tr.current != "" {
+		m.emit(Alert{
+			Device: device, Kind: AlertLost,
+			User: tr.current, Previous: tr.current,
+		})
+	}
+	delete(sh.devices, device)
+}
+
+// Flush completes all devices' pending windows (end of stream), emits any
+// final alerts, and waits until every alert enqueued so far has been
+// delivered to the callback. Flushing concurrently with Feed/FeedBatch is
+// safe, but alerts caused by feeds that complete after Flush begins may
+// be delivered after it returns — call it once feeding has stopped for
+// end-of-stream semantics.
+func (m *Monitor) Flush() {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for device, tr := range sh.devices {
+			m.process(device, tr, tr.id.Flush())
+		}
+		sh.mu.Unlock()
+	}
+	m.pump.wait()
+}
+
+// Close waits for outstanding alert deliveries and stops the delivery
+// goroutine. Call it after feeding has stopped (typically after Flush);
+// feeding a closed monitor panics. Close is idempotent. Monitors dropped
+// without Close are reclaimed by a GC cleanup unless the alert callback
+// itself keeps the Monitor reachable.
+func (m *Monitor) Close() {
+	m.pump.wait()
+	m.pump.halt()
+	<-m.pump.drained
 }
 
 // Devices returns the number of devices currently tracked.
 func (m *Monitor) Devices() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.devices)
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += len(sh.devices)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Current returns the confirmed user on a device ("" if none).
 func (m *Monitor) Current(device string) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if tr, ok := m.devices[device]; ok {
+	sh := m.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if tr, ok := sh.devices[device]; ok {
 		return tr.current
 	}
 	return ""
 }
 
+// process turns identification events into alerts, enqueued for the
+// delivery goroutine in event order.
 func (m *Monitor) process(device string, tr *deviceTrack, events []Event) {
 	for _, ev := range events {
 		switch {
 		case ev.Identified != "" && ev.Identified != tr.current:
-			m.alerts(Alert{
+			m.emit(Alert{
 				Device: device, Kind: AlertIdentified,
 				User: ev.Identified, Previous: tr.current, Event: ev,
 			})
 			tr.current = ev.Identified
 		case ev.Identified == "" && tr.current != "":
-			m.alerts(Alert{
+			m.emit(Alert{
 				Device: device, Kind: AlertLost,
 				User: tr.current, Previous: tr.current, Event: ev,
 			})
 			tr.current = ""
 		}
 	}
+}
+
+func (m *Monitor) emit(a Alert) {
+	m.pump.emit(a)
 }

@@ -36,6 +36,7 @@ func TestMonitorIdentifiesAndAlerts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer mon.Close()
 
 	// Owner works for 15 minutes, then the intruder takes over.
 	start := cfg.Start.Add(time.Duration(cfg.Weeks) * 7 * 24 * time.Hour)
@@ -99,6 +100,7 @@ func TestMonitorValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer mon.Close()
 	// Out-of-order transactions on one device surface the identifier
 	// error.
 	tx := smallDataset.Transactions[100]

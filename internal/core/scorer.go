@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"webtxprofile/internal/sparse"
+	"webtxprofile/internal/svm"
+)
+
+// scorer owns the profile-set scoring loop: one window evaluated against
+// every user's model, with the users in sorted order. It is the single
+// accept-loop shared by the streaming Identifier (and through it the
+// Monitor) and the batch evaluation paths, replacing the per-call
+// map-iterate-and-sort that used to be duplicated across them.
+//
+// A scorer is not safe for concurrent use (it reuses scratch via the
+// underlying svm.Scorer); the Monitor keeps one per shard, serialized by
+// the shard lock.
+type scorer struct {
+	users []string
+	sc    *svm.Scorer
+}
+
+// newScorer builds a scorer over the set's profiles.
+func newScorer(set *ProfileSet) (*scorer, error) {
+	if set == nil || len(set.Profiles) == 0 {
+		return nil, fmt.Errorf("core: scorer needs a trained profile set")
+	}
+	users := set.Users()
+	models := make([]*svm.Model, len(users))
+	for i, u := range users {
+		p := set.Profiles[u]
+		if p == nil || p.Model == nil {
+			return nil, fmt.Errorf("core: profile %s has no model", u)
+		}
+		models[i] = p.Model
+	}
+	return &scorer{users: users, sc: svm.NewScorer(models)}, nil
+}
+
+// acceptMask scores one window vector against every profile and returns
+// the per-user accept mask, parallel to s.users. The mask is scratch owned
+// by the scorer, valid until the next call.
+func (s *scorer) acceptMask(x sparse.Vector) []bool {
+	return s.sc.AcceptMask(x)
+}

@@ -1,7 +1,6 @@
 package eval
 
 import (
-	"sort"
 	"time"
 
 	"webtxprofile/internal/features"
@@ -18,21 +17,18 @@ type TimelinePoint struct {
 }
 
 // Timeline classifies every host window against every model — the Fig. 3
-// experiment. Windows must come from host-specific windowing so that
-// UserCounts carries the ground truth.
+// experiment — scoring each window against all models in one batch-scorer
+// pass. Windows must come from host-specific windowing so that UserCounts
+// carries the ground truth.
 func Timeline(models map[string]*svm.Model, hostWindows []features.Window) []TimelinePoint {
-	users := make([]string, 0, len(models))
-	for u := range models {
-		users = append(users, u)
-	}
-	sort.Strings(users)
+	users, sc := sortedScorer(models)
 	out := make([]TimelinePoint, 0, len(hostWindows))
 	for i := range hostWindows {
 		w := &hostWindows[i]
 		pt := TimelinePoint{Start: w.Start, ActualUser: w.DominantUser()}
-		for _, u := range users {
-			if models[u].Accept(w.Vector) {
-				pt.Accepted = append(pt.Accepted, u)
+		for j, accepted := range sc.AcceptMask(w.Vector) {
+			if accepted {
+				pt.Accepted = append(pt.Accepted, users[j])
 			}
 		}
 		out = append(out, pt)

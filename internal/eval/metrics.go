@@ -64,18 +64,47 @@ type ConfusionMatrix struct {
 	Ratio [][]float64
 }
 
-// Confusion evaluates every model against every user's windows.
-func Confusion(models map[string]*svm.Model, windows map[string][]features.Window) *ConfusionMatrix {
+// sortedScorer builds a batch scorer over the models with users in sorted
+// order — the shared scoring loop behind Confusion and Timeline.
+func sortedScorer(models map[string]*svm.Model) ([]string, *svm.Scorer) {
 	users := make([]string, 0, len(models))
 	for u := range models {
 		users = append(users, u)
 	}
 	sort.Strings(users)
+	ms := make([]*svm.Model, len(users))
+	for i, u := range users {
+		ms[i] = models[u]
+	}
+	return users, svm.NewScorer(ms)
+}
+
+// Confusion evaluates every model against every user's windows. Each
+// window is scored once against all models via the batch scorer (hitting
+// the linear-kernel fast path where available) instead of re-walking the
+// window sets per model.
+func Confusion(models map[string]*svm.Model, windows map[string][]features.Window) *ConfusionMatrix {
+	users, sc := sortedScorer(models)
 	cm := &ConfusionMatrix{Users: users, Ratio: make([][]float64, len(users))}
-	for i, mu := range users {
+	for i := range users {
 		cm.Ratio[i] = make([]float64, len(users))
-		for j, tu := range users {
-			cm.Ratio[i][j] = Accept(models[mu], windows[tu])
+	}
+	counts := make([]int, len(users))
+	for j, tu := range users {
+		ws := windows[tu]
+		if len(ws) == 0 {
+			continue
+		}
+		clear(counts)
+		for w := range ws {
+			for i, accepted := range sc.AcceptMask(ws[w].Vector) {
+				if accepted {
+					counts[i]++
+				}
+			}
+		}
+		for i := range users {
+			cm.Ratio[i][j] = float64(counts[i]) / float64(len(ws))
 		}
 	}
 	return cm

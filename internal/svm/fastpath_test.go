@@ -1,0 +1,231 @@
+package svm
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"webtxprofile/internal/sparse"
+)
+
+// randomSparse generates a window-like sparse vector: nnz non-zeros drawn
+// from dim columns.
+func randomSparse(r *rand.Rand, dim, nnz int) sparse.Vector {
+	dense := make(map[int]float64, nnz)
+	for len(dense) < nnz {
+		dense[r.Intn(dim)] = 0.1 + r.Float64()
+	}
+	return sparse.New(dense)
+}
+
+// randomLinearModel hand-assembles a structurally valid linear model with
+// random support vectors and coefficients. Validate is NOT called; callers
+// decide whether to prepare the caches.
+func randomLinearModel(r *rand.Rand, algo Algorithm, nsv, dim, nnz int) *Model {
+	m := &Model{Algo: algo, Kernel: Linear(), Param: 0.1, TrainSize: nsv}
+	for i := 0; i < nsv; i++ {
+		m.SVs = append(m.SVs, randomSparse(r, dim, nnz))
+		m.Coef = append(m.Coef, 0.01+r.Float64())
+	}
+	switch algo {
+	case OCSVM:
+		m.Rho = r.Float64()
+	case SVDD:
+		m.R2 = 1 + r.Float64()
+		m.SumAA = r.Float64()
+	}
+	return m
+}
+
+// TestLinearFastPathMatchesGeneric is the tentpole equivalence check: the
+// precomputed-weight-vector decision must agree with the per-SV kernel sum
+// within 1e-9 on randomized models of both algorithms.
+func TestLinearFastPathMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, algo := range []Algorithm{OCSVM, SVDD} {
+		for trial := 0; trial < 20; trial++ {
+			nsv := 1 + r.Intn(120)
+			m := randomLinearModel(r, algo, nsv, 800, 5+r.Intn(25))
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if m.w == nil {
+				t.Fatal("linear model has no weight vector after Validate")
+			}
+			for probe := 0; probe < 25; probe++ {
+				x := randomSparse(r, 900, 5+r.Intn(25)) // probes exceed the SV column range
+				fast, generic := m.Decision(x), m.DecisionGeneric(x)
+				if math.Abs(fast-generic) > 1e-9 {
+					t.Fatalf("%v nsv=%d: fast %v vs generic %v (diff %g)",
+						algo, nsv, fast, generic, math.Abs(fast-generic))
+				}
+				if m.acceptsValue(fast) != m.acceptsValue(generic) {
+					// Possible only within the boundary tolerance; the
+					// tolerance absorbs it by construction.
+					t.Fatalf("%v: accept flipped at decision %v", algo, fast)
+				}
+			}
+		}
+	}
+}
+
+// TestTrainedModelUsesFastPath checks that Train populates the weight
+// vector and that trained-model decisions agree with the generic path.
+func TestTrainedModelUsesFastPath(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := binaryCluster(r, 120, []int{0, 4, 7, 12}, []int{20, 21, 22, 23}, 0.4)
+	for _, algo := range []Algorithm{OCSVM, SVDD} {
+		m, err := Train(algo, xs, 0.2, TrainConfig{Kernel: Linear()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.w == nil {
+			t.Fatalf("%v: trained linear model has no weight vector", algo)
+		}
+		for _, x := range xs[:40] {
+			if d := math.Abs(m.Decision(x) - m.DecisionGeneric(x)); d > 1e-9 {
+				t.Fatalf("%v: fast/generic diff %g", algo, d)
+			}
+		}
+	}
+}
+
+// TestNonLinearModelHasNoWeightVector ensures the fast path stays off for
+// kernels where the model does not collapse.
+func TestNonLinearModelHasNoWeightVector(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	xs := gaussCluster(r, 40, 6, 0, 1)
+	m, err := TrainOCSVM(xs, 0.3, TrainConfig{Kernel: RBF(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.w != nil {
+		t.Fatal("rbf model has a weight vector")
+	}
+}
+
+// TestFastPathSurvivesJSONRoundTrip asserts the weight vector is rebuilt
+// on unmarshal and produces identical decisions.
+func TestFastPathSurvivesJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	m := randomLinearModel(r, OCSVM, 60, 500, 15)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.w == nil {
+		t.Fatal("weight vector lost in JSON round trip")
+	}
+	for i := 0; i < 20; i++ {
+		x := randomSparse(r, 500, 15)
+		if a, b := m.Decision(x), back.Decision(x); a != b {
+			t.Fatalf("decision drift after round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestDecisionConcurrentUnvalidated is the satellite data-race check: a
+// hand-assembled model that never called Validate must support concurrent
+// Decision calls (run with -race). The seed implementation lazily wrote
+// svNorms inside Decision, racing here.
+func TestDecisionConcurrentUnvalidated(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	m := randomLinearModel(r, OCSVM, 30, 200, 10) // no Validate: caches unset
+	probes := make([]sparse.Vector, 32)
+	for i := range probes {
+		probes[i] = randomSparse(r, 200, 10)
+	}
+	want := make([]float64, len(probes))
+	for i, x := range probes {
+		want[i] = m.DecisionGeneric(x)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, x := range probes {
+				if got := m.Decision(x); got != want[i] {
+					t.Errorf("concurrent decision %d = %v, want %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestScorerMatchesIndividualDecisions verifies the batch scorer against
+// per-model Decision/Accept across kernels and algorithms.
+func TestScorerMatchesIndividualDecisions(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	xs := binaryCluster(r, 100, []int{0, 4, 7}, []int{20, 21, 22}, 0.4)
+	var models []*Model
+	for _, k := range kernelsUnderTest() {
+		m, err := TrainOCSVM(xs, 0.2, TrainConfig{Kernel: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	sc := NewScorer(models)
+	if sc.Len() != len(models) {
+		t.Fatalf("scorer len = %d", sc.Len())
+	}
+	for trial := 0; trial < 30; trial++ {
+		x := randomSparse(r, 60, 8)
+		dec := sc.Decisions(x)
+		for i, m := range models {
+			if want := m.Decision(x); dec[i] != want {
+				t.Fatalf("model %d (%v): batch %v vs solo %v", i, m.Kernel, dec[i], want)
+			}
+		}
+		mask := sc.AcceptMask(x)
+		for i, m := range models {
+			if mask[i] != m.Accept(x) {
+				t.Fatalf("model %d (%v): accept mismatch", i, m.Kernel)
+			}
+		}
+		if sc.Model(0) != models[0] {
+			t.Fatal("Model accessor broken")
+		}
+	}
+}
+
+// TestDecisionBatch verifies the free-function batch API, including buffer
+// reuse via out[:0].
+func TestDecisionBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	xs := binaryCluster(r, 80, []int{1, 2, 3}, []int{10, 11}, 0.3)
+	m1, err := TrainOCSVM(xs, 0.2, TrainConfig{Kernel: Linear()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainSVDD(xs, 0.5, TrainConfig{Kernel: Linear()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []*Model{m1, m2}
+	x := randomSparse(r, 40, 6)
+	out := DecisionBatch(models, x, nil)
+	if len(out) != 2 || out[0] != m1.Decision(x) || out[1] != m2.Decision(x) {
+		t.Fatalf("batch = %v", out)
+	}
+	y := randomSparse(r, 40, 6)
+	out2 := DecisionBatch(models, y, out[:0])
+	if &out2[0] != &out[0] {
+		t.Error("buffer not reused")
+	}
+	if out2[0] != m1.Decision(y) {
+		t.Error("reused-buffer decisions wrong")
+	}
+}

@@ -1,0 +1,62 @@
+package svm
+
+import "webtxprofile/internal/sparse"
+
+// Scorer evaluates one window against a fixed set of models — the inner
+// loop of streaming identification, where every completed window is scored
+// against every user profile. It owns reusable scratch buffers so the hot
+// path allocates nothing per window, and it computes ‖x‖² once per window
+// instead of once per model.
+//
+// A Scorer is not safe for concurrent use; create one per goroutine (they
+// are cheap — the models themselves are shared, read-only).
+type Scorer struct {
+	models []*Model
+	dec    []float64
+	acc    []bool
+}
+
+// NewScorer creates a scorer over the given models. The models are not
+// copied or mutated; prepare them (Train, UnmarshalJSON or Validate all
+// do) to enable the linear-kernel fast path.
+func NewScorer(models []*Model) *Scorer {
+	return &Scorer{
+		models: models,
+		dec:    make([]float64, len(models)),
+		acc:    make([]bool, len(models)),
+	}
+}
+
+// Len returns the number of models scored per window.
+func (s *Scorer) Len() int { return len(s.models) }
+
+// Model returns the i-th model, in the order passed to NewScorer.
+func (s *Scorer) Model(i int) *Model { return s.models[i] }
+
+// Decisions evaluates every model's decision function on x. The returned
+// slice is scratch owned by the scorer, valid until the next call.
+func (s *Scorer) Decisions(x sparse.Vector) []float64 {
+	s.dec = DecisionBatch(s.models, x, s.dec[:0])
+	return s.dec
+}
+
+// AcceptMask reports, per model, whether x is accepted (the Accept rule,
+// including the boundary tolerance). The returned slice is scratch owned
+// by the scorer, valid until the next call.
+func (s *Scorer) AcceptMask(x sparse.Vector) []bool {
+	dec := s.Decisions(x)
+	for i, m := range s.models {
+		s.acc[i] = m.acceptsValue(dec[i])
+	}
+	return s.acc
+}
+
+// DecisionBatch evaluates every model's decision function on x, appending
+// to out (which may be nil; pass out[:0] to reuse a buffer across calls).
+func DecisionBatch(models []*Model, x sparse.Vector, out []float64) []float64 {
+	nx := x.NormSq()
+	for _, m := range models {
+		out = append(out, m.decision(x, nx))
+	}
+	return out
+}

@@ -168,5 +168,5 @@ func (m *Model) collectSVs(xs []sparse.Vector, alpha []float64) {
 			m.Coef = append(m.Coef, a)
 		}
 	}
-	m.svNorms = norms(m.SVs)
+	m.prepare()
 }

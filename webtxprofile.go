@@ -58,8 +58,12 @@ type (
 	Model = svm.Model
 	// Monitor tracks every device in a transaction stream and raises
 	// Alerts on identity transitions — the reusable core of the
-	// continuous-authentication daemon.
+	// continuous-authentication daemon. Devices are lock-striped across
+	// shards; alerts are delivered from a dedicated goroutine.
 	Monitor = core.Monitor
+	// MonitorConfig tunes the monitor's sharding, idle-device eviction
+	// and alert buffering.
+	MonitorConfig = core.MonitorConfig
 	// Alert is one identity transition on a monitored device.
 	Alert = core.Alert
 	// AlertKind distinguishes identification from identity loss.
@@ -164,10 +168,17 @@ func NewIdentifier(set *ProfileSet, host string, consecutiveK int) (*Identifier,
 	return core.NewIdentifier(set, host, consecutiveK)
 }
 
-// NewMonitor creates a multi-device monitor over a trained profile set;
-// alerts receives every identity transition.
+// NewMonitor creates a multi-device monitor over a trained profile set
+// with the default configuration; alerts receives every identity
+// transition.
 func NewMonitor(set *ProfileSet, consecutiveK int, alerts func(Alert)) (*Monitor, error) {
 	return core.NewMonitor(set, consecutiveK, alerts)
+}
+
+// NewMonitorWithConfig creates a monitor with explicit shard count, idle
+// eviction TTL and alert buffering.
+func NewMonitorWithConfig(set *ProfileSet, consecutiveK int, alerts func(Alert), cfg MonitorConfig) (*Monitor, error) {
+	return core.NewMonitorWithConfig(set, consecutiveK, alerts, cfg)
 }
 
 // NewRefresher wraps a profile set for drift-tracking retrains.
