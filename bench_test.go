@@ -16,6 +16,7 @@ import (
 	"webtxprofile"
 	"webtxprofile/internal/experiments"
 	"webtxprofile/internal/features"
+	"webtxprofile/internal/grid"
 	"webtxprofile/internal/sparse"
 	"webtxprofile/internal/svm"
 	"webtxprofile/internal/weblog"
@@ -238,10 +239,11 @@ func BenchmarkLogParse(b *testing.B) {
 	}
 }
 
-// syntheticLinearModel hand-assembles a linear OC-SVM with nsv random
-// support vectors (window-shaped: ~20 non-zeros over 800 columns) plus
-// probe vectors; Validate populates the weight-vector fast path.
-func syntheticLinearModel(b *testing.B, nsv int) (*svm.Model, []sparse.Vector) {
+// syntheticModel hand-assembles a one-class model with nsv random support
+// vectors (window-shaped: ~20 non-zeros over 800 columns) plus probe
+// vectors; Validate populates the kernel fast paths (weight vector for
+// linear, inverted SV index otherwise).
+func syntheticModel(b *testing.B, kernel svm.Kernel, nsv int) (*svm.Model, []sparse.Vector) {
 	b.Helper()
 	r := rand.New(rand.NewSource(int64(nsv)))
 	randVec := func(dim, nnz int) sparse.Vector {
@@ -251,7 +253,7 @@ func syntheticLinearModel(b *testing.B, nsv int) (*svm.Model, []sparse.Vector) {
 		}
 		return sparse.New(dense)
 	}
-	m := &svm.Model{Algo: svm.OCSVM, Kernel: svm.Linear(), Param: 0.1, TrainSize: nsv, Rho: 1}
+	m := &svm.Model{Algo: svm.OCSVM, Kernel: kernel, Param: 0.1, TrainSize: nsv, Rho: 1}
 	for i := 0; i < nsv; i++ {
 		m.SVs = append(m.SVs, randVec(800, 20))
 		m.Coef = append(m.Coef, 0.01+r.Float64())
@@ -264,6 +266,11 @@ func syntheticLinearModel(b *testing.B, nsv int) (*svm.Model, []sparse.Vector) {
 		probes[i] = randVec(800, 20)
 	}
 	return m, probes
+}
+
+// syntheticLinearModel keeps the linear-specific call sites readable.
+func syntheticLinearModel(b *testing.B, nsv int) (*svm.Model, []sparse.Vector) {
+	return syntheticModel(b, svm.Linear(), nsv)
 }
 
 // BenchmarkDecisionLinear compares the precomputed-weight-vector fast path
@@ -283,6 +290,37 @@ func BenchmarkDecisionLinear(b *testing.B) {
 				m.DecisionGeneric(probes[i%len(probes)])
 			}
 		})
+	}
+}
+
+// BenchmarkDecisionKernels compares the inverted-SV-index decision against
+// the per-support-vector merge-join sum for the non-linear kernel family —
+// the tentpole speedup of the dot-product-factored engine: one pass over
+// the window's non-zeros yields all SV dot products, then a scalar loop
+// applies the kernel, instead of one sparse-sparse merge join per SV.
+func BenchmarkDecisionKernels(b *testing.B) {
+	kernels := []struct {
+		name string
+		k    svm.Kernel
+	}{
+		{"poly", svm.Poly(1.0/800, 0, 3)},
+		{"rbf", svm.RBF(1.0 / 800)},
+		{"sigmoid", svm.Sigmoid(1.0/800, 0)},
+	}
+	for _, kc := range kernels {
+		for _, nsv := range []int{50, 500} {
+			m, probes := syntheticModel(b, kc.k, nsv)
+			b.Run(fmt.Sprintf("%s/indexed/svs=%d", kc.name, nsv), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.Decision(probes[i%len(probes)])
+				}
+			})
+			b.Run(fmt.Sprintf("%s/generic/svs=%d", kc.name, nsv), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.DecisionGeneric(probes[i%len(probes)])
+				}
+			})
+		}
 	}
 }
 
@@ -326,6 +364,44 @@ func monitorBenchSet(b *testing.B) *webtxprofile.ProfileSet {
 	return monitorSetVal
 }
 
+// benchMonitorFeedBatch drives FeedBatch over a synthetic device
+// population with the given monitor configuration (transactions/op = 1).
+func benchMonitorFeedBatch(b *testing.B, devices int, cfg webtxprofile.MonitorConfig) {
+	set := monitorBenchSet(b)
+	env := benchEnv(b)
+	mon, err := webtxprofile.NewMonitorWithConfig(set, 5, func(webtxprofile.Alert) {}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mon.Close()
+	names := make([]string, devices)
+	for i := range names {
+		names[i] = fmt.Sprintf("10.%d.%d.%d", i>>16&0xff, i>>8&0xff, i&0xff)
+	}
+	base := env.Train.Transactions
+	start := base[len(base)-1].Timestamp.Add(time.Hour)
+	const batchSize = 512
+	batch := make([]webtxprofile.Transaction, 0, batchSize)
+	b.ResetTimer()
+	fed := 0
+	for fed < b.N {
+		n := min(batchSize, b.N-fed)
+		batch = batch[:0]
+		for j := 0; j < n; j++ {
+			tx := base[(fed+j)%len(base)]
+			tx.SourceIP = names[(fed+j)%devices]
+			tx.Timestamp = start.Add(time.Duration(fed+j) * 50 * time.Millisecond)
+			batch = append(batch, tx)
+		}
+		if err := mon.FeedBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		fed += n
+	}
+	b.StopTimer()
+	mon.Flush()
+}
+
 // BenchmarkMonitorFeed measures sharded-monitor ingest throughput
 // (transactions/op = 1) with the device population the paper's deployment
 // scenario implies: every transaction is routed to its device's streaming
@@ -333,40 +409,49 @@ func monitorBenchSet(b *testing.B) *webtxprofile.ProfileSet {
 func BenchmarkMonitorFeed(b *testing.B) {
 	for _, devices := range []int{1_000, 10_000, 100_000} {
 		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
-			set := monitorBenchSet(b)
-			env := benchEnv(b)
-			mon, err := webtxprofile.NewMonitorWithConfig(set, 5, func(webtxprofile.Alert) {},
-				webtxprofile.MonitorConfig{Shards: 64})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer mon.Close()
-			names := make([]string, devices)
-			for i := range names {
-				names[i] = fmt.Sprintf("10.%d.%d.%d", i>>16&0xff, i>>8&0xff, i&0xff)
-			}
-			base := env.Train.Transactions
-			start := base[len(base)-1].Timestamp.Add(time.Hour)
-			const batchSize = 512
-			batch := make([]webtxprofile.Transaction, 0, batchSize)
-			b.ResetTimer()
-			fed := 0
-			for fed < b.N {
-				n := min(batchSize, b.N-fed)
-				batch = batch[:0]
-				for j := 0; j < n; j++ {
-					tx := base[(fed+j)%len(base)]
-					tx.SourceIP = names[(fed+j)%devices]
-					tx.Timestamp = start.Add(time.Duration(fed+j) * 50 * time.Millisecond)
-					batch = append(batch, tx)
-				}
-				if err := mon.FeedBatch(batch); err != nil {
-					b.Fatal(err)
-				}
-				fed += n
-			}
-			b.StopTimer()
-			mon.Flush()
+			benchMonitorFeedBatch(b, devices, webtxprofile.MonitorConfig{Shards: 64})
 		})
 	}
+}
+
+// BenchmarkMonitorFeedBatchWorkers isolates the FeedBatch worker pool:
+// the same batched stream processed by one worker (the previous
+// sequential-shard behavior) versus the default pool, which scores windows
+// completed within a batch concurrently across shards.
+func BenchmarkMonitorFeedBatchWorkers(b *testing.B) {
+	const devices = 10_000
+	b.Run("workers=1", func(b *testing.B) {
+		benchMonitorFeedBatch(b, devices, webtxprofile.MonitorConfig{Shards: 64, BatchWorkers: 1})
+	})
+	b.Run("workers=max", func(b *testing.B) {
+		benchMonitorFeedBatch(b, devices, webtxprofile.MonitorConfig{Shards: 64})
+	})
+}
+
+// BenchmarkParamSearchFullGrid measures one user's full Table III grid —
+// all 15 ν values across the paper's four kernels — through the
+// Gram-sharing search, reporting the kernel-evaluation and Gram-build
+// counters per op (the per-cell column-cache path re-evaluated kernel
+// columns in every one of the 60 cells; the row path builds 4 Grams).
+func BenchmarkParamSearchFullGrid(b *testing.B) {
+	env := benchEnv(b)
+	trainWs, err := env.TrainWindows()
+	if err != nil {
+		b.Fatal(err)
+	}
+	user := env.Users[0]
+	cfg := grid.Config{Algorithm: svm.OCSVM, MaxTrainWindows: 120, MaxOtherWindows: 40}
+	kernels := grid.PaperKernels(env.Vocab.Size())
+	before := svm.ReadKernelStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := grid.ParamSearchUsers([]string{user}, trainWs, grid.PaperParams, kernels, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	d := svm.ReadKernelStats().Sub(before)
+	b.ReportMetric(float64(d.KernelEvals)/float64(b.N), "kernelEvals/op")
+	b.ReportMetric(float64(d.GramBuilds)/float64(b.N), "gramBuilds/op")
+	b.ReportMetric(float64(d.CacheHits)/float64(b.N), "cacheHits/op")
 }

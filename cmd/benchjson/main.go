@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can archive benchmark runs as
+// artifacts and the performance trajectory of the engine can be tracked
+// across PRs instead of living in log scrollback.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// Every benchmark line becomes one record carrying the iteration count and
+// all reported metrics — the standard ns/op, B/op and allocs/op as well as
+// custom b.ReportMetric units (e.g. kernelEvals/op). Context lines (goos,
+// goarch, cpu, pkg) annotate the records that follow them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Pkg     string             `json:"pkg,omitempty"`
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Commit     string   `json:"commit,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// parse consumes `go test -bench` output and collects benchmark records.
+func parse(r io.Reader) (Report, error) {
+	rep := Report{Schema: "webtxprofile-bench/1", Benchmarks: []Record{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name N value unit [value unit ...]; anything shorter is a
+		// benchmark that failed before reporting and is skipped.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := Record{Pkg: pkg, Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, rec)
+		}
+	}
+	return rep, sc.Err()
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	// CI context when available; absent locally.
+	rep.Commit = os.Getenv("GITHUB_SHA")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: webtxprofile
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDecisionKernels/rbf/indexed/svs=50-8   	  326389	       712.7 ns/op
+BenchmarkDecisionBatch-8                        	   50000	      2412 ns/op	     128 B/op	       2 allocs/op
+BenchmarkParamSearchFullGrid-8                  	       2	 512345678 ns/op	  142578 kernelEvals/op	       8 gramBuilds/op
+garbage line
+BenchmarkBroken-8	notanumber	1 ns/op
+PASS
+ok  	webtxprofile	3.728s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("context = %q/%q/%q", rep.GoOS, rep.GoArch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkDecisionKernels/rbf/indexed/svs=50-8" || b0.Pkg != "webtxprofile" {
+		t.Errorf("record 0 = %+v", b0)
+	}
+	if b0.Runs != 326389 || b0.Metrics["ns/op"] != 712.7 {
+		t.Errorf("record 0 metrics = %+v", b0)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Metrics["B/op"] != 128 || b1.Metrics["allocs/op"] != 2 {
+		t.Errorf("benchmem metrics = %+v", b1.Metrics)
+	}
+	b2 := rep.Benchmarks[2]
+	if b2.Metrics["kernelEvals/op"] != 142578 || b2.Metrics["gramBuilds/op"] != 8 {
+		t.Errorf("custom metrics = %+v", b2.Metrics)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("benchmarks = %+v, want none", rep.Benchmarks)
+	}
+}

@@ -25,14 +25,26 @@
 // The live path — the proxy-side daemon of the paper's deployment
 // scenario — is a sharded, allocation-lean engine:
 //
-//   - Linear-kernel models precompute the dense weight vector w = Σᵢ αᵢxᵢ,
-//     so each decision is one O(nnz(x)) sparse-dense dot product instead
-//     of a per-support-vector kernel sum; a batch scorer evaluates one
-//     window against every profile with reusable scratch buffers.
+//   - Every kernel of the paper factors through the dot product x·y —
+//     linear and sigmoid directly, polynomial via (γ·x·y+c₀)^d, and RBF
+//     via ‖x−y‖² = ‖x‖²+‖y‖²−2x·y with cached support-vector norms — so no
+//     decision pays a per-support-vector sparse-sparse merge join: linear
+//     models precompute the dense weight vector w = Σᵢ αᵢxᵢ (one O(nnz(x))
+//     dot product per decision), and polynomial/RBF/sigmoid models carry
+//     an inverted support-vector index that yields all SV dot products in
+//     one pass over the window's non-zeros before a scalar kernel loop. A
+//     batch scorer evaluates one window against every profile with
+//     reusable scratch buffers.
+//   - Per-user grid searches share one Gram matrix across all ν/C cells of
+//     a (user, kernel) row — the kernel matrix depends only on the kernel
+//     and the training windows — cutting the search's kernel evaluations
+//     by over an order of magnitude.
 //   - The Monitor lock-stripes devices across configurable shards
 //     (MonitorConfig.Shards); each device hashes to one shard, preserving
 //     per-device event order while devices on different shards feed in
-//     parallel (Feed or the batched FeedBatch).
+//     parallel (Feed or the batched FeedBatch, whose bounded worker pool —
+//     MonitorConfig.BatchWorkers — scores the windows completed within a
+//     batch concurrently across shards).
 //   - Alerts are delivered in enqueue order from a dedicated goroutine
 //     rather than under a lock; Flush waits for delivery, Close stops the
 //     engine.

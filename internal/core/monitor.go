@@ -85,6 +85,15 @@ type MonitorConfig struct {
 	// (default 256). Feeding blocks when the callback falls this far
 	// behind.
 	AlertBuffer int
+	// BatchWorkers bounds the worker pool FeedBatch uses to process the
+	// batch's shards concurrently, so windows completed within one batch
+	// are scored in parallel (default GOMAXPROCS, further capped at the
+	// number of shards holding work; 1 processes shards sequentially).
+	// Each shard's transactions are still handled in order under the
+	// shard lock, so per-device event and alert order is identical to
+	// the sequential setting — only the interleaving of alerts *across*
+	// devices varies.
+	BatchWorkers int
 }
 
 func (c MonitorConfig) withDefaults() MonitorConfig {
@@ -93,6 +102,9 @@ func (c MonitorConfig) withDefaults() MonitorConfig {
 	}
 	if c.AlertBuffer <= 0 {
 		c.AlertBuffer = 256
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -283,13 +295,22 @@ func (m *Monitor) Feed(tx weblog.Transaction) error {
 	return err
 }
 
+// feedBatchMaxErrs caps the per-transaction errors FeedBatch reports, so a
+// fully bad batch cannot produce an unbounded error value.
+const feedBatchMaxErrs = 8
+
 // FeedBatch feeds a slice of transactions (non-decreasing timestamps per
 // device, as with Feed), taking each shard lock once per batch instead of
-// once per transaction. Transactions for the same device are processed in
-// slice order. Per-transaction errors (e.g. out-of-order timestamps) are
-// collected — annotated with the offending device, capped so a fully bad
-// batch cannot produce an unbounded error — and joined; the rest of the
-// batch still feeds.
+// once per transaction and processing the batch's shards on a bounded
+// worker pool (MonitorConfig.BatchWorkers), so windows completed within
+// one batch are scored concurrently. Transactions for the same device are
+// processed in slice order, and each device's alerts are enqueued in that
+// device's event order regardless of the worker count — only the
+// interleaving of alerts across devices depends on scheduling.
+// Per-transaction errors (e.g. out-of-order timestamps) are collected —
+// annotated with the offending device, capped so a fully bad batch cannot
+// produce an unbounded error — and joined; the rest of the batch still
+// feeds.
 func (m *Monitor) FeedBatch(txs []weblog.Transaction) error {
 	if len(txs) == 0 {
 		return nil
@@ -313,31 +334,78 @@ func (m *Monitor) FeedBatch(txs []weblog.Transaction) error {
 		order[fill[s]] = int32(i)
 		fill[s]++
 	}
-	const maxErrs = 8
+	work := make([]int, 0, len(m.shards))
+	for si := range m.shards {
+		if starts[si] < starts[si+1] {
+			work = append(work, si)
+		}
+	}
+
 	var errs []error
 	suppressed := 0
-	for si, sh := range m.shards {
-		lo, hi := starts[si], starts[si+1]
-		if lo == hi {
-			continue
+	if workers := min(m.cfg.BatchWorkers, len(work)); workers <= 1 {
+		for _, si := range work {
+			es, supp := m.feedShard(si, order[starts[si]:starts[si+1]], txs)
+			errs = append(errs, es...)
+			suppressed += supp
 		}
-		sh.mu.Lock()
-		for _, ti := range order[lo:hi] {
-			if err := m.feedLocked(sh, txs[ti]); err != nil {
-				if len(errs) < maxErrs {
-					errs = append(errs, fmt.Errorf("device %s: %w", txs[ti].SourceIP, err))
-				} else {
-					suppressed++
+	} else {
+		// Each busy shard is handled whole by one worker; merging the
+		// per-shard error lists afterwards (in shard order) keeps the
+		// reported errors deterministic for a given batch.
+		perShard := make([][]error, len(m.shards))
+		perSupp := make([]int, len(m.shards))
+		shardCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for si := range shardCh {
+					perShard[si], perSupp[si] = m.feedShard(si, order[starts[si]:starts[si+1]], txs)
 				}
-			}
+			}()
 		}
-		sh.mu.Unlock()
+		for _, si := range work {
+			shardCh <- si
+		}
+		close(shardCh)
+		wg.Wait()
+		for _, si := range work {
+			errs = append(errs, perShard[si]...)
+			suppressed += perSupp[si]
+		}
 	}
 	m.maybeSweep()
+	if len(errs) > feedBatchMaxErrs {
+		suppressed += len(errs) - feedBatchMaxErrs
+		errs = errs[:feedBatchMaxErrs]
+	}
 	if suppressed > 0 {
 		errs = append(errs, fmt.Errorf("core: %d more feed errors in batch", suppressed))
 	}
 	return errors.Join(errs...)
+}
+
+// feedShard feeds one shard's slice of a partitioned batch under its lock,
+// returning up to feedBatchMaxErrs annotated errors plus the count of
+// errors beyond the cap.
+func (m *Monitor) feedShard(si int, order []int32, txs []weblog.Transaction) ([]error, int) {
+	sh := m.shards[si]
+	var errs []error
+	suppressed := 0
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, ti := range order {
+		if err := m.feedLocked(sh, txs[ti]); err != nil {
+			if len(errs) < feedBatchMaxErrs {
+				errs = append(errs, fmt.Errorf("device %s: %w", txs[ti].SourceIP, err))
+			} else {
+				suppressed++
+			}
+		}
+	}
+	return errs, suppressed
 }
 
 // feedLocked runs under sh.mu.

@@ -32,7 +32,10 @@ func (a Acceptance) String() string {
 }
 
 // Accept evaluates a model on windows and returns the accepted fraction
-// (0 when windows is empty).
+// (0 when windows is empty). Callers that score many models on the same
+// window sets (the grid search in particular) should materialize the
+// vectors once with features.Vectors and use svm.Model.AcceptanceRatio
+// directly instead of re-extracting them per model.
 func Accept(m *svm.Model, ws []features.Window) float64 {
 	return m.AcceptanceRatio(features.Vectors(ws))
 }

@@ -14,6 +14,7 @@ import (
 
 	"webtxprofile/internal/eval"
 	"webtxprofile/internal/features"
+	"webtxprofile/internal/sparse"
 	"webtxprofile/internal/svm"
 	"webtxprofile/internal/weblog"
 )
@@ -266,11 +267,18 @@ func ParamSearchUsers(subset []string, trainSets map[string][]features.Window, p
 		}
 	}
 
-	capped := make(map[string][]features.Window, len(users))
-	others := make(map[string][]features.Window, len(users))
+	// Hoist the per-user vector materialization out of the cells: the
+	// training vectors are shared by every cell of a user (previously
+	// features.Vectors re-allocated the slice for each of the user's
+	// params×kernels cells), and the ACC_other probe vectors are shared by
+	// every cell of every user.
+	trainVecs := make(map[string][]sparse.Vector, len(subset))
+	for _, u := range subset {
+		trainVecs[u] = features.Vectors(capPrefix(trainSets[u], cfg.MaxTrainWindows))
+	}
+	otherVecs := make(map[string][]sparse.Vector, len(users))
 	for _, u := range users {
-		capped[u] = capPrefix(trainSets[u], cfg.MaxTrainWindows)
-		others[u] = subsample(trainSets[u], cfg.MaxOtherWindows)
+		otherVecs[u] = features.Vectors(subsample(trainSets[u], cfg.MaxOtherWindows))
 	}
 
 	tables := make(map[string]*ParamTable, len(subset))
@@ -283,9 +291,13 @@ func ParamSearchUsers(subset []string, trainSets map[string][]features.Window, p
 		tables[u] = t
 	}
 
+	// Work distributes at (user, kernel)-row granularity rather than per
+	// cell: the kernel matrix depends only on the kernel and the training
+	// windows — not on ν/C — so all cells of a row share one Gram instead
+	// of recomputing kernel columns per cell.
 	type task struct {
-		user   string
-		pi, ki int
+		user string
+		ki   int
 	}
 	tasks := make(chan task)
 	var wg sync.WaitGroup
@@ -294,16 +306,16 @@ func ParamSearchUsers(subset []string, trainSets map[string][]features.Window, p
 		go func() {
 			defer wg.Done()
 			for tk := range tasks {
-				cell := runCell(tk.user, users, capped, others, params[tk.pi], kernels[tk.ki], cfg)
-				tables[tk.user].Cells[tk.pi][tk.ki] = cell
+				cells := runRow(tk.user, users, trainVecs, otherVecs, params, kernels[tk.ki], cfg)
+				for pi := range params {
+					tables[tk.user].Cells[pi][tk.ki] = cells[pi]
+				}
 			}
 		}()
 	}
 	for _, u := range subset {
-		for pi := range params {
-			for ki := range kernels {
-				tasks <- task{user: u, pi: pi, ki: ki}
-			}
+		for ki := range kernels {
+			tasks <- task{user: u, ki: ki}
 		}
 	}
 	close(tasks)
@@ -311,30 +323,42 @@ func ParamSearchUsers(subset []string, trainSets map[string][]features.Window, p
 	return tables, nil
 }
 
-// runCell fits and scores one grid cell.
-func runCell(user string, users []string, trainSets, otherSets map[string][]features.Window, param float64, kernel svm.Kernel, cfg Config) ParamCell {
-	cell := ParamCell{Kernel: kernel, Param: param}
-	tc := cfg.Train
-	tc.Kernel = kernel
-	model, err := svm.Train(cfg.Algorithm, features.Vectors(trainSets[user]), param, tc)
-	if err != nil {
-		cell.Err = fmt.Errorf("grid: user %s %v param=%g: %w", user, kernel, param, err)
-		return cell
+// runRow fits and scores one (user, kernel) row of the grid: the Gram
+// matrix over the user's training vectors is computed once and every ν/C
+// cell of the row trains against it.
+func runRow(user string, users []string, trainVecs, otherVecs map[string][]sparse.Vector, params []float64, kernel svm.Kernel, cfg Config) []ParamCell {
+	cells := make([]ParamCell, len(params))
+	for i := range cells {
+		cells[i] = ParamCell{Kernel: kernel, Param: params[i]}
 	}
-	cell.Acc.Self = eval.Accept(model, trainSets[user])
-	var sum float64
-	n := 0
-	for _, o := range users {
-		if o == user || len(otherSets[o]) == 0 {
+	gram, err := svm.NewGram(kernel, trainVecs[user])
+	if err != nil {
+		for i := range cells {
+			cells[i].Err = fmt.Errorf("grid: user %s %v: %w", user, kernel, err)
+		}
+		return cells
+	}
+	for i, param := range params {
+		model, err := svm.TrainGram(cfg.Algorithm, gram, param, cfg.Train)
+		if err != nil {
+			cells[i].Err = fmt.Errorf("grid: user %s %v param=%g: %w", user, kernel, param, err)
 			continue
 		}
-		sum += eval.Accept(model, otherSets[o])
-		n++
+		cells[i].Acc.Self = model.AcceptanceRatio(trainVecs[user])
+		var sum float64
+		n := 0
+		for _, o := range users {
+			if o == user || len(otherVecs[o]) == 0 {
+				continue
+			}
+			sum += model.AcceptanceRatio(otherVecs[o])
+			n++
+		}
+		if n > 0 {
+			cells[i].Acc.Other = sum / float64(n)
+		}
 	}
-	if n > 0 {
-		cell.Acc.Other = sum / float64(n)
-	}
-	return cell
+	return cells
 }
 
 // BestParams extracts each user's winning (kernel, param) from the tables.

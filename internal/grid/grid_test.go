@@ -173,6 +173,98 @@ func TestParamSearchAndBest(t *testing.T) {
 	}
 }
 
+// TestParamSearchMatchesPerCellTraining cross-checks the Gram-sharing row
+// path against independent per-cell training: every cell's model quality
+// triple must be identical, since the shared Gram feeds the solver the
+// same kernel matrix the per-cell column cache would compute.
+func TestParamSearchMatchesPerCellTraining(t *testing.T) {
+	ds := buildTrainSet()
+	ws := windowsFor(t, ds)
+	params := []float64{0.999, 0.5, 0.1, 0.01}
+	kernels := []svm.Kernel{svm.Linear(), svm.Poly(0.1, 0, 3), svm.RBF(0.1), svm.Sigmoid(0.1, 0)}
+	cfg := Config{Algorithm: svm.OCSVM, Workers: 2}.withDefaults()
+	tables, err := ParamSearch(ws, params, kernels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []string{"user_1", "user_2"}
+	for _, u := range users {
+		capped := capPrefix(ws[u], cfg.MaxTrainWindows)
+		for pi, param := range params {
+			for ki, kernel := range kernels {
+				cell := tables[u].Cells[pi][ki]
+				if cell.Err != nil {
+					t.Fatalf("%s cell [%d][%d]: %v", u, pi, ki, cell.Err)
+				}
+				m, err := svm.Train(cfg.Algorithm, features.Vectors(capped), param, svm.TrainConfig{Kernel: kernel})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantSelf := eval.Accept(m, capped)
+				if cell.Acc.Self != wantSelf {
+					t.Errorf("%s %v param=%g: grid self %v != per-cell %v",
+						u, kernel, param, cell.Acc.Self, wantSelf)
+				}
+				var sum float64
+				n := 0
+				for _, o := range users {
+					if o == u {
+						continue
+					}
+					sum += eval.Accept(m, subsample(ws[o], cfg.MaxOtherWindows))
+					n++
+				}
+				if wantOther := sum / float64(n); cell.Acc.Other != wantOther {
+					t.Errorf("%s %v param=%g: grid other %v != per-cell %v",
+						u, kernel, param, cell.Acc.Other, wantOther)
+				}
+			}
+		}
+	}
+}
+
+// TestParamSearchKernelEvalBudget is the acceptance criterion for the
+// Gram-sharing grid: on a Table III-shaped search (full 15-value ν grid),
+// ParamSearch must perform at most 1/10 of the kernel evaluations the old
+// per-cell column-cache path pays, measured by the svm kernel counters.
+func TestParamSearchKernelEvalBudget(t *testing.T) {
+	ds := buildTrainSet()
+	ws := windowsFor(t, ds)
+	kernels := []svm.Kernel{svm.Poly(0.1, 0, 3), svm.RBF(0.1)}
+	cfg := Config{Algorithm: svm.OCSVM, Workers: 2}.withDefaults()
+
+	before := svm.ReadKernelStats()
+	if _, err := ParamSearch(ws, PaperParams, kernels, cfg); err != nil {
+		t.Fatal(err)
+	}
+	gram := svm.ReadKernelStats().Sub(before)
+
+	// The old path: one independent training (own column cache) per cell.
+	before = svm.ReadKernelStats()
+	for _, u := range []string{"user_1", "user_2"} {
+		vecs := features.Vectors(capPrefix(ws[u], cfg.MaxTrainWindows))
+		for _, kernel := range kernels {
+			for _, param := range PaperParams {
+				if _, err := svm.Train(cfg.Algorithm, vecs, param, svm.TrainConfig{Kernel: kernel}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	perCell := svm.ReadKernelStats().Sub(before)
+
+	t.Logf("kernel evals: gram path %d, per-cell path %d (%.1f×), cache hits %d",
+		gram.KernelEvals, perCell.KernelEvals,
+		float64(perCell.KernelEvals)/float64(gram.KernelEvals), perCell.CacheHits)
+	if gram.KernelEvals*10 > perCell.KernelEvals {
+		t.Errorf("gram path used %d kernel evals, want ≤ 1/10 of per-cell %d",
+			gram.KernelEvals, perCell.KernelEvals)
+	}
+	if want := uint64(len(kernels) * 2); gram.GramBuilds != want {
+		t.Errorf("gram builds = %d, want %d (one per user×kernel row)", gram.GramBuilds, want)
+	}
+}
+
 func TestParamSearchErrors(t *testing.T) {
 	ds := buildTrainSet()
 	ws := windowsFor(t, ds)

@@ -1,0 +1,96 @@
+package svm
+
+import (
+	"fmt"
+
+	"webtxprofile/internal/sparse"
+)
+
+// Gram is a fully materialized kernel matrix K over a fixed training set.
+// K depends only on the kernel and the data — not on ν, C or the
+// algorithm — so one Gram serves every cell of a grid-search row: the
+// paper's Table III retrains the same training windows 15× per kernel with
+// different ν/C values, and sharing the Gram turns 15 kernel-matrix
+// computations into one. The SMO solver consumes the rows directly via
+// kcol, with the algorithm's Q = qscale·K scale applied inside the solver.
+//
+// A Gram is immutable after construction and safe for concurrent use by
+// multiple trainings.
+type Gram struct {
+	kernel Kernel
+	xs     []sparse.Vector
+	rows   [][]float64
+	diag   []float64
+}
+
+// NewGram computes the full symmetric kernel matrix over xs. Memory is
+// 8·n² bytes (one flat backing array) — at the grid's default cap of 600
+// training windows that is ~2.9 MB, recouped 15× over per ν/C row.
+func NewGram(kernel Kernel, xs []sparse.Vector) (*Gram, error) {
+	if err := kernel.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	ns := norms(xs)
+	flat := make([]float64, n*n)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*n : (i+1)*n : (i+1)*n]
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = kernel.evalSelf(ns[i])
+		rows[i][i] = diag[i]
+		for j := i + 1; j < n; j++ {
+			v := kernel.evalNorms(xs[i], xs[j], ns[i], ns[j])
+			rows[i][j] = v
+			rows[j][i] = v
+		}
+	}
+	statKernelEvals.Add(uint64(n) * uint64(n+1) / 2)
+	statGramBuilds.Add(1)
+	return &Gram{kernel: kernel, xs: xs, rows: rows, diag: diag}, nil
+}
+
+// Kernel returns the kernel the matrix was computed with.
+func (g *Gram) Kernel() Kernel { return g.kernel }
+
+// Size returns the number of training vectors (the matrix dimension).
+func (g *Gram) Size() int { return len(g.xs) }
+
+// column returns row/column i of the symmetric matrix (qProvider).
+func (g *Gram) column(i int) []float64 { return g.rows[i] }
+
+// diagonal returns the matrix diagonal (qProvider).
+func (g *Gram) diagonal() []float64 { return g.diag }
+
+// TrainOCSVMGram is TrainOCSVM evaluated against a precomputed Gram: same
+// dual, same solution, no kernel evaluations. cfg.Kernel is ignored — the
+// Gram fixes the kernel.
+func TrainOCSVMGram(g *Gram, nu float64, cfg TrainConfig) (*Model, error) {
+	cfg.Kernel = g.kernel
+	return trainOCSVM(g.xs, nu, cfg, g)
+}
+
+// TrainSVDDGram is TrainSVDD evaluated against a precomputed Gram.
+// cfg.Kernel is ignored — the Gram fixes the kernel.
+func TrainSVDDGram(g *Gram, c float64, cfg TrainConfig) (*Model, error) {
+	cfg.Kernel = g.kernel
+	return trainSVDD(g.xs, c, cfg, g)
+}
+
+// TrainGram dispatches on the algorithm like Train, sourcing the kernel
+// matrix from the shared Gram.
+func TrainGram(algo Algorithm, g *Gram, param float64, cfg TrainConfig) (*Model, error) {
+	switch algo {
+	case OCSVM:
+		return TrainOCSVMGram(g, param, cfg)
+	case SVDD:
+		return TrainSVDDGram(g, param, cfg)
+	default:
+		return nil, fmt.Errorf("svm: unknown algorithm %d", int(algo))
+	}
+}

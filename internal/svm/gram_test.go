@@ -1,0 +1,140 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGramMatchesEval checks the materialized matrix entry-by-entry
+// against direct kernel evaluation.
+func TestGramMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	xs := gaussCluster(r, 25, 5, 0, 1)
+	for _, kernel := range kernelsUnderTest() {
+		g, err := NewGram(kernel, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Size() != len(xs) || g.Kernel() != kernel {
+			t.Fatalf("%v: size/kernel accessors wrong", kernel)
+		}
+		for i := range xs {
+			col := g.column(i)
+			for j := range xs {
+				want := kernel.Eval(xs[i], xs[j])
+				if math.Abs(col[j]-want) > 1e-12 {
+					t.Fatalf("%v: K[%d][%d] = %v, want %v", kernel, i, j, col[j], want)
+				}
+			}
+			if math.Abs(g.diagonal()[i]-kernel.Eval(xs[i], xs[i])) > 1e-12 {
+				t.Fatalf("%v: diag[%d] mismatch", kernel, i)
+			}
+		}
+	}
+}
+
+// TestTrainGramMatchesTrain is the grid-sharing correctness property: a
+// model trained against a shared Gram must be identical to one trained
+// with the lazy column cache — same support vectors, coefficients,
+// thresholds and decisions — because both feed the solver the same raw
+// kernel matrix.
+func TestTrainGramMatchesTrain(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	xs := binaryCluster(r, 100, []int{0, 4, 7}, []int{20, 21, 22}, 0.4)
+	params := []float64{0.999, 0.5, 0.1, 0.01}
+	for _, kernel := range kernelsUnderTest() {
+		g, err := NewGram(kernel, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []Algorithm{OCSVM, SVDD} {
+			for _, param := range params {
+				cfg := TrainConfig{Kernel: kernel}
+				want, err := Train(algo, xs, param, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := TrainGram(algo, g, param, TrainConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.NumSVs() != want.NumSVs() {
+					t.Fatalf("%v %v param=%g: %d SVs via Gram, %d via cache",
+						kernel, algo, param, got.NumSVs(), want.NumSVs())
+				}
+				for i := range want.Coef {
+					if got.Coef[i] != want.Coef[i] {
+						t.Fatalf("%v %v param=%g: coef[%d] %v != %v",
+							kernel, algo, param, i, got.Coef[i], want.Coef[i])
+					}
+				}
+				if got.Rho != want.Rho || got.R2 != want.R2 || got.SumAA != want.SumAA {
+					t.Fatalf("%v %v param=%g: thresholds differ (ρ %v/%v, R² %v/%v)",
+						kernel, algo, param, got.Rho, want.Rho, got.R2, want.R2)
+				}
+				for trial := 0; trial < 10; trial++ {
+					x := randomSparse(r, 60, 8)
+					if a, b := got.Decision(x), want.Decision(x); a != b {
+						t.Fatalf("%v %v param=%g: decisions differ: %v vs %v",
+							kernel, algo, param, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrainGramReusesKernelEvals verifies the point of the Gram: training
+// many parameter cells against one Gram performs the kernel evaluations
+// once, while per-cell training re-evaluates per cell.
+func TestTrainGramReusesKernelEvals(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	xs := binaryCluster(r, 60, []int{0, 4, 7}, []int{20, 21, 22}, 0.4)
+	params := []float64{0.999, 0.9, 0.7, 0.5, 0.3, 0.1, 0.05, 0.01}
+	n := uint64(len(xs))
+
+	before := ReadKernelStats()
+	g, err := NewGram(RBF(0.1), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range params {
+		if _, err := TrainOCSVMGram(g, p, TrainConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gram := ReadKernelStats().Sub(before)
+	if want := n * (n + 1) / 2; gram.KernelEvals != want {
+		t.Errorf("gram path kernel evals = %d, want %d (one triangular build)",
+			gram.KernelEvals, want)
+	}
+	if gram.GramBuilds != 1 {
+		t.Errorf("gram builds = %d, want 1", gram.GramBuilds)
+	}
+
+	before = ReadKernelStats()
+	for _, p := range params {
+		if _, err := TrainOCSVM(xs, p, TrainConfig{Kernel: RBF(0.1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cell := ReadKernelStats().Sub(before)
+	if cell.KernelEvals <= gram.KernelEvals {
+		t.Errorf("per-cell path used %d kernel evals, gram path %d — sharing won nothing",
+			cell.KernelEvals, gram.KernelEvals)
+	}
+}
+
+// TestNewGramErrors covers the validation paths.
+func TestNewGramErrors(t *testing.T) {
+	if _, err := NewGram(Kernel{Kind: KernelRBF, Gamma: -1}, gaussCluster(rand.New(rand.NewSource(34)), 5, 3, 0, 1)); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+	if _, err := NewGram(Linear(), nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := TrainGram(0, nil, 0.5, TrainConfig{}); err == nil {
+		t.Error("invalid algorithm accepted")
+	}
+}

@@ -1,0 +1,216 @@
+package svm
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"webtxprofile/internal/sparse"
+)
+
+// indexKernelsUnderTest covers the non-linear kernel family the inverted
+// index serves, with degree variants exercising both ipow and the closed
+// cubic form.
+func indexKernelsUnderTest() []Kernel {
+	return []Kernel{
+		Poly(0.05, 0.3, 2),
+		Poly(0.05, 0.3, 3),
+		Poly(0.02, 1, 4),
+		RBF(0.1),
+		RBF(0.8),
+		Sigmoid(0.05, -0.1),
+		Sigmoid(0.02, 0.5),
+	}
+}
+
+// randomModel hand-assembles a structurally valid model with random
+// support vectors and coefficients for an arbitrary kernel. Validate is
+// NOT called; callers decide whether to prepare the caches.
+func randomModel(r *rand.Rand, algo Algorithm, kernel Kernel, nsv, dim, nnz int) *Model {
+	m := &Model{Algo: algo, Kernel: kernel, Param: 0.1, TrainSize: nsv}
+	for i := 0; i < nsv; i++ {
+		m.SVs = append(m.SVs, randomSparse(r, dim, nnz))
+		m.Coef = append(m.Coef, 0.01+r.Float64())
+	}
+	switch algo {
+	case OCSVM:
+		m.Rho = r.Float64()
+	case SVDD:
+		m.R2 = 1 + r.Float64()
+		m.SumAA = r.Float64()
+	}
+	return m
+}
+
+// TestIndexedPathMatchesGeneric is the tentpole equivalence property: for
+// every non-linear kernel and both algorithms, the inverted-index decision
+// must agree with the per-SV merge-join sum within 1e-9 on randomized
+// models and probes — probes drawn beyond the SV column range and the
+// empty window included.
+func TestIndexedPathMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, kernel := range indexKernelsUnderTest() {
+		for _, algo := range []Algorithm{OCSVM, SVDD} {
+			for trial := 0; trial < 8; trial++ {
+				nsv := 1 + r.Intn(120)
+				m := randomModel(r, algo, kernel, nsv, 800, 5+r.Intn(25))
+				if err := m.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				if m.idx == nil {
+					t.Fatalf("%v %v: no SV index after Validate", kernel, algo)
+				}
+				probes := make([]sparse.Vector, 0, 16)
+				probes = append(probes, sparse.Vector{}) // empty window
+				for p := 0; p < 15; p++ {
+					// Probes exceed the SV column range to exercise the
+					// out-of-range cutoff in the postings walk.
+					probes = append(probes, randomSparse(r, 1000, 5+r.Intn(25)))
+				}
+				for _, x := range probes {
+					fast, generic := m.Decision(x), m.DecisionGeneric(x)
+					if math.Abs(fast-generic) > 1e-9 {
+						t.Fatalf("%v %v nsv=%d: indexed %v vs generic %v (diff %g)",
+							kernel, algo, nsv, fast, generic, math.Abs(fast-generic))
+					}
+					if m.acceptsValue(fast) != m.acceptsValue(generic) {
+						t.Fatalf("%v %v: accept flipped at decision %v", kernel, algo, fast)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedUnpreparedModelFallsBack checks the unprepared-model
+// contract: a hand-assembled non-linear model that never called Validate
+// has no index and Decision must equal DecisionGeneric exactly.
+func TestIndexedUnpreparedModelFallsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for _, algo := range []Algorithm{OCSVM, SVDD} {
+		m := randomModel(r, algo, RBF(0.2), 40, 300, 12)
+		if m.idx != nil || m.svNorms != nil {
+			t.Fatal("hand-assembled model has prepared caches")
+		}
+		for i := 0; i < 20; i++ {
+			x := randomSparse(r, 300, 12)
+			if got, want := m.Decision(x), m.DecisionGeneric(x); got != want {
+				t.Fatalf("unprepared decision %v != generic %v", got, want)
+			}
+		}
+	}
+}
+
+// TestIndexedSurvivesJSONRoundTrip asserts the inverted index is rebuilt
+// on unmarshal and produces bit-identical decisions (the rebuilt postings
+// are deterministic, so the indexed sums run in the same order).
+func TestIndexedSurvivesJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, kernel := range []Kernel{Poly(0.05, 0.3, 3), RBF(0.1), Sigmoid(0.05, 0)} {
+		m := randomModel(r, SVDD, kernel, 60, 500, 15)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Model
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.idx == nil {
+			t.Fatalf("%v: SV index lost in JSON round trip", kernel)
+		}
+		for i := 0; i < 20; i++ {
+			x := randomSparse(r, 500, 15)
+			if a, b := m.Decision(x), back.Decision(x); a != b {
+				t.Fatalf("%v: decision drift after round trip: %v vs %v", kernel, a, b)
+			}
+		}
+	}
+}
+
+// TestIndexedTrainedModels checks that Train prepares the index for
+// non-linear kernels and that trained-model decisions agree with the
+// generic path on training-shaped data.
+func TestIndexedTrainedModels(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	xs := binaryCluster(r, 120, []int{0, 4, 7, 12}, []int{20, 21, 22, 23}, 0.4)
+	for _, kernel := range []Kernel{Poly(0.1, 0, 3), RBF(0.1), Sigmoid(0.1, 0)} {
+		for _, algo := range []Algorithm{OCSVM, SVDD} {
+			m, err := Train(algo, xs, 0.2, TrainConfig{Kernel: kernel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.idx == nil {
+				t.Fatalf("%v %v: trained model has no SV index", kernel, algo)
+			}
+			if m.w != nil {
+				t.Fatalf("%v %v: non-linear model has a weight vector", kernel, algo)
+			}
+			for _, x := range xs[:40] {
+				if d := math.Abs(m.Decision(x) - m.DecisionGeneric(x)); d > 1e-9 {
+					t.Fatalf("%v %v: indexed/generic diff %g", kernel, algo, d)
+				}
+			}
+		}
+	}
+}
+
+// TestScorerSharedScratchAcrossSizes scores through models of very
+// different SV counts in both orders, exercising the scorer's shared
+// dot-product buffer growing and shrinking between models.
+func TestScorerSharedScratchAcrossSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	small := randomModel(r, OCSVM, RBF(0.2), 3, 200, 10)
+	big := randomModel(r, SVDD, Poly(0.05, 0.3, 3), 150, 200, 10)
+	mid := randomModel(r, OCSVM, Sigmoid(0.1, 0), 40, 200, 10)
+	for _, m := range []*Model{small, big, mid} {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, order := range [][]*Model{
+		{small, big, mid},
+		{big, small, mid},
+		{mid, big, small},
+	} {
+		sc := NewScorer(order)
+		for trial := 0; trial < 20; trial++ {
+			x := randomSparse(r, 250, 12)
+			dec := sc.Decisions(x)
+			for i, m := range order {
+				if want := m.Decision(x); dec[i] != want {
+					t.Fatalf("model %d (%v): batch %v vs solo %v", i, m.Kernel, dec[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSVIndexStructure sanity-checks the transposed CSR on a
+// hand-constructed SV set.
+func TestSVIndexStructure(t *testing.T) {
+	svs := []sparse.Vector{
+		sparse.New(map[int]float64{0: 1, 3: 2}),
+		sparse.New(map[int]float64{3: 4, 5: 0.5}),
+		sparse.New(map[int]float64{1: 3}),
+	}
+	ix := buildSVIndex(svs)
+	if ix.nsv != 3 {
+		t.Fatalf("nsv = %d", ix.nsv)
+	}
+	x := sparse.New(map[int]float64{3: 2, 5: 2, 9: 7}) // column 9 beyond range
+	dots := ix.dotsInto(x, nil)
+	want := []float64{4, 9, 0} // x·sv0 = 2·2, x·sv1 = 2·4 + 2·0.5, x·sv2 = 0
+	for i := range want {
+		if dots[i] != want[i] {
+			t.Fatalf("dots = %v, want %v", dots, want)
+		}
+	}
+	if got := ix.dotsInto(sparse.Vector{}, dots); len(got) != 3 || got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("empty-window dots = %v, want zeros (stale scratch not cleared?)", got)
+	}
+}

@@ -4,6 +4,24 @@
 // solved from scratch with an SMO solver equivalent to LIBSVM's (the
 // paper's reference [1]), supporting the paper's four kernels: linear,
 // polynomial, RBF and sigmoid.
+//
+// # Dot-product factoring
+//
+// The entire kernel family factors through the dot product x·y: linear
+// (k = x·y) and sigmoid (k = tanh(γ·x·y+c₀)) use it directly, polynomial
+// through (γ·x·y+c₀)^d, and RBF through the norm expansion
+// ‖x−y‖² = ‖x‖²+‖y‖²−2x·y, which reduces the Gaussian to a dot product
+// once the support-vector norms ‖xᵢ‖² are cached — this is why even the
+// "irreducible" RBF qualifies for the fast path. Decision evaluation
+// therefore never needs a per-support-vector sparse-sparse merge join:
+// linear models collapse the whole sum into a precomputed dense weight
+// vector w = Σᵢ αᵢxᵢ, and every other kernel uses an inverted
+// support-vector index (feature → (sv, value) postings) that accumulates
+// all SV dot products in one pass over the window's ~20 non-zeros, after
+// which a tight scalar loop applies the kernel function. The same
+// factoring serves training: a Gram matrix depends only on the kernel and
+// the data, so grid searches share one Gram across every ν/C cell of a
+// row (see Gram and TrainGram).
 package svm
 
 import (
@@ -142,21 +160,48 @@ func (k Kernel) Eval(x, y sparse.Vector) float64 {
 // evalNorms computes k(x, y) reusing precomputed squared norms, which turns
 // the RBF distance into dot products (‖x−y‖² = ‖x‖²+‖y‖²−2x·y).
 func (k Kernel) evalNorms(x, y sparse.Vector, nx, ny float64) float64 {
+	return k.evalDot(sparse.Dot(x, y), nx, ny)
+}
+
+// evalDot computes k(x, y) from the already-computed dot product x·y and
+// the squared norms — the factored form every kernel family of the paper
+// admits (linear and sigmoid use the dot product directly, polynomial
+// through (γ·x·y+c₀)^d, RBF through ‖x−y‖² = ‖x‖²+‖y‖²−2x·y). This is what
+// lets the inverted support-vector index batch all dot products first and
+// apply the kernel in a scalar pass.
+func (k Kernel) evalDot(dot, nx, ny float64) float64 {
 	switch k.Kind {
 	case KernelLinear:
-		return sparse.Dot(x, y)
+		return dot
 	case KernelPoly:
-		return ipow(k.Gamma*sparse.Dot(x, y)+k.Coef0, k.Degree)
+		return ipow(k.Gamma*dot+k.Coef0, k.Degree)
 	case KernelRBF:
-		d2 := nx + ny - 2*sparse.Dot(x, y)
+		d2 := nx + ny - 2*dot
 		if d2 < 0 {
 			d2 = 0
 		}
 		return math.Exp(-k.Gamma * d2)
 	case KernelSigmoid:
-		return math.Tanh(k.Gamma*sparse.Dot(x, y) + k.Coef0)
+		return math.Tanh(k.Gamma*dot + k.Coef0)
 	default:
-		panic("svm: evalNorms on invalid kernel; call Validate first")
+		panic("svm: evalDot on invalid kernel; call Validate first")
+	}
+}
+
+// evalSelf computes k(x, x) from ‖x‖² alone (x·x = ‖x‖², so the RBF
+// distance is zero and the other kernels need only the norm).
+func (k Kernel) evalSelf(nx float64) float64 {
+	switch k.Kind {
+	case KernelLinear:
+		return nx
+	case KernelPoly:
+		return ipow(k.Gamma*nx+k.Coef0, k.Degree)
+	case KernelRBF:
+		return 1
+	case KernelSigmoid:
+		return math.Tanh(k.Gamma*nx + k.Coef0)
+	default:
+		panic("svm: evalSelf on invalid kernel; call Validate first")
 	}
 }
 

@@ -61,26 +61,33 @@ type Model struct {
 	// Iterations is the SMO iteration count.
 	Iterations int `json:"iterations"`
 
-	// svNorms caches ‖sv‖² for RBF decisions and w caches the dense
-	// weight vector Σᵢ αᵢxᵢ that collapses linear-kernel decisions into a
-	// single sparse-dense dot product. Train, UnmarshalJSON and Validate
-	// populate both (see prepare); Decision never writes them, so models
-	// are always safe for concurrent Decision calls — hand-assembled
-	// models that skip Validate just take the slower uncached path.
+	// svNorms caches ‖sv‖² for RBF decisions, w caches the dense weight
+	// vector Σᵢ αᵢxᵢ that collapses linear-kernel decisions into a single
+	// sparse-dense dot product, and idx holds the inverted support-vector
+	// index that batches all SV dot products for the non-linear kernels.
+	// Train, UnmarshalJSON and Validate populate them (see prepare);
+	// Decision never writes them, so models are always safe for concurrent
+	// Decision calls — hand-assembled models that skip Validate just take
+	// the slower uncached path.
 	svNorms []float64
 	w       []float64
+	idx     *svIndex
 }
 
-// prepare (re)computes the derived caches: the support-vector norms and,
-// for linear kernels, the dense weight vector w = Σᵢ αᵢxᵢ. It is called
-// from Train, UnmarshalJSON and Validate — never from Decision, which
-// keeps concurrent decisions race-free on any model.
+// prepare (re)computes the derived caches: the support-vector norms plus,
+// for linear kernels, the dense weight vector w = Σᵢ αᵢxᵢ and, for the
+// other kernels, the inverted support-vector index (every kernel factors
+// through x·y, see svIndex). It is called from Train, UnmarshalJSON and
+// Validate — never from Decision, which keeps concurrent decisions
+// race-free on any model.
 func (m *Model) prepare() {
 	m.svNorms = norms(m.SVs)
 	if m.Kernel.Kind == KernelLinear {
 		m.w = weightVector(m.SVs, m.Coef)
+		m.idx = nil
 	} else {
 		m.w = nil
+		m.idx = buildSVIndex(m.SVs)
 	}
 }
 
@@ -132,10 +139,14 @@ func (m *Model) NumSVs() int { return len(m.SVs) }
 //	OC-SVM: f(x) = Σᵢ αᵢ k(xᵢ, x) − ρ                            (Eq. 6)
 //	SVDD:   f(x) = R² − ΣΣ αᵢαⱼk(xᵢ,xⱼ) + 2Σᵢ αᵢk(xᵢ,x) − k(x,x) (Eq. 12)
 //
-// For linear kernels the kernel sum collapses to w·x with the precomputed
-// weight vector w = Σᵢ αᵢxᵢ, making Decision O(nnz(x)) regardless of the
-// support-vector count. Models from Train, UnmarshalJSON or Validate have
-// w populated; hand-assembled models that skip Validate fall back to the
+// Every kernel of the family factors through the dot product x·y, so no
+// prepared model pays the per-support-vector merge join: linear kernels
+// collapse the sum to w·x with the precomputed weight vector w = Σᵢ αᵢxᵢ
+// (O(nnz(x)) regardless of SV count), and polynomial/RBF/sigmoid kernels
+// batch all SV dot products through the inverted support-vector index in
+// one pass over x's non-zeros before a scalar kernel loop. Models from
+// Train, UnmarshalJSON or Validate have these caches populated;
+// hand-assembled models that skip Validate fall back to the
 // per-support-vector sum of DecisionGeneric.
 func (m *Model) Decision(x sparse.Vector) float64 {
 	return m.decision(x, x.NormSq())
@@ -144,18 +155,91 @@ func (m *Model) Decision(x sparse.Vector) float64 {
 // decision is Decision with ‖x‖² precomputed, so batch scorers pay for it
 // once per window rather than once per model.
 func (m *Model) decision(x sparse.Vector, nx float64) float64 {
+	if m.idx != nil {
+		bufp := dotsPool.Get().(*[]float64)
+		v, buf := m.decisionIndexed(x, nx, *bufp)
+		*bufp = buf
+		dotsPool.Put(bufp)
+		return v
+	}
+	v, _ := m.decisionScratch(x, nx, nil)
+	return v
+}
+
+// decisionScratch is the scratch-threading decision kernel behind both
+// Decision and the batch Scorer: dots is the caller-owned dot-product
+// accumulator for the indexed path (grown as needed and handed back for
+// reuse). The dispatch order mirrors prepare: linear models carry w, every
+// other prepared model carries idx, and unprepared hand-assembled models
+// fall back to the per-SV merge join of decisionGeneric.
+func (m *Model) decisionScratch(x sparse.Vector, nx float64, dots []float64) (float64, []float64) {
 	if m.w != nil && m.Kernel.Kind == KernelLinear {
 		wx := dotDense(m.w, x)
 		switch m.Algo {
 		case OCSVM:
-			return wx - m.Rho
+			return wx - m.Rho, dots
 		case SVDD:
-			return m.R2 - m.SumAA + 2*wx - nx
+			return m.R2 - m.SumAA + 2*wx - nx, dots
 		default:
 			panic("svm: Decision on invalid model")
 		}
 	}
-	return m.decisionGeneric(x, nx)
+	if m.idx != nil {
+		return m.decisionIndexed(x, nx, dots)
+	}
+	return m.decisionGeneric(x, nx), dots
+}
+
+// decisionIndexed evaluates f(x) through the inverted support-vector
+// index: one pass over x's non-zeros accumulates every SV dot product,
+// then a kernel-specialized scalar loop folds in αᵢ·k(xᵢ,x). dots is
+// caller scratch, returned (possibly regrown) for reuse.
+func (m *Model) decisionIndexed(x sparse.Vector, nx float64, dots []float64) (float64, []float64) {
+	dots = m.idx.dotsInto(x, dots)
+	k := m.Kernel
+	coef := m.Coef
+	var sum float64
+	switch k.Kind {
+	case KernelPoly:
+		g, c0 := k.Gamma, k.Coef0
+		if k.Degree == 3 { // LIBSVM's default degree, worth a closed form
+			for i, d := range dots {
+				b := g*d + c0
+				sum += coef[i] * b * b * b
+			}
+		} else {
+			for i, d := range dots {
+				sum += coef[i] * ipow(g*d+c0, k.Degree)
+			}
+		}
+	case KernelRBF:
+		g := k.Gamma
+		sn := m.svNorms
+		for i, d := range dots {
+			d2 := sn[i] + nx - 2*d
+			if d2 < 0 {
+				d2 = 0
+			}
+			sum += coef[i] * math.Exp(-g*d2)
+		}
+	case KernelSigmoid:
+		g, c0 := k.Gamma, k.Coef0
+		for i, d := range dots {
+			sum += coef[i] * math.Tanh(g*d+c0)
+		}
+	default: // linear models take the weight-vector path; kept for completeness
+		for i, d := range dots {
+			sum += coef[i] * d
+		}
+	}
+	switch m.Algo {
+	case OCSVM:
+		return sum - m.Rho, dots
+	case SVDD:
+		return m.R2 - m.SumAA + 2*sum - k.evalSelf(nx), dots
+	default:
+		panic("svm: Decision on invalid model")
+	}
 }
 
 // DecisionGeneric evaluates f(x) with the per-support-vector kernel sum,
@@ -184,7 +268,7 @@ func (m *Model) decisionGeneric(x sparse.Vector, nx float64) float64 {
 	case OCSVM:
 		return sum - m.Rho
 	case SVDD:
-		return m.R2 - m.SumAA + 2*sum - m.Kernel.evalNorms(x, x, nx, nx)
+		return m.R2 - m.SumAA + 2*sum - m.Kernel.evalSelf(nx)
 	default:
 		panic("svm: Decision on invalid model")
 	}

@@ -4,9 +4,16 @@ import "webtxprofile/internal/sparse"
 
 // Scorer evaluates one window against a fixed set of models — the inner
 // loop of streaming identification, where every completed window is scored
-// against every user profile. It owns reusable scratch buffers so the hot
-// path allocates nothing per window, and it computes ‖x‖² once per window
-// instead of once per model.
+// against every user profile. It owns reusable scratch buffers (including
+// the dot-product accumulator the inverted support-vector index writes
+// into, shared across all models) so the hot path allocates nothing per
+// window, and it computes ‖x‖² once per window instead of once per model.
+//
+// Each model carries its own prepared decision cache — the linear weight
+// vector or the inverted SV index, both built once at Train/Validate time —
+// so models that appear in many scorers (every Monitor shard references the
+// same profile models) share one index; the scorer only adds the per-window
+// scratch.
 //
 // A Scorer is not safe for concurrent use; create one per goroutine (they
 // are cheap — the models themselves are shared, read-only).
@@ -14,16 +21,24 @@ type Scorer struct {
 	models []*Model
 	dec    []float64
 	acc    []bool
+	dots   []float64 // indexed-path accumulator, sized to the largest model
 }
 
 // NewScorer creates a scorer over the given models. The models are not
 // copied or mutated; prepare them (Train, UnmarshalJSON or Validate all
-// do) to enable the linear-kernel fast path.
+// do) to enable the kernel fast paths.
 func NewScorer(models []*Model) *Scorer {
+	maxSVs := 0
+	for _, m := range models {
+		if m != nil && m.idx != nil && m.idx.nsv > maxSVs {
+			maxSVs = m.idx.nsv
+		}
+	}
 	return &Scorer{
 		models: models,
 		dec:    make([]float64, len(models)),
 		acc:    make([]bool, len(models)),
+		dots:   make([]float64, maxSVs),
 	}
 }
 
@@ -36,7 +51,13 @@ func (s *Scorer) Model(i int) *Model { return s.models[i] }
 // Decisions evaluates every model's decision function on x. The returned
 // slice is scratch owned by the scorer, valid until the next call.
 func (s *Scorer) Decisions(x sparse.Vector) []float64 {
-	s.dec = DecisionBatch(s.models, x, s.dec[:0])
+	nx := x.NormSq()
+	s.dec = s.dec[:0]
+	for _, m := range s.models {
+		var d float64
+		d, s.dots = m.decisionScratch(x, nx, s.dots)
+		s.dec = append(s.dec, d)
+	}
 	return s.dec
 }
 
@@ -53,10 +74,19 @@ func (s *Scorer) AcceptMask(x sparse.Vector) []bool {
 
 // DecisionBatch evaluates every model's decision function on x, appending
 // to out (which may be nil; pass out[:0] to reuse a buffer across calls).
+// The dot-product accumulator of the indexed path is pooled across calls;
+// loops that score many windows against the same models should prefer a
+// Scorer, which keeps that scratch alive without pool traffic.
 func DecisionBatch(models []*Model, x sparse.Vector, out []float64) []float64 {
 	nx := x.NormSq()
+	bufp := dotsPool.Get().(*[]float64)
+	dots := *bufp
 	for _, m := range models {
-		out = append(out, m.decision(x, nx))
+		var d float64
+		d, dots = m.decisionScratch(x, nx, dots)
+		out = append(out, d)
 	}
+	*bufp = dots
+	dotsPool.Put(bufp)
 	return out
 }

@@ -25,11 +25,16 @@ const (
 	DefaultEps = 1e-3
 )
 
-// smoProblem describes one dual problem instance.
+// smoProblem describes one dual problem instance. The quadratic term is
+// supplied as raw kernel columns plus a scalar: Q = qscale·K. Keeping K
+// unscaled is what lets one materialized Gram serve both algorithms (and,
+// in the grid search, every ν/C cell of a row) — the OC-SVM (qscale 1) and
+// SVDD (qscale 2) duals differ only in the scalar and the linear term.
 type smoProblem struct {
 	n      int
-	qcol   func(i int) []float64 // column i of Q
-	qdiag  []float64             // diagonal of Q
+	kcol   func(i int) []float64 // column i of the kernel matrix K
+	kdiag  []float64             // diagonal of K
+	qscale float64               // Q = qscale·K (0 means 1)
 	p      []float64             // linear term; nil means zero
 	u      float64               // box upper bound
 	eps    float64               // stopping tolerance
@@ -62,6 +67,10 @@ func (pr *smoProblem) solve() (*smoResult, error) {
 	if pr.maxItr <= 0 {
 		pr.maxItr = maxIterations(n)
 	}
+	q := pr.qscale
+	if q == 0 {
+		q = 1
+	}
 
 	// Feasible start: fill α to Σα=1 respecting the box.
 	alpha := make([]float64, n)
@@ -84,8 +93,8 @@ func (pr *smoProblem) solve() (*smoResult, error) {
 		if alpha[i] == 0 {
 			continue
 		}
-		col := pr.qcol(i)
-		ai := alpha[i]
+		col := pr.kcol(i)
+		ai := q * alpha[i]
 		for t := 0; t < n; t++ {
 			grad[t] += ai * col[t]
 		}
@@ -94,16 +103,16 @@ func (pr *smoProblem) solve() (*smoResult, error) {
 	iters := 0
 	converged := false
 	for ; iters < pr.maxItr; iters++ {
-		i, j, ok := pr.selectWorkingSet(alpha, grad)
+		i, j, ok := pr.selectWorkingSet(alpha, grad, q)
 		if !ok {
 			converged = true
 			break
 		}
-		coli := pr.qcol(i)
-		colj := pr.qcol(j)
+		coli := pr.kcol(i)
+		colj := pr.kcol(j)
 
 		// One-dimensional update along e_i − e_j.
-		quad := pr.qdiag[i] + pr.qdiag[j] - 2*coli[j]
+		quad := q * (pr.kdiag[i] + pr.kdiag[j] - 2*coli[j])
 		if quad <= 0 {
 			quad = tau
 		}
@@ -122,8 +131,9 @@ func (pr *smoProblem) solve() (*smoResult, error) {
 		}
 		alpha[i] += delta
 		alpha[j] -= delta
+		qd := q * delta
 		for t := 0; t < n; t++ {
-			grad[t] += delta * (coli[t] - colj[t])
+			grad[t] += qd * (coli[t] - colj[t])
 		}
 	}
 
@@ -165,9 +175,9 @@ func calibratedBias(alpha, grad []float64, u float64) float64 {
 }
 
 // selectWorkingSet picks the maximal-violating pair (i, j) using
-// second-order selection for j. ok is false when the KKT violation is
-// within eps (converged).
-func (pr *smoProblem) selectWorkingSet(alpha, grad []float64) (int, int, bool) {
+// second-order selection for j (q is the Q = q·K scale). ok is false when
+// the KKT violation is within eps (converged).
+func (pr *smoProblem) selectWorkingSet(alpha, grad []float64, q float64) (int, int, bool) {
 	// i: among α_t < U, minimize G_t (the variable we can increase with
 	// the steepest descent).
 	i := -1
@@ -194,7 +204,7 @@ func (pr *smoProblem) selectWorkingSet(alpha, grad []float64) (int, int, bool) {
 		return -1, -1, false
 	}
 	// j: second-order selection among α_t > 0 with G_t > G_i.
-	coli := pr.qcol(i)
+	coli := pr.kcol(i)
 	j := -1
 	best := 0.0
 	for t := 0; t < pr.n; t++ {
@@ -205,7 +215,7 @@ func (pr *smoProblem) selectWorkingSet(alpha, grad []float64) (int, int, bool) {
 		if bt <= 0 {
 			continue
 		}
-		at := pr.qdiag[i] + pr.qdiag[t] - 2*coli[t]
+		at := q * (pr.kdiag[i] + pr.kdiag[t] - 2*coli[t])
 		if at <= 0 {
 			at = tau
 		}
@@ -284,22 +294,25 @@ func maxIterations(n int) int {
 	return it
 }
 
-// columnCache lazily computes and retains columns of the kernel matrix
-// scaled by qscale. Retention is bounded by maxCols with FIFO-ish eviction
-// of the least recently inserted column (a simple clock sweep is enough:
-// SMO revisits recent columns heavily and old ones rarely).
+// columnCache lazily computes and retains raw columns of the kernel matrix
+// K (the Q scale lives in smoProblem.qscale). Retention is bounded by
+// maxCols with FIFO eviction of the least recently inserted column,
+// implemented as a ring over a fixed slot array: a head index walks the
+// ring in place of re-slicing an order queue, so the backing array is
+// reused instead of pinned by the advancing slice header. Lookups feed the
+// package cache-hit/miss counters (see stats.go).
 type columnCache struct {
 	kernel  Kernel
 	xs      []sparse.Vector
 	normsSq []float64
-	qscale  float64
 	cols    map[int][]float64
-	order   []int // insertion order for eviction
-	maxCols int
+	ring    []int // FIFO of resident column ids, oldest at head
+	head    int   // slot of the oldest resident column
+	size    int   // occupied slots
 }
 
 // newColumnCache sizes the cache to budgetMB megabytes (at least 2 columns).
-func newColumnCache(kernel Kernel, xs []sparse.Vector, qscale float64, budgetMB int) *columnCache {
+func newColumnCache(kernel Kernel, xs []sparse.Vector, budgetMB int) *columnCache {
 	if budgetMB <= 0 {
 		budgetMB = 64
 	}
@@ -315,37 +328,42 @@ func newColumnCache(kernel Kernel, xs []sparse.Vector, qscale float64, budgetMB 
 		kernel:  kernel,
 		xs:      xs,
 		normsSq: norms(xs),
-		qscale:  qscale,
 		cols:    make(map[int][]float64, maxCols),
-		maxCols: maxCols,
+		ring:    make([]int, maxCols),
 	}
 }
 
-// column returns Q column i, computing and caching it if absent.
+// column returns K column i, computing and caching it if absent.
 func (c *columnCache) column(i int) []float64 {
 	if col, ok := c.cols[i]; ok {
+		statCacheHits.Add(1)
 		return col
 	}
-	if len(c.cols) >= c.maxCols {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		delete(c.cols, victim)
-	}
+	statCacheMisses.Add(1)
+	statKernelEvals.Add(uint64(len(c.xs)))
 	col := make([]float64, len(c.xs))
 	xi, ni := c.xs[i], c.normsSq[i]
 	for t := range c.xs {
-		col[t] = c.qscale * c.kernel.evalNorms(xi, c.xs[t], ni, c.normsSq[t])
+		col[t] = c.kernel.evalNorms(xi, c.xs[t], ni, c.normsSq[t])
+	}
+	if c.size == len(c.ring) {
+		delete(c.cols, c.ring[c.head])
+		c.ring[c.head] = i
+		c.head = (c.head + 1) % len(c.ring)
+	} else {
+		c.ring[(c.head+c.size)%len(c.ring)] = i
+		c.size++
 	}
 	c.cols[i] = col
-	c.order = append(c.order, i)
 	return col
 }
 
-// diagonal returns the diagonal of Q.
+// diagonal returns the diagonal of K.
 func (c *columnCache) diagonal() []float64 {
+	statKernelEvals.Add(uint64(len(c.xs)))
 	d := make([]float64, len(c.xs))
 	for t := range c.xs {
-		d[t] = c.qscale * c.kernel.evalNorms(c.xs[t], c.xs[t], c.normsSq[t], c.normsSq[t])
+		d[t] = c.kernel.evalSelf(c.normsSq[t])
 	}
 	return d
 }

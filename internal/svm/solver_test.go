@@ -14,12 +14,13 @@ func denseProblem(q [][]float64, p []float64, u float64) *smoProblem {
 		diag[i] = q[i][i]
 	}
 	return &smoProblem{
-		n:     n,
-		qcol:  func(i int) []float64 { return column(q, i) },
-		qdiag: diag,
-		p:     p,
-		u:     u,
-		eps:   1e-9,
+		n:      n,
+		kcol:   func(i int) []float64 { return column(q, i) },
+		kdiag:  diag,
+		qscale: 1,
+		p:      p,
+		u:      u,
+		eps:    1e-9,
 	}
 }
 

@@ -1,0 +1,56 @@
+package svm
+
+import "sync/atomic"
+
+// KernelStats is a snapshot of the package-wide kernel-matrix work
+// counters. They quantify the training cost structure the grid search
+// optimizes away: KernelEvals is the number of k(xᵢ,xⱼ) evaluations
+// performed while materializing kernel columns (the dominant training
+// cost), CacheHits/CacheMisses count columnCache column lookups, and
+// GramBuilds counts shared Gram constructions. Counters are cumulative
+// and process-wide; benchmarks snapshot before/after (or Reset) to
+// attribute work.
+type KernelStats struct {
+	KernelEvals uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	GramBuilds  uint64
+}
+
+var (
+	statKernelEvals atomic.Uint64
+	statCacheHits   atomic.Uint64
+	statCacheMisses atomic.Uint64
+	statGramBuilds  atomic.Uint64
+)
+
+// ReadKernelStats returns the cumulative counters. Safe for concurrent use
+// with ongoing training; the fields are read independently, so a snapshot
+// taken mid-training is approximate across fields but each field is exact.
+func ReadKernelStats() KernelStats {
+	return KernelStats{
+		KernelEvals: statKernelEvals.Load(),
+		CacheHits:   statCacheHits.Load(),
+		CacheMisses: statCacheMisses.Load(),
+		GramBuilds:  statGramBuilds.Load(),
+	}
+}
+
+// ResetKernelStats zeroes the counters, isolating a measurement window in
+// tests and benchmarks.
+func ResetKernelStats() {
+	statKernelEvals.Store(0)
+	statCacheHits.Store(0)
+	statCacheMisses.Store(0)
+	statGramBuilds.Store(0)
+}
+
+// Sub returns the per-window delta between two cumulative snapshots.
+func (s KernelStats) Sub(prev KernelStats) KernelStats {
+	return KernelStats{
+		KernelEvals: s.KernelEvals - prev.KernelEvals,
+		CacheHits:   s.CacheHits - prev.CacheHits,
+		CacheMisses: s.CacheMisses - prev.CacheMisses,
+		GramBuilds:  s.GramBuilds - prev.GramBuilds,
+	}
+}

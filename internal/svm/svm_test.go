@@ -435,12 +435,17 @@ func TestAcceptanceRatioEmpty(t *testing.T) {
 func TestColumnCacheEviction(t *testing.T) {
 	r := rand.New(rand.NewSource(14))
 	xs := gaussCluster(r, 50, 4, 0, 1)
-	// Budget of 1 column forces eviction (min 2 columns kept).
-	c := newColumnCache(Linear(), xs, 1, 0)
-	c.maxCols = 2
-	c1 := c.column(1)
+	c := newColumnCache(Linear(), xs, 0)
+	c.ring = c.ring[:2] // cap at 2 columns to force eviction
+	c1 := append([]float64(nil), c.column(1)...)
 	_ = c.column(2)
-	_ = c.column(3) // evicts column 1
+	_ = c.column(3) // evicts column 1 (FIFO)
+	if _, resident := c.cols[1]; resident {
+		t.Error("oldest column not evicted")
+	}
+	if _, resident := c.cols[2]; !resident {
+		t.Error("newer column evicted out of FIFO order")
+	}
 	c1b := c.column(1)
 	for t2 := range c1 {
 		if c1[t2] != c1b[t2] {
@@ -449,6 +454,25 @@ func TestColumnCacheEviction(t *testing.T) {
 	}
 	if len(c.cols) > 2 {
 		t.Errorf("cache grew past cap: %d", len(c.cols))
+	}
+}
+
+func TestColumnCacheCounters(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	xs := gaussCluster(r, 10, 4, 0, 1)
+	before := ReadKernelStats()
+	c := newColumnCache(Linear(), xs, 0)
+	_ = c.column(0)
+	_ = c.column(0)
+	_ = c.column(1)
+	_ = c.diagonal()
+	d := ReadKernelStats().Sub(before)
+	if d.CacheMisses != 2 || d.CacheHits != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", d.CacheHits, d.CacheMisses)
+	}
+	// Two column fills of 10 evals each plus the 10-entry diagonal.
+	if d.KernelEvals != 30 {
+		t.Errorf("kernel evals = %d, want 30", d.KernelEvals)
 	}
 }
 

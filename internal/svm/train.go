@@ -29,6 +29,14 @@ func (c TrainConfig) validate() error {
 	return nil
 }
 
+// qProvider supplies raw kernel-matrix columns to the SMO solver: either a
+// lazily computed bounded columnCache (standalone trainings) or a fully
+// materialized Gram shared across trainings on the same data.
+type qProvider interface {
+	column(i int) []float64
+	diagonal() []float64
+}
+
 // TrainOCSVM fits a ν-one-class SVM (Sect. II-A of the paper) on the
 // training vectors. nu ∈ (0, 1] upper-bounds the fraction of training
 // outliers and lower-bounds the fraction of support vectors.
@@ -37,6 +45,12 @@ func (c TrainConfig) validate() error {
 // Σαᵢ = 1. The offset ρ is recovered from the KKT conditions on free
 // support vectors, giving the decision function of Eq. 6.
 func TrainOCSVM(xs []sparse.Vector, nu float64, cfg TrainConfig) (*Model, error) {
+	return trainOCSVM(xs, nu, cfg, nil)
+}
+
+// trainOCSVM runs the OC-SVM dual against prov (a lazy columnCache over xs
+// is created when prov is nil).
+func trainOCSVM(xs []sparse.Vector, nu float64, cfg TrainConfig, prov qProvider) (*Model, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -51,11 +65,14 @@ func TrainOCSVM(xs []sparse.Vector, nu float64, cfg TrainConfig) (*Model, error)
 	if u > 1 {
 		u = 1 // νl < 1: the box never binds beyond Σα=1
 	}
-	cache := newColumnCache(cfg.Kernel, xs, 1, cfg.CacheMB)
+	if prov == nil {
+		prov = newColumnCache(cfg.Kernel, xs, cfg.CacheMB)
+	}
 	pr := &smoProblem{
 		n:      l,
-		qcol:   cache.column,
-		qdiag:  cache.diagonal(),
+		kcol:   prov.column,
+		kdiag:  prov.diagonal(),
+		qscale: 1,
 		u:      u,
 		eps:    cfg.Eps,
 		maxItr: cfg.MaxIter,
@@ -88,6 +105,12 @@ func TrainOCSVM(xs []sparse.Vector, nu float64, cfg TrainConfig) (*Model, error)
 // R² = ΣΣ αᵢαⱼk(xᵢ,xⱼ) − b, which equals Eq. 11 evaluated at any free
 // support vector.
 func TrainSVDD(xs []sparse.Vector, c float64, cfg TrainConfig) (*Model, error) {
+	return trainSVDD(xs, c, cfg, nil)
+}
+
+// trainSVDD runs the SVDD dual against prov (a lazy columnCache over xs is
+// created when prov is nil).
+func trainSVDD(xs []sparse.Vector, c float64, cfg TrainConfig, prov qProvider) (*Model, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -105,16 +128,19 @@ func TrainSVDD(xs []sparse.Vector, c float64, cfg TrainConfig) (*Model, error) {
 	if u > 1 {
 		u = 1
 	}
-	cache := newColumnCache(cfg.Kernel, xs, 2, cfg.CacheMB)
-	diag := cache.diagonal() // = 2·k(xᵢ,xᵢ)
+	if prov == nil {
+		prov = newColumnCache(cfg.Kernel, xs, cfg.CacheMB)
+	}
+	diag := prov.diagonal() // = k(xᵢ,xᵢ); the solver applies Q = 2K
 	p := make([]float64, l)
 	for i := range p {
-		p[i] = -diag[i] / 2
+		p[i] = -diag[i]
 	}
 	pr := &smoProblem{
 		n:      l,
-		qcol:   cache.column,
-		qdiag:  diag,
+		kcol:   prov.column,
+		kdiag:  diag,
+		qscale: 2,
 		p:      p,
 		u:      u,
 		eps:    cfg.Eps,
