@@ -455,3 +455,113 @@ func BenchmarkParamSearchFullGrid(b *testing.B) {
 	b.ReportMetric(float64(d.GramBuilds)/float64(b.N), "gramBuilds/op")
 	b.ReportMetric(float64(d.CacheHits)/float64(b.N), "cacheHits/op")
 }
+
+// benchDeviceNames generates a synthetic device population.
+func benchDeviceNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("10.%d.%d.%d", i>>16&0xff, i>>8&0xff, i&0xff)
+	}
+	return names
+}
+
+// benchStateRound feeds one transaction per device (advancing timestamps),
+// giving every device in-flight identification state — or, after a
+// checkpoint, rehydrating every device from the spill store.
+func benchStateRound(b *testing.B, mon *webtxprofile.Monitor, names []string, base []webtxprofile.Transaction, start time.Time, round int) {
+	b.Helper()
+	batch := make([]webtxprofile.Transaction, len(names))
+	for d := range names {
+		i := round*len(names) + d
+		tx := base[i%len(base)]
+		tx.SourceIP = names[d]
+		tx.Timestamp = start.Add(time.Duration(i) * 10 * time.Millisecond)
+		batch[d] = tx
+	}
+	if err := mon.FeedBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMonitorCheckpointRestore measures the durable-state cycle at
+// fleet scale: Checkpoint spills every device's identification state to
+// the store (serialize + write), and the next batch rehydrates all of
+// them (read + restore) — one op is a full suspend/resume of the device
+// population, against both store backends.
+func BenchmarkMonitorCheckpointRestore(b *testing.B) {
+	const devices = 1_000
+	for _, impl := range []string{"mem", "disk"} {
+		b.Run(impl, func(b *testing.B) {
+			set := monitorBenchSet(b)
+			env := benchEnv(b)
+			var store webtxprofile.StateStore = webtxprofile.NewMemStateStore()
+			if impl == "disk" {
+				ds, err := webtxprofile.NewDiskStateStore(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				store = ds
+			}
+			mon, err := webtxprofile.NewMonitorWithConfig(set, 5, func(webtxprofile.Alert) {},
+				webtxprofile.MonitorConfig{Shards: 64, Spill: store})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mon.Close()
+			names := benchDeviceNames(devices)
+			base := env.Train.Transactions
+			start := base[len(base)-1].Timestamp.Add(time.Hour)
+			benchStateRound(b, mon, names, base, start, 0)
+			benchStateRound(b, mon, names, base, start, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := mon.Checkpoint()
+				if err != nil || n != devices {
+					b.Fatalf("checkpoint spilled %d devices: %v", n, err)
+				}
+				benchStateRound(b, mon, names, base, start, i+2)
+			}
+			b.StopTimer()
+			b.ReportMetric(devices, "devices/op")
+			mon.Flush()
+		})
+	}
+}
+
+// BenchmarkMonitorShardHandoff measures ExportShard→ImportShard over the
+// whole device population — the serialization cost of moving shards
+// between processes, reporting the handoff payload size.
+func BenchmarkMonitorShardHandoff(b *testing.B) {
+	const devices = 1_000
+	const shards = 16
+	set := monitorBenchSet(b)
+	env := benchEnv(b)
+	mon, err := webtxprofile.NewMonitorWithConfig(set, 5, func(webtxprofile.Alert) {},
+		webtxprofile.MonitorConfig{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mon.Close()
+	names := benchDeviceNames(devices)
+	base := env.Train.Transactions
+	start := base[len(base)-1].Timestamp.Add(time.Hour)
+	benchStateRound(b, mon, names, base, start, 0)
+	benchStateRound(b, mon, names, base, start, 1)
+	b.ResetTimer()
+	var moved int64
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < shards; s++ {
+			blob, err := mon.ExportShard(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			moved += int64(len(blob))
+			if _, err := mon.ImportShard(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(moved)/float64(b.N), "exportBytes/op")
+	mon.Flush()
+}

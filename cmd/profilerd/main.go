@@ -12,10 +12,18 @@
 // lock, and devices idle longer than -idle-ttl (in stream time) are
 // evicted so tracked-device memory stays bounded.
 //
+// With -state-dir the identification state becomes durable: evicted
+// devices spill their window buffer, streaks and confirmed identity into
+// the directory instead of losing them (rehydrating on their next
+// transaction), SIGTERM checkpoints every live device there, and a
+// restart over the same directory resumes each device exactly where it
+// left off. See README.md for the state lifecycle. SIGINT keeps the
+// classic lossy shutdown (flush pending windows, emit final alerts).
+//
 // Usage:
 //
 //	profilerd -bundle profiles.gz -listen 127.0.0.1:7000 -k 5 \
-//	          -shards 16 -idle-ttl 1h -batch 256
+//	          -shards 16 -idle-ttl 1h -batch 256 -state-dir /var/lib/profilerd
 package main
 
 import (
@@ -39,12 +47,13 @@ func main() {
 
 func run() error {
 	var (
-		bundle  = flag.String("bundle", "profiles.gz", "trained profile bundle")
-		listen  = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
-		k       = flag.Int("k", 5, "consecutive accepted windows for identification")
-		shards  = flag.Int("shards", 16, "device lock stripes in the monitor")
-		idleTTL = flag.Duration("idle-ttl", time.Hour, "evict devices idle this long in stream time (0 disables)")
-		batch   = flag.Int("batch", 256, "max transactions per ingestion batch")
+		bundle   = flag.String("bundle", "profiles.gz", "trained profile bundle")
+		listen   = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
+		k        = flag.Int("k", 5, "consecutive accepted windows for identification")
+		shards   = flag.Int("shards", 16, "device lock stripes in the monitor")
+		idleTTL  = flag.Duration("idle-ttl", time.Hour, "evict devices idle this long in stream time (0 disables)")
+		batch    = flag.Int("batch", 256, "max transactions per ingestion batch")
+		stateDir = flag.String("state-dir", "", "durable identifier state: spill evicted devices here, checkpoint on SIGTERM, restore on start (empty disables)")
 	)
 	flag.Parse()
 
@@ -53,6 +62,24 @@ func run() error {
 		return err
 	}
 	logger := log.New(os.Stdout, "profilerd: ", log.LstdFlags)
+
+	var store *webtxprofile.DiskStateStore
+	if *stateDir != "" {
+		if store, err = webtxprofile.NewDiskStateStore(*stateDir); err != nil {
+			return err
+		}
+		spilled, err := store.Devices()
+		if err != nil {
+			return err
+		}
+		if len(spilled) > 0 {
+			// Restore-on-start is lazy: each device rehydrates — window
+			// buffer, streaks and confirmed identity intact — when its
+			// first transaction arrives.
+			logger.Printf("state-dir %s holds %d checkpointed devices; they resume on their next transaction",
+				*stateDir, len(spilled))
+		}
+	}
 
 	mon, err := webtxprofile.NewMonitorWithConfig(set, *k, func(a webtxprofile.Alert) {
 		switch {
@@ -68,7 +95,7 @@ func run() error {
 			logger.Printf("device %s: ALERT — activity no longer matches %s (window %s)",
 				a.Device, a.User, a.Event.Window.Start.Format("15:04:05"))
 		}
-	}, webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL})
+	}, webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL, Spill: spillStore(store)})
 	if err != nil {
 		return err
 	}
@@ -87,11 +114,32 @@ func run() error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	srv.Close() // stop ingestion before the final flush
+	s := <-sig
+	srv.Close() // stop ingestion before the final flush or checkpoint
 	devices := mon.Devices()
+	if store != nil && s == syscall.SIGTERM {
+		// Durable shutdown: persist every live device instead of flushing,
+		// so a restart over the same -state-dir resumes each one exactly —
+		// no partial windows emitted, no synthetic session-end alerts.
+		n, err := mon.Checkpoint()
+		mon.Close()
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		logger.Printf("checkpointed %d devices to %s", n, *stateDir)
+		return nil
+	}
 	mon.Flush()
 	mon.Close()
 	logger.Printf("shutting down after monitoring %d devices", devices)
 	return nil
+}
+
+// spillStore converts the optional disk store into the monitor's
+// StateStore field without wrapping a typed nil in a non-nil interface.
+func spillStore(s *webtxprofile.DiskStateStore) webtxprofile.StateStore {
+	if s == nil {
+		return nil
+	}
+	return s
 }

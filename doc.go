@@ -49,11 +49,35 @@
 //     rather than under a lock; Flush waits for delivery, Close stops the
 //     engine.
 //   - Devices idle longer than MonitorConfig.IdleTTL (in stream time) are
-//     flushed and evicted, bounding tracked-device memory.
+//     evicted, bounding tracked-device memory.
 //
 // The collector can deliver parsed transactions in batches
 // (ListenCollectorBatch), pairing with FeedBatch so each shard lock is
 // taken once per batch.
+//
+// # Durable identifier state
+//
+// The full streaming-identification state is serializable at every layer:
+// a features.Streamer snapshots its window anchor, buffered transactions
+// and emit position; an Identifier adds its per-user consecutive-accept
+// streaks (keyed by user id, so snapshots survive profile retrains); a
+// Monitor wraps that with the confirmed identity per device. The state
+// moves through a small lifecycle:
+//
+//	live ──(idle eviction with MonitorConfig.Spill)──► spilled ──(next
+//	transaction)──► rehydrated — or, between processes, exported
+//	(Monitor.ExportShard) ──► imported (Monitor.ImportShard).
+//
+// A StateStore holds spilled devices: NewMemStateStore keeps them
+// in-process (eviction bounds live identifier memory without losing
+// streaks), NewDiskStateStore persists one gzip-JSON file per device so
+// state survives restarts (profilerd's -state-dir; Monitor.Checkpoint
+// spills every live device for a graceful shutdown). Resume is exact:
+// an evicting-and-rehydrating monitor emits the identical alert sequence
+// to a never-evicting one, and ExportShard→ImportShard preserves every
+// device's pending windows and streaks — both properties are asserted by
+// tests. Serialized state carries a format version, checked on decode
+// like the profile bundle's.
 //
 // See the examples/ directory for runnable end-to-end programs and
 // DESIGN.md for the experiment-by-experiment reproduction map.

@@ -67,6 +67,88 @@ func newIdentifierWithScorer(set *ProfileSet, host string, consecutiveK int, sc 
 	}, nil
 }
 
+// IdentifierState is a serializable snapshot of a streaming Identifier:
+// the streamer state (anchor, buffered transactions, window position) plus
+// the per-user consecutive-accept streaks. Streaks are keyed by user id —
+// not by profile index — so a snapshot survives profile-set reloads as
+// long as the vocabulary and window configuration are unchanged; streaks
+// of users absent from the restoring set are dropped, and users new to it
+// start at zero.
+type IdentifierState struct {
+	Host string `json:"host"`
+	// K is the consecutive-window threshold the identifier ran with.
+	// RestoreIdentifier resumes with it; the Monitor's import paths use
+	// the monitor's own threshold instead (every device of a monitor
+	// shares one rule).
+	K        int                    `json:"k"`
+	Streamer features.StreamerState `json:"streamer"`
+	Runs     map[string]int         `json:"runs,omitempty"`
+}
+
+// Snapshot captures the identifier's full resumable state. The snapshot is
+// independent of the identifier (buffered transactions are copied) and
+// stays valid while it keeps running.
+func (id *Identifier) Snapshot() IdentifierState {
+	st := IdentifierState{Host: id.host, K: id.k, Streamer: id.streamer.Snapshot()}
+	for j, u := range id.sc.users {
+		if id.runs[j] != 0 {
+			if st.Runs == nil {
+				st.Runs = make(map[string]int)
+			}
+			st.Runs[u] = id.runs[j]
+		}
+	}
+	return st
+}
+
+// RestoreIdentifier rebuilds an identifier from a snapshot against the
+// given profile set (which must carry the vocabulary and window
+// configuration the snapshot was taken under). The restored identifier
+// emits exactly the event sequence the snapshotted one would have emitted —
+// the property TestIdentifierSnapshotResume asserts.
+func RestoreIdentifier(set *ProfileSet, st IdentifierState) (*Identifier, error) {
+	sc, err := newScorer(set)
+	if err != nil {
+		return nil, err
+	}
+	return restoreIdentifierWithScorer(set, st, st.K, sc)
+}
+
+// restoreIdentifierWithScorer is RestoreIdentifier sharing an existing
+// scorer and overriding the consecutive-window threshold — the shape the
+// Monitor's rehydration and shard-import paths need.
+func restoreIdentifierWithScorer(set *ProfileSet, st IdentifierState, consecutiveK int, sc *scorer) (*Identifier, error) {
+	if consecutiveK <= 0 {
+		consecutiveK = 1
+	}
+	if st.Host == "" {
+		return nil, fmt.Errorf("core: identifier state missing host")
+	}
+	if st.Streamer.Entity != st.Host {
+		return nil, fmt.Errorf("core: identifier state for %s carries streamer state for %q", st.Host, st.Streamer.Entity)
+	}
+	streamer, err := features.RestoreStreamer(set.Vocabulary, set.Window, st.Streamer)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring streamer for %s: %w", st.Host, err)
+	}
+	runs := make([]int, len(sc.users))
+	for j, u := range sc.users {
+		r := st.Runs[u]
+		if r < 0 {
+			return nil, fmt.Errorf("core: negative streak %d for user %s in state for %s", r, u, st.Host)
+		}
+		runs[j] = r
+	}
+	return &Identifier{
+		set:      set,
+		streamer: streamer,
+		sc:       sc,
+		k:        consecutiveK,
+		runs:     runs,
+		host:     st.Host,
+	}, nil
+}
+
 // Feed ingests one transaction (timestamps must be non-decreasing) and
 // returns the events for any windows completed by its arrival.
 func (id *Identifier) Feed(tx weblog.Transaction) ([]Event, error) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/maphash"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +95,19 @@ type MonitorConfig struct {
 	// the sequential setting — only the interleaving of alerts *across*
 	// devices varies.
 	BatchWorkers int
+	// Spill, when non-nil, makes idle eviction durable instead of lossy:
+	// an evicted device's identification state (pending window buffer,
+	// consecutive-accept streaks, confirmed identity) is serialized into
+	// the store, no flush happens and no synthetic AlertLost fires, and
+	// the state is transparently rehydrated — and removed from the store —
+	// when the device's next transaction arrives. With a spill store the
+	// alert sequence of an evicting monitor is identical to a
+	// never-evicting one (TestMonitorSpillRehydrateMatchesNeverEvicting),
+	// and Checkpoint can persist every live device across a process
+	// restart. Store I/O runs under the affected device's shard lock.
+	// Should the store fail on a spill, the monitor falls back to the
+	// lossy eviction path (flush + AlertLost) rather than leak the device.
+	Spill StateStore
 }
 
 func (c MonitorConfig) withDefaults() MonitorConfig {
@@ -412,12 +426,10 @@ func (m *Monitor) feedShard(si int, order []int32, txs []weblog.Transaction) ([]
 func (m *Monitor) feedLocked(sh *monitorShard, tx weblog.Transaction) error {
 	tr, ok := sh.devices[tx.SourceIP]
 	if !ok {
-		id, err := newIdentifierWithScorer(m.set, tx.SourceIP, m.k, sh.sc)
-		if err != nil {
+		var err error
+		if tr, err = m.admitLocked(sh, tx.SourceIP); err != nil {
 			return err
 		}
-		tr = &deviceTrack{id: id}
-		sh.devices[tx.SourceIP] = tr
 	}
 	if m.cfg.IdleTTL > 0 {
 		// Record lastSeen in stream-clock coordinates: the clock is
@@ -437,6 +449,91 @@ func (m *Monitor) feedLocked(sh *monitorShard, tx weblog.Transaction) error {
 	}
 	m.process(tx.SourceIP, tr, events)
 	return nil
+}
+
+// admitLocked starts tracking a device not currently in the shard: if a
+// spill store holds the device's state (evicted earlier, or checkpointed
+// by a previous process), the device is rehydrated from it — resuming its
+// window buffer, streaks and confirmed identity exactly — and the blob is
+// removed from the store; otherwise a fresh identifier is created. Runs
+// under sh.mu.
+//
+// A corrupt blob (undecodable, version-drifted, or restore-rejected) fails
+// the admitting transaction once and is deleted, so the device's next
+// transaction starts it fresh instead of wedging the device forever. A
+// store read that merely errors (transient I/O) leaves the blob in place —
+// deleting durable state over a momentary failure would be exactly the
+// loss this machinery exists to prevent — and only fails the one
+// transaction; the next one retries the rehydration.
+func (m *Monitor) admitLocked(sh *monitorShard, device string) (*deviceTrack, error) {
+	if m.cfg.Spill != nil {
+		blob, ok, err := m.cfg.Spill.Get(device)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading spilled state for device %s: %w", device, err)
+		}
+		if ok {
+			st, err := decodeDeviceState(blob)
+			if err == nil && st.Device != device {
+				err = fmt.Errorf("core: spilled state for device %s names device %s", device, st.Device)
+			}
+			var tr *deviceTrack
+			if err == nil {
+				tr, err = m.restoreTrackLocked(sh, st)
+			}
+			if err != nil {
+				// Corrupt state: drop the blob so only this one transaction
+				// errors.
+				m.cfg.Spill.Delete(device)
+				return nil, fmt.Errorf("core: rehydrating device %s: %w", device, err)
+			}
+			if derr := m.cfg.Spill.Delete(device); derr != nil {
+				return nil, fmt.Errorf("core: rehydrated device %s but could not clear spilled state: %w", device, derr)
+			}
+			sh.devices[device] = tr
+			return tr, nil
+		}
+	}
+	id, err := newIdentifierWithScorer(m.set, device, m.k, sh.sc)
+	if err != nil {
+		return nil, err
+	}
+	tr := &deviceTrack{id: id}
+	sh.devices[device] = tr
+	return tr, nil
+}
+
+// restoreTrackLocked rebuilds a device track from portable state, clamping
+// the restored last-seen stamp into the importing monitor's stream-clock
+// range (a zero or far-future stamp from another process must not make the
+// device instantly evictable or unevictable). Runs under the target
+// shard's lock.
+func (m *Monitor) restoreTrackLocked(sh *monitorShard, st DeviceState) (*deviceTrack, error) {
+	id, err := restoreIdentifierWithScorer(m.set, st.Identifier, m.k, sh.sc)
+	if err != nil {
+		return nil, err
+	}
+	tr := &deviceTrack{id: id, current: st.Current, lastSeen: st.LastSeen}
+	if m.cfg.IdleTTL > 0 {
+		if now := m.streamNow.Load(); now != 0 {
+			clock := time.Unix(0, now)
+			if tr.lastSeen.IsZero() || tr.lastSeen.Before(clock.Add(-m.cfg.IdleTTL)) || tr.lastSeen.After(clock.Add(m.cfg.IdleTTL)) {
+				tr.lastSeen = clock
+			}
+		}
+	}
+	return tr, nil
+}
+
+// deviceStateLocked snapshots one tracked device into portable state.
+// Runs under the device's shard lock.
+func deviceStateLocked(device string, tr *deviceTrack) DeviceState {
+	return DeviceState{
+		Version:    stateVersion,
+		Device:     device,
+		Current:    tr.current,
+		LastSeen:   tr.lastSeen,
+		Identifier: tr.id.Snapshot(),
+	}
 }
 
 // clockRegressAfter is the number of consecutive far-behind transactions
@@ -552,11 +649,20 @@ func (m *Monitor) maybeSweep() {
 	}
 }
 
-// evictLocked flushes and drops one idle device. If an identity is still
-// confirmed after the flush, a final AlertLost fires (with a zero
-// Event.Window — there is no closing window for a silent departure), so
-// continuous-authentication consumers always see the session end.
+// evictLocked drops one idle device. With a spill store configured the
+// device's state is serialized into the store instead — no windows are
+// flushed and no alert fires, so the device resumes mid-streak when its
+// next transaction rehydrates it. Without a store (or if the store
+// refuses the blob) the seed behaviour applies: pending windows are
+// flushed and, if an identity is still confirmed after the flush, a final
+// AlertLost fires (with a zero Event.Window — there is no closing window
+// for a silent departure), so continuous-authentication consumers always
+// see the session end.
 func (m *Monitor) evictLocked(sh *monitorShard, device string, tr *deviceTrack) {
+	if m.cfg.Spill != nil && m.spillLocked(device, tr) == nil {
+		delete(sh.devices, device)
+		return
+	}
 	m.process(device, tr, tr.id.Flush())
 	if tr.current != "" {
 		m.emit(Alert{
@@ -565,6 +671,105 @@ func (m *Monitor) evictLocked(sh *monitorShard, device string, tr *deviceTrack) 
 		})
 	}
 	delete(sh.devices, device)
+}
+
+// spillLocked serializes one device into the spill store. Runs under the
+// device's shard lock; the caller removes the device from the shard on
+// success.
+func (m *Monitor) spillLocked(device string, tr *deviceTrack) error {
+	blob, err := encodeDeviceState(deviceStateLocked(device, tr))
+	if err != nil {
+		return err
+	}
+	return m.cfg.Spill.Put(device, blob)
+}
+
+// Checkpoint spills every tracked device into the configured spill store
+// and stops tracking it, returning the number of devices persisted — the
+// graceful-shutdown path of a daemon with durable state (profilerd's
+// SIGTERM handler): after a restart over the same store, each device
+// rehydrates on its next transaction with its window buffer and streaks
+// intact. No windows are flushed and no alerts fire. Devices whose spill
+// fails stay tracked and are reported joined; call Flush instead for
+// lossy end-of-stream semantics. Feeding concurrently with Checkpoint is
+// safe but the interleaving decides which side a racing device lands on.
+func (m *Monitor) Checkpoint() (int, error) {
+	if m.cfg.Spill == nil {
+		return 0, fmt.Errorf("core: Checkpoint needs MonitorConfig.Spill")
+	}
+	spilled := 0
+	var errs []error
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for device, tr := range sh.devices {
+			if err := m.spillLocked(device, tr); err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			delete(sh.devices, device)
+			spilled++
+		}
+		sh.mu.Unlock()
+	}
+	return spilled, errors.Join(errs...)
+}
+
+// ExportShard serializes and stops tracking every device of shard i — one
+// side of a shard handoff between processes: the bytes carry each device's
+// window buffer, streaks, confirmed identity and last-seen stamp, and
+// ImportShard on another Monitor resumes them exactly. Alerts already
+// enqueued for the exported devices still deliver here. The empty shard
+// exports successfully (zero devices).
+func (m *Monitor) ExportShard(i int) ([]byte, error) {
+	if i < 0 || i >= len(m.shards) {
+		return nil, fmt.Errorf("core: shard %d out of range [0,%d)", i, len(m.shards))
+	}
+	sh := m.shards[i]
+	sh.mu.Lock()
+	states := make([]DeviceState, 0, len(sh.devices))
+	for device, tr := range sh.devices {
+		states = append(states, deviceStateLocked(device, tr))
+		delete(sh.devices, device)
+	}
+	sh.mu.Unlock()
+	// Deterministic bytes for a given shard population.
+	sort.Slice(states, func(a, b int) bool { return states[a].Device < states[b].Device })
+	return encodeShardState(states)
+}
+
+// ImportShard adopts the devices of an ExportShard blob, routing each to
+// this monitor's own shard for it (the exporting monitor's shard layout —
+// count and hash seed — does not travel; only the devices do) and resuming
+// identification with this monitor's consecutive-window threshold. It
+// returns the number of devices adopted. A device already tracked here is
+// left untouched and reported in the joined error — two live states for
+// one device means the handoff routed transactions wrong.
+func (m *Monitor) ImportShard(data []byte) (int, error) {
+	states, err := decodeShardState(data)
+	if err != nil {
+		return 0, err
+	}
+	imported := 0
+	var errs []error
+	for _, st := range states {
+		sh := m.shardFor(st.Device)
+		sh.mu.Lock()
+		if _, exists := sh.devices[st.Device]; exists {
+			sh.mu.Unlock()
+			errs = append(errs, fmt.Errorf("core: device %s already tracked, import skipped", st.Device))
+			continue
+		}
+		tr, err := m.restoreTrackLocked(sh, st)
+		if err != nil {
+			sh.mu.Unlock()
+			errs = append(errs, err)
+			continue
+		}
+		sh.devices[st.Device] = tr
+		sh.mu.Unlock()
+		imported++
+	}
+	return imported, errors.Join(errs...)
 }
 
 // Flush completes all devices' pending windows (end of stream), emits any

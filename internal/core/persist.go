@@ -86,29 +86,39 @@ func Load(r io.Reader) (*ProfileSet, error) {
 }
 
 // SaveFile writes the bundle to path (atomically via a temp file in the
-// same directory, so the final rename never crosses filesystems).
+// same directory, so the final rename never crosses filesystems). Errors
+// are annotated with the destination path.
 func (ps *ProfileSet) SaveFile(path string) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".webtxprofile-bundle-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("core: saving bundle %s: %w", path, err)
 	}
 	defer os.Remove(tmp.Name())
 	if err := ps.Save(tmp); err != nil {
 		tmp.Close()
-		return err
+		return fmt.Errorf("core: saving bundle %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		return fmt.Errorf("core: saving bundle %s: %w", path, err)
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: saving bundle %s: %w", path, err)
+	}
+	return nil
 }
 
-// LoadFile reads a bundle from path.
+// LoadFile reads a bundle from path. Errors are annotated with the path,
+// so a daemon loading several bundles reports which one was truncated or
+// version-mismatched.
 func LoadFile(path string) (*ProfileSet, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, err // os.PathError already names the path
 	}
 	defer f.Close()
-	return Load(f)
+	set, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading bundle %s: %w", path, err)
+	}
+	return set, nil
 }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadFileVersionMismatch checks that a bundle with an unsupported
+// format version is rejected and the error names both the version and the
+// offending file.
+func TestLoadFileVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if err := json.NewEncoder(gz).Encode(map[string]any{"version": 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "future.gz")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("version-99 bundle accepted")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the file: %v", err)
+	}
+	if !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("error does not name the version: %v", err)
+	}
+}
+
+// TestLoadFileTruncatedGzip checks that a bundle cut off mid-stream — the
+// classic crash-during-copy artifact — fails with the path in the error
+// instead of a bare gzip error.
+func TestLoadFileTruncatedGzip(t *testing.T) {
+	set, _ := sharedSet(t)
+	path := filepath.Join(t.TempDir(), "bundle.gz")
+	if err := set.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("truncated bundle accepted")
+	} else if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the file: %v", err)
+	}
+}
+
+// TestSaveFileErrorNamesPath checks the write side: saving into a missing
+// directory reports the destination path.
+func TestSaveFileErrorNamesPath(t *testing.T) {
+	set, _ := sharedSet(t)
+	path := filepath.Join(t.TempDir(), "no-such-dir", "bundle.gz")
+	err := set.SaveFile(path)
+	if err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the destination: %v", err)
+	}
+}

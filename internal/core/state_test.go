@@ -1,0 +1,701 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/features"
+	"webtxprofile/internal/weblog"
+)
+
+// eventSig reduces an identification event to a comparable signature
+// covering the window identity, its content, and the decision.
+func eventSig(ev Event) string {
+	return fmt.Sprintf("%s|%s|%d|%s|%v|%s",
+		ev.Window.Start.Format(time.RFC3339Nano), ev.Window.End.Format(time.RFC3339Nano),
+		ev.Window.Count, ev.Window.Vector.Key(), ev.Accepted, ev.Identified)
+}
+
+func eventSigs(evs []Event) []string {
+	out := make([]string, len(evs))
+	for i := range evs {
+		out[i] = eventSig(evs[i])
+	}
+	return out
+}
+
+// hostStream rewrites one user's chronological test transactions onto a
+// single device.
+func hostStream(t *testing.T, ds *weblog.Dataset, user, host string, limit int) []weblog.Transaction {
+	t.Helper()
+	txs := ds.UserTransactions(user)
+	if len(txs) > limit {
+		txs = txs[:limit]
+	}
+	if len(txs) == 0 {
+		t.Fatalf("no transactions for user %s", user)
+	}
+	out := make([]weblog.Transaction, len(txs))
+	for i, tx := range txs {
+		tx.SourceIP = host
+		out[i] = tx
+	}
+	return out
+}
+
+// TestIdentifierSnapshotResume is the identifier-level resume property:
+// checkpointing at random midpoints of a stream — with the state pushed
+// through the same JSON round trip the stores use — must reproduce the
+// uninterrupted event sequence byte-for-byte.
+func TestIdentifierSnapshotResume(t *testing.T) {
+	set, testDS := sharedSet(t)
+	const host = "192.0.2.7"
+	txs := hostStream(t, testDS, set.Users()[0], host, 1500)
+
+	base, err := NewIdentifier(set, host, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Event
+	for _, tx := range txs {
+		evs, err := base.Feed(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, evs...)
+	}
+	want = append(want, base.Flush()...)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no events")
+	}
+	wantSigs := eventSigs(want)
+
+	r := rand.New(rand.NewSource(41))
+	splits := []int{0, len(txs)}
+	for i := 0; i < 6; i++ {
+		splits = append(splits, r.Intn(len(txs)))
+	}
+	for _, split := range splits {
+		id, err := NewIdentifier(set, host, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Event
+		for _, tx := range txs[:split] {
+			evs, err := id.Feed(tx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, evs...)
+		}
+		blob, err := json.Marshal(id.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st IdentifierState
+		if err := json.Unmarshal(blob, &st); err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := RestoreIdentifier(set, st)
+		if err != nil {
+			t.Fatalf("RestoreIdentifier at split %d: %v", split, err)
+		}
+		for _, tx := range txs[split:] {
+			evs, err := resumed.Feed(tx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, evs...)
+		}
+		got = append(got, resumed.Flush()...)
+		gotSigs := eventSigs(got)
+		if len(gotSigs) != len(wantSigs) {
+			t.Fatalf("split %d: %d events, want %d", split, len(gotSigs), len(wantSigs))
+		}
+		for i := range wantSigs {
+			if gotSigs[i] != wantSigs[i] {
+				t.Fatalf("split %d: event %d differs:\n got %s\nwant %s", split, i, gotSigs[i], wantSigs[i])
+			}
+		}
+	}
+}
+
+// TestRestoreIdentifierValidation covers the corrupt-state paths.
+func TestRestoreIdentifierValidation(t *testing.T) {
+	set, testDS := sharedSet(t)
+	const host = "192.0.2.8"
+	id, err := NewIdentifier(set, host, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range hostStream(t, testDS, set.Users()[0], host, 50) {
+		if _, err := id.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := id.Snapshot()
+	if good.K != 2 || good.Host != host {
+		t.Errorf("snapshot metadata = k%d %q", good.K, good.Host)
+	}
+
+	bad := good
+	bad.Host = ""
+	if _, err := RestoreIdentifier(set, bad); err == nil {
+		t.Error("state without host accepted")
+	}
+	bad = good
+	bad.Host = "somewhere-else"
+	if _, err := RestoreIdentifier(set, bad); err == nil {
+		t.Error("host/streamer entity mismatch accepted")
+	}
+	bad = good
+	bad.Runs = map[string]int{set.Users()[0]: -3}
+	if _, err := RestoreIdentifier(set, bad); err == nil {
+		t.Error("negative streak accepted")
+	}
+	// Streaks for unknown users are dropped, not an error: the profile set
+	// may have been retrained with a different population.
+	ok := good
+	ok.Runs = map[string]int{"user_never_seen": 7}
+	if _, err := RestoreIdentifier(set, ok); err != nil {
+		t.Errorf("unknown-user streak rejected: %v", err)
+	}
+}
+
+// TestStateStores exercises both StateStore implementations through the
+// same contract, including device ids that need filename escaping and
+// disk-store persistence across a reopen.
+func TestStateStores(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDiskStateStore(filepath.Join(dir, "state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := []struct {
+		name string
+		s    StateStore
+	}{
+		{"mem", NewMemStateStore()},
+		{"disk", disk},
+	}
+	devices := []string{"10.0.0.1", "fe80::1%eth0", "weird/../device name"}
+	for _, tc := range stores {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, ok, err := tc.s.Get("10.0.0.1"); ok || err != nil {
+				t.Fatalf("empty store Get = %v, %v", ok, err)
+			}
+			for i, d := range devices {
+				if err := tc.s.Put(d, []byte(fmt.Sprintf("blob-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := tc.s.Devices()
+			if err != nil || len(got) != len(devices) {
+				t.Fatalf("Devices = %v, %v", got, err)
+			}
+			for i, d := range devices {
+				blob, ok, err := tc.s.Get(d)
+				if err != nil || !ok || string(blob) != fmt.Sprintf("blob-%d", i) {
+					t.Fatalf("Get(%q) = %q, %v, %v", d, blob, ok, err)
+				}
+			}
+			if err := tc.s.Put(devices[0], []byte("replaced")); err != nil {
+				t.Fatal(err)
+			}
+			if blob, _, _ := tc.s.Get(devices[0]); string(blob) != "replaced" {
+				t.Errorf("Put did not replace: %q", blob)
+			}
+			if err := tc.s.Delete(devices[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.s.Delete(devices[0]); err != nil {
+				t.Errorf("double delete errored: %v", err)
+			}
+			if _, ok, _ := tc.s.Get(devices[0]); ok {
+				t.Error("deleted device still present")
+			}
+		})
+	}
+
+	// Reopening the disk directory must index the surviving devices.
+	reopened, err := NewDiskStateStore(disk.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopened.Devices()
+	if err != nil || len(got) != len(devices)-1 {
+		t.Fatalf("reopened Devices = %v, %v", got, err)
+	}
+	for _, d := range devices[1:] {
+		if blob, ok, err := reopened.Get(d); err != nil || !ok || len(blob) == 0 {
+			t.Errorf("reopened Get(%q) = %q, %v, %v", d, blob, ok, err)
+		}
+	}
+}
+
+// spillScenario builds the eviction-mid-streak stream: device A works long
+// enough to build streaks and buffered windows, device B's traffic then
+// advances stream time far enough to force A's eviction, and A resumes.
+// The final phase is one late B transaction rehydrating B — it may itself
+// have idled out and spilled while A was catching up — so a trailing Flush
+// covers the same devices on an evicting and a never-evicting monitor.
+func spillScenario(t *testing.T, set *ProfileSet, testDS *weblog.Dataset, ttl time.Duration) (a1, b, a2, bFinal []weblog.Transaction) {
+	t.Helper()
+	const devA, devB = "10.0.0.1", "10.0.0.2"
+	all := hostStream(t, testDS, set.Users()[0], devA, 600)
+	mid := len(all) / 2
+	a1, a2 = all[:mid], all[mid:]
+	tmpl := all[mid-1]
+	tmpl.SourceIP = devB
+	for i := 0; i < 5; i++ {
+		tx := tmpl
+		tx.Timestamp = tmpl.Timestamp.Add(time.Duration(i+2) * ttl)
+		b = append(b, tx)
+	}
+	last := b[len(b)-1]
+	if tail := a2[len(a2)-1].Timestamp; tail.After(last.Timestamp) {
+		last.Timestamp = tail
+	}
+	last.Timestamp = last.Timestamp.Add(time.Minute)
+	bFinal = []weblog.Transaction{last}
+	return a1, b, a2, bFinal
+}
+
+// TestMonitorSpillRehydrateMatchesNeverEvicting is the tentpole acceptance
+// criterion: a monitor that evicts a device mid-streak, spills its state
+// to a StateStore (memory and disk), and rehydrates it on the device's
+// next transaction must emit the identical alert sequence to a monitor
+// that never evicts.
+func TestMonitorSpillRehydrateMatchesNeverEvicting(t *testing.T) {
+	set, testDS := sharedSet(t)
+	const ttl = 10 * time.Minute
+	const devA = "10.0.0.1"
+	a1, b, a2, bFinal := spillScenario(t, set, testDS, ttl)
+	feed := func(mon *Monitor, phases ...[]weblog.Transaction) {
+		for _, phase := range phases {
+			for _, tx := range phase {
+				if err := mon.Feed(tx); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Reference: same stream, never evicting.
+	refCol := newAlertCollector()
+	ref, err := NewMonitorWithConfig(set, 2, refCol.callback, MonitorConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(ref, a1, b, a2, bFinal)
+	ref.Flush()
+	ref.Close()
+
+	diskStore, err := NewDiskStateStore(filepath.Join(t.TempDir(), "state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		store StateStore
+	}{
+		{"mem", NewMemStateStore()},
+		{"disk", diskStore},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			col := newAlertCollector()
+			mon, err := NewMonitorWithConfig(set, 2, col.callback,
+				MonitorConfig{Shards: 4, IdleTTL: ttl, Spill: tc.store})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mon.Close()
+			feed(mon, a1)
+			feed(mon, b)
+			// A must be evicted-with-spill now: gone from the monitor, present
+			// in the store, carrying live mid-streak state.
+			if mon.Current(devA) != "" {
+				t.Fatal("device A still confirmed after eviction window")
+			}
+			spilled, err := tc.store.Devices()
+			if err != nil || len(spilled) != 1 || spilled[0] != devA {
+				t.Fatalf("store devices = %v, %v — eviction did not spill", spilled, err)
+			}
+			blob, ok, err := tc.store.Get(devA)
+			if err != nil || !ok {
+				t.Fatalf("spilled blob missing: %v", err)
+			}
+			st, err := decodeDeviceState(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st.Identifier.Streamer.Buffered) == 0 && len(st.Identifier.Runs) == 0 {
+				t.Fatal("spilled state carries neither buffered windows nor streaks — eviction not mid-streak")
+			}
+			feed(mon, a2)
+			// Rehydration consumed A's spilled state (B may have idled out
+			// and spilled in the meantime — its late transaction below
+			// rehydrates it before the final flush).
+			if _, ok, _ := tc.store.Get(devA); ok {
+				t.Error("device A still spilled after rehydration")
+			}
+			feed(mon, bFinal)
+			if after, _ := tc.store.Devices(); len(after) != 0 {
+				t.Errorf("store still holds %v before the final flush", after)
+			}
+			mon.Flush()
+			comparePerDevice(t, refCol.got, col.got)
+		})
+	}
+}
+
+// TestMonitorSpillFallbackOnStoreFailure: a store that refuses writes must
+// not leak the device — the monitor falls back to the lossy flush +
+// AlertLost eviction.
+func TestMonitorSpillFallbackOnStoreFailure(t *testing.T) {
+	set, testDS := sharedSet(t)
+	const ttl = 10 * time.Minute
+	a1, b, _, _ := spillScenario(t, set, testDS, ttl)
+	col := newAlertCollector()
+	mon, err := NewMonitorWithConfig(set, 2, col.callback,
+		MonitorConfig{Shards: 4, IdleTTL: ttl, Spill: failingStore{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	for _, tx := range append(append([]weblog.Transaction(nil), a1...), b...) {
+		if err := mon.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mon.Devices(); got != 1 {
+		t.Errorf("devices = %d, want 1 (failed spill leaked the device)", got)
+	}
+	mon.Flush()
+}
+
+// failingStore rejects every write and holds nothing.
+type failingStore struct{}
+
+func (failingStore) Put(string, []byte) error         { return fmt.Errorf("store full") }
+func (failingStore) Get(string) ([]byte, bool, error) { return nil, false, nil }
+func (failingStore) Delete(string) error              { return nil }
+func (failingStore) Devices() ([]string, error)       { return nil, nil }
+
+// TestMonitorRehydrateRejectsCorruptBlob: a corrupt spilled blob fails the
+// admitting transaction once, is dropped, and the device starts fresh on
+// its next transaction.
+func TestMonitorRehydrateRejectsCorruptBlob(t *testing.T) {
+	set, testDS := sharedSet(t)
+	store := NewMemStateStore()
+	mon, err := NewMonitorWithConfig(set, 2, func(Alert) {}, MonitorConfig{Spill: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	txs := hostStream(t, testDS, set.Users()[0], "10.0.0.9", 2)
+	store.Put("10.0.0.9", []byte("not json"))
+	if err := mon.Feed(txs[0]); err == nil {
+		t.Fatal("corrupt blob did not fail the admitting transaction")
+	}
+	if store.Len() != 0 {
+		t.Error("corrupt blob not dropped")
+	}
+	if err := mon.Feed(txs[1]); err != nil {
+		t.Errorf("device did not start fresh after corrupt blob: %v", err)
+	}
+
+	// Version drift is rejected the same way.
+	good, err := encodeDeviceState(DeviceState{Device: "10.0.1.9", Identifier: IdentifierState{Host: "10.0.1.9", Streamer: features.StreamerState{Entity: "10.0.1.9"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(good, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["version"] = stateVersion + 1
+	future, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put("10.0.1.9", future)
+	tx := txs[1]
+	tx.SourceIP = "10.0.1.9"
+	if err := mon.Feed(tx); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version blob error = %v", err)
+	}
+}
+
+// flakyGetStore fails the first Get per device with a transient error.
+type flakyGetStore struct {
+	*MemStateStore
+	failed map[string]bool
+}
+
+func (s *flakyGetStore) Get(device string) ([]byte, bool, error) {
+	if !s.failed[device] {
+		s.failed[device] = true
+		return nil, false, fmt.Errorf("transient io error")
+	}
+	return s.MemStateStore.Get(device)
+}
+
+// TestMonitorRehydrateKeepsBlobOnTransientError: a store read that errors
+// must fail the one transaction but leave the durable blob alone — only
+// corrupt blobs are dropped — so the next transaction rehydrates normally.
+func TestMonitorRehydrateKeepsBlobOnTransientError(t *testing.T) {
+	set, testDS := sharedSet(t)
+	const dev = "10.0.2.9"
+	inner := NewMemStateStore()
+	store := &flakyGetStore{MemStateStore: inner, failed: map[string]bool{}}
+	mon, err := NewMonitorWithConfig(set, 2, func(Alert) {}, MonitorConfig{Spill: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	// Seed the store with real spilled state for the device.
+	id, err := NewIdentifier(set, dev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := hostStream(t, testDS, set.Users()[0], dev, 40)
+	for _, tx := range txs[:20] {
+		if _, err := id.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := encodeDeviceState(DeviceState{Device: dev, Identifier: id.Snapshot()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.Put(dev, blob)
+
+	if err := mon.Feed(txs[20]); err == nil {
+		t.Fatal("transient store error did not surface")
+	}
+	if inner.Len() != 1 {
+		t.Fatal("transient store error destroyed the spilled blob")
+	}
+	if err := mon.Feed(txs[20]); err != nil {
+		t.Fatalf("retry did not rehydrate: %v", err)
+	}
+	if inner.Len() != 0 {
+		t.Error("successful rehydration left the blob in the store")
+	}
+}
+
+// TestMonitorCheckpointRestoreMatchesReference is the process-restart
+// property, driven through FeedBatch under -race: a random stream over
+// many devices, checkpointed into a disk store at a random midpoint and
+// restored into a fresh monitor over the same store, must produce the
+// reference alert sequence byte-identically per device.
+func TestMonitorCheckpointRestoreMatchesReference(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, _ := deviceStream(testDS, 7, 6000)
+	const k, batchSize = 2, 128
+	want := referenceAlerts(t, set, txs, k)
+	r := rand.New(rand.NewSource(43))
+
+	for trial := 0; trial < 3; trial++ {
+		store, err := NewDiskStateStore(filepath.Join(t.TempDir(), "state"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := MonitorConfig{Shards: 8, BatchWorkers: 4, Spill: store}
+		split := (1 + r.Intn(len(txs)/batchSize-1)) * batchSize
+
+		col := newAlertCollector()
+		mon1, err := NewMonitorWithConfig(set, k, col.callback, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rest := txs[:split]; len(rest) > 0; {
+			n := min(batchSize, len(rest))
+			if err := mon1.FeedBatch(rest[:n]); err != nil {
+				t.Fatal(err)
+			}
+			rest = rest[n:]
+		}
+		n, err := mon1.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 || mon1.Devices() != 0 {
+			t.Fatalf("checkpoint spilled %d devices, %d still tracked", n, mon1.Devices())
+		}
+		mon1.Flush() // nothing pending; waits for alert delivery
+		mon1.Close()
+
+		// "Restart": a fresh monitor over the same directory, reopened.
+		reopened, err := NewDiskStateStore(store.Dir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Spill = reopened
+		mon2, err := NewMonitorWithConfig(set, k, col.callback, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rest := txs[split:]; len(rest) > 0; {
+			n := min(batchSize, len(rest))
+			if err := mon2.FeedBatch(rest[:n]); err != nil {
+				t.Fatal(err)
+			}
+			rest = rest[n:]
+		}
+		mon2.Flush()
+		mon2.Close()
+		comparePerDevice(t, want, col.got)
+	}
+}
+
+// TestMonitorExportImportShards is the shard-handoff acceptance criterion:
+// ExportShard→ImportShard into a fresh Monitor (different seed, different
+// shard count) must preserve every device's pending windows and streaks —
+// proven by the combined alert sequences matching the uninterrupted
+// reference.
+func TestMonitorExportImportShards(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, _ := deviceStream(testDS, 9, 6000)
+	const k, batchSize = 2, 128
+	want := referenceAlerts(t, set, txs, k)
+	split := len(txs) / 2
+
+	col := newAlertCollector()
+	mon1, err := NewMonitorWithConfig(set, k, col.callback, MonitorConfig{Shards: 8, BatchWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rest := txs[:split]; len(rest) > 0; {
+		n := min(batchSize, len(rest))
+		if err := mon1.FeedBatch(rest[:n]); err != nil {
+			t.Fatal(err)
+		}
+		rest = rest[n:]
+	}
+	moved := mon1.Devices()
+	if moved == 0 {
+		t.Fatal("no devices to hand off")
+	}
+
+	// The receiving monitor has a different shard layout on purpose.
+	mon2, err := NewMonitorWithConfig(set, k, col.callback, MonitorConfig{Shards: 5, BatchWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported := 0
+	for i := 0; i < 8; i++ {
+		blob, err := mon1.ExportShard(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := mon2.ImportShard(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imported += n
+	}
+	if imported != moved {
+		t.Fatalf("imported %d devices, exported monitor had %d", imported, moved)
+	}
+	if mon1.Devices() != 0 {
+		t.Errorf("exporting monitor still tracks %d devices", mon1.Devices())
+	}
+	if mon2.Devices() != moved {
+		t.Errorf("importing monitor tracks %d devices, want %d", mon2.Devices(), moved)
+	}
+	mon1.Flush()
+	mon1.Close()
+
+	for rest := txs[split:]; len(rest) > 0; {
+		n := min(batchSize, len(rest))
+		if err := mon2.FeedBatch(rest[:n]); err != nil {
+			t.Fatal(err)
+		}
+		rest = rest[n:]
+	}
+	mon2.Flush()
+	mon2.Close()
+	comparePerDevice(t, want, col.got)
+}
+
+// TestMonitorExportImportErrors covers the handoff error paths: bad shard
+// index, garbage bytes, version drift, and importing a device that is
+// already tracked.
+func TestMonitorExportImportErrors(t *testing.T) {
+	set, testDS := sharedSet(t)
+	mon, err := NewMonitorWithConfig(set, 2, func(Alert) {}, MonitorConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if _, err := mon.ExportShard(-1); err == nil {
+		t.Error("negative shard index accepted")
+	}
+	if _, err := mon.ExportShard(2); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+	if _, err := mon.ImportShard([]byte("junk")); err == nil {
+		t.Error("garbage import accepted")
+	}
+	future, err := encodeShardState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the version inside the gzip envelope.
+	devs, err := decodeShardState(future)
+	if err != nil || len(devs) != 0 {
+		t.Fatalf("empty export round trip: %v", err)
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if err := json.NewEncoder(gz).Encode(shardStateJSON{Version: stateVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.ImportShard(buf.Bytes()); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version import error = %v", err)
+	}
+
+	// Conflict: export from one monitor, import twice into another that
+	// then already tracks the devices.
+	txs := hostStream(t, testDS, set.Users()[0], "10.0.0.5", 20)
+	for _, tx := range txs {
+		if err := mon.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := mon.ExportShard(mon.shardIndex("10.0.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := mon.ImportShard(blob); err != nil || n != 1 {
+		t.Fatalf("first import = %d, %v", n, err)
+	}
+	if n, err := mon.ImportShard(blob); err == nil || n != 0 {
+		t.Errorf("duplicate import = %d, %v — conflict not reported", n, err)
+	}
+}
+
+// TestDiskStateStoreRejectsBadDir covers the open error path.
+func TestDiskStateStoreRejectsBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskStateStore(file); err == nil {
+		t.Error("file path accepted as state dir")
+	}
+}

@@ -353,6 +353,141 @@ func TestStreamerMatchesCompose(t *testing.T) {
 	}
 }
 
+// TestStreamerSnapshotResume is the durable-state property: snapshotting a
+// streamer at any point of the stream — with the state pushed through a
+// JSON round trip, as the core state store does — and restoring it must
+// produce exactly the window sequence of the uninterrupted run (which
+// TestStreamerMatchesCompose pins to Compose). Splits at every index cover
+// the edge positions: before the anchor, mid-window, and on window
+// boundaries.
+func TestStreamerSnapshotResume(t *testing.T) {
+	configs := []WindowConfig{
+		{Duration: time.Minute, Shift: time.Minute},
+		{Duration: time.Minute, Shift: 30 * time.Second},
+		{Duration: 90 * time.Second, Shift: 10 * time.Second},
+	}
+	txs := windowCorpus()
+	v := Build(txs)
+	for _, cfg := range configs {
+		want, err := Compose(v, cfg, txs, "x")
+		if err != nil {
+			t.Fatalf("Compose: %v", err)
+		}
+		for split := 0; split <= len(txs); split++ {
+			st, err := NewStreamer(v, cfg, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []Window
+			for _, x := range txs[:split] {
+				ws, err := st.Add(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, ws...)
+			}
+			blob, err := json.Marshal(st.Snapshot())
+			if err != nil {
+				t.Fatalf("marshal state: %v", err)
+			}
+			var state StreamerState
+			if err := json.Unmarshal(blob, &state); err != nil {
+				t.Fatalf("unmarshal state: %v", err)
+			}
+			resumed, err := RestoreStreamer(v, cfg, state)
+			if err != nil {
+				t.Fatalf("RestoreStreamer at split %d: %v", split, err)
+			}
+			for _, x := range txs[split:] {
+				ws, err := resumed.Add(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, ws...)
+			}
+			got = append(got, resumed.Close()...)
+			if len(got) != len(want) {
+				t.Fatalf("%v split %d: %d windows, want %d", cfg, split, len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Start.Equal(want[i].Start) || !got[i].End.Equal(want[i].End) ||
+					got[i].Count != want[i].Count || got[i].Vector.Key() != want[i].Vector.Key() {
+					t.Errorf("%v split %d: window %d differs: %+v vs %+v", cfg, split, i, got[i], want[i])
+				}
+			}
+			if resumed.Emitted() != len(want) {
+				t.Errorf("%v split %d: Emitted = %d, want %d (emit count not restored)",
+					cfg, split, resumed.Emitted(), len(want))
+			}
+		}
+	}
+}
+
+// TestRestoreStreamerRejectsCorruptState covers the validation paths of
+// RestoreStreamer.
+func TestRestoreStreamerRejectsCorruptState(t *testing.T) {
+	txs := windowCorpus()
+	v := Build(txs)
+	cfg := WindowConfig{Duration: time.Minute, Shift: 30 * time.Second}
+	st, err := NewStreamer(v, cfg, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range txs {
+		if _, err := st.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := st.Snapshot()
+
+	if _, err := RestoreStreamer(v, WindowConfig{}, good); err == nil {
+		t.Error("invalid window config accepted")
+	}
+	bad := good
+	bad.NextIdx = -1
+	if _, err := RestoreStreamer(v, cfg, bad); err == nil {
+		t.Error("negative next index accepted")
+	}
+	bad = good
+	bad.Anchor = nil
+	if _, err := RestoreStreamer(v, cfg, bad); err == nil {
+		t.Error("anchored state without anchor accepted")
+	}
+	bad = good
+	bad.Anchored = false
+	if _, err := RestoreStreamer(v, cfg, bad); err == nil {
+		t.Error("unanchored state with buffered transactions accepted")
+	}
+	if len(good.Buffered) >= 2 {
+		bad = good
+		bad.Buffered = append([]weblog.Transaction(nil), good.Buffered...)
+		bad.Buffered[0], bad.Buffered[1] = bad.Buffered[1], bad.Buffered[0]
+		if bad.Buffered[0].Timestamp.Equal(bad.Buffered[1].Timestamp) {
+			t.Skip("corpus buffer lacks distinct timestamps for the order check")
+		}
+		if _, err := RestoreStreamer(v, cfg, bad); err == nil {
+			t.Error("out-of-order buffer accepted")
+		}
+	}
+	bad = good
+	earlier := *good.Anchor
+	earlier.Timestamp = good.Buffered[len(good.Buffered)-1].Timestamp.Add(-time.Hour)
+	bad.LastSeen = &earlier
+	if _, err := RestoreStreamer(v, cfg, bad); err == nil {
+		t.Error("last-seen before buffered tail accepted")
+	}
+
+	// A closed streamer's state restores closed: Add must keep failing.
+	st.Close()
+	resumed, err := RestoreStreamer(v, cfg, st.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Add(txs[len(txs)-1]); err == nil {
+		t.Error("Add accepted on a restored closed streamer")
+	}
+}
+
 func TestStreamerRejectsOutOfOrder(t *testing.T) {
 	txs := windowCorpus()
 	v := Build(txs)

@@ -101,6 +101,89 @@ func (s *Streamer) Close() []Window {
 // Emitted returns the number of windows produced so far.
 func (s *Streamer) Emitted() int { return s.emitCount }
 
+// StreamerState is a serializable snapshot of a Streamer: the window
+// anchor, the transactions still buffered for open windows, and the
+// position of the next window to emit. A streamer restored from a snapshot
+// produces exactly the window sequence the original would have produced —
+// the checkpoint/resume property the durable identifier state in core
+// builds on (TestStreamerSnapshotResume proves it against Compose).
+//
+// The state is plain data with JSON tags; it carries no vocabulary or
+// window configuration — RestoreStreamer re-binds it to those, so the
+// snapshot stays valid as long as the profile bundle it belongs to does.
+type StreamerState struct {
+	Entity    string               `json:"entity"`
+	Anchored  bool                 `json:"anchored,omitempty"`
+	Closed    bool                 `json:"closed,omitempty"`
+	NextIdx   int                  `json:"next_idx,omitempty"`
+	EmitCount int                  `json:"emit_count,omitempty"`
+	Anchor    *weblog.Transaction  `json:"anchor,omitempty"`
+	LastSeen  *weblog.Transaction  `json:"last_seen,omitempty"`
+	Buffered  []weblog.Transaction `json:"buffered,omitempty"`
+}
+
+// Snapshot captures the streamer's full resumable state. The buffered
+// transactions are copied, so the snapshot stays valid while the streamer
+// keeps running.
+func (s *Streamer) Snapshot() StreamerState {
+	st := StreamerState{
+		Entity:    s.entity,
+		Anchored:  s.anchored,
+		Closed:    s.closed,
+		NextIdx:   s.nextIdx,
+		EmitCount: s.emitCount,
+	}
+	if s.anchored {
+		anchor, last := s.anchor, s.lastSeen
+		st.Anchor, st.LastSeen = &anchor, &last
+		st.Buffered = append([]weblog.Transaction(nil), s.buf...)
+	}
+	return st
+}
+
+// RestoreStreamer rebuilds a streamer from a snapshot taken with Snapshot,
+// re-bound to the given vocabulary and window configuration (which must be
+// the ones the original streamer ran with — they are not part of the
+// state). The restored streamer resumes at the exact window sequence the
+// snapshotted one would have emitted next.
+func RestoreStreamer(vocab *Vocabulary, cfg WindowConfig, st StreamerState) (*Streamer, error) {
+	s, err := NewStreamer(vocab, cfg, st.Entity)
+	if err != nil {
+		return nil, err
+	}
+	if st.NextIdx < 0 || st.EmitCount < 0 {
+		return nil, fmt.Errorf("features: negative window counters in streamer state for %q", st.Entity)
+	}
+	if !st.Anchored {
+		if st.Anchor != nil || st.LastSeen != nil || len(st.Buffered) > 0 {
+			return nil, fmt.Errorf("features: unanchored streamer state for %q carries transactions", st.Entity)
+		}
+		s.closed = st.Closed
+		s.nextIdx = st.NextIdx
+		s.emitCount = st.EmitCount
+		return s, nil
+	}
+	if st.Anchor == nil || st.LastSeen == nil {
+		return nil, fmt.Errorf("features: anchored streamer state for %q missing anchor or last-seen", st.Entity)
+	}
+	for i := range st.Buffered {
+		if i > 0 && st.Buffered[i].Timestamp.Before(st.Buffered[i-1].Timestamp) {
+			return nil, fmt.Errorf("features: buffered transactions out of order in streamer state for %q", st.Entity)
+		}
+	}
+	if n := len(st.Buffered); n > 0 && st.LastSeen.Timestamp.Before(st.Buffered[n-1].Timestamp) {
+		return nil, fmt.Errorf("features: streamer state for %q has last-seen before buffered tail", st.Entity)
+	}
+	s.anchored = true
+	s.anchor = *st.Anchor
+	s.lastSeen = *st.LastSeen
+	s.closed = st.Closed
+	s.nextIdx = st.NextIdx
+	s.emitCount = st.EmitCount
+	s.buf = append([]weblog.Transaction(nil), st.Buffered...)
+	return s, nil
+}
+
 // build aggregates buffered transactions inside [start, end).
 func (s *Streamer) build(start, end time.Time) (Window, bool) {
 	acc := sparse.NewAccumulator(s.vocab.NumericCols())

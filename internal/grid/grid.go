@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webtxprofile/internal/eval"
@@ -294,10 +295,32 @@ func ParamSearchUsers(subset []string, trainSets map[string][]features.Window, p
 	// Work distributes at (user, kernel)-row granularity rather than per
 	// cell: the kernel matrix depends only on the kernel and the training
 	// windows — not on ν/C — so all cells of a row share one Gram instead
-	// of recomputing kernel columns per cell.
+	// of recomputing kernel columns per cell. One level further down, the
+	// dot-product matrix xᵢ·xⱼ depends only on the training windows — every
+	// kernel of the paper factors through x·y — so all kernel rows of a
+	// user derive their Grams from one shared DotProducts, built lazily by
+	// whichever row of the user a worker picks up first.
 	type task struct {
 		user string
 		ki   int
+	}
+	// One shared dot matrix per user, built lazily by the first of the
+	// user's kernel rows a worker picks up and released after the last:
+	// pinning every user's dense n×n matrix for the whole search would
+	// retain O(users·n²) bytes, while the countdown caps live matrices at
+	// the users currently in flight — matching the per-row Gram lifetime
+	// the previous code had.
+	type userDots struct {
+		once sync.Once
+		d    *svm.DotProducts
+		err  error
+		left atomic.Int32
+	}
+	dots := make(map[string]*userDots, len(subset))
+	for _, u := range subset {
+		ud := &userDots{}
+		ud.left.Store(int32(len(kernels)))
+		dots[u] = ud
 	}
 	tasks := make(chan task)
 	var wg sync.WaitGroup
@@ -306,7 +329,15 @@ func ParamSearchUsers(subset []string, trainSets map[string][]features.Window, p
 		go func() {
 			defer wg.Done()
 			for tk := range tasks {
-				cells := runRow(tk.user, users, trainVecs, otherVecs, params, kernels[tk.ki], cfg)
+				ud := dots[tk.user]
+				get := func() (*svm.DotProducts, error) {
+					ud.once.Do(func() { ud.d, ud.err = svm.NewDotProducts(trainVecs[tk.user]) })
+					return ud.d, ud.err
+				}
+				cells := runRow(tk.user, users, get, trainVecs, otherVecs, params, kernels[tk.ki], cfg)
+				if ud.left.Add(-1) == 0 {
+					ud.d = nil // every kernel row of the user is done
+				}
 				for pi := range params {
 					tables[tk.user].Cells[pi][tk.ki] = cells[pi]
 				}
@@ -324,14 +355,21 @@ func ParamSearchUsers(subset []string, trainSets map[string][]features.Window, p
 }
 
 // runRow fits and scores one (user, kernel) row of the grid: the Gram
-// matrix over the user's training vectors is computed once and every ν/C
-// cell of the row trains against it.
-func runRow(user string, users []string, trainVecs, otherVecs map[string][]sparse.Vector, params []float64, kernel svm.Kernel, cfg Config) []ParamCell {
+// matrix for the row is derived from the user's shared dot-product matrix
+// (computed once across all kernel rows of the user) and every ν/C cell of
+// the row trains against it.
+func runRow(user string, users []string, userDots func() (*svm.DotProducts, error), trainVecs, otherVecs map[string][]sparse.Vector, params []float64, kernel svm.Kernel, cfg Config) []ParamCell {
 	cells := make([]ParamCell, len(params))
 	for i := range cells {
 		cells[i] = ParamCell{Kernel: kernel, Param: params[i]}
 	}
-	gram, err := svm.NewGram(kernel, trainVecs[user])
+	gram, err := func() (*svm.Gram, error) {
+		d, err := userDots()
+		if err != nil {
+			return nil, err
+		}
+		return svm.NewGramFromDots(d, kernel)
+	}()
 	if err != nil {
 		for i := range cells {
 			cells[i].Err = fmt.Errorf("grid: user %s %v: %w", user, kernel, err)

@@ -265,6 +265,42 @@ func TestParamSearchKernelEvalBudget(t *testing.T) {
 	}
 }
 
+// TestParamSearchSharesDotsAcrossKernels is the cross-kernel sharing
+// assertion: all kernel rows of a user (linear/poly/sigmoid/RBF — every
+// family factors through x·y) must derive their Grams from one shared
+// dot-product matrix, so a search over K kernels performs exactly one
+// triangular dot pass per user — 1/K of what per-row Gram builds would pay.
+func TestParamSearchSharesDotsAcrossKernels(t *testing.T) {
+	ds := buildTrainSet()
+	ws := windowsFor(t, ds)
+	kernels := []svm.Kernel{svm.Linear(), svm.Poly(0.1, 0, 3), svm.RBF(0.1), svm.Sigmoid(0.1, 0)}
+	cfg := Config{Algorithm: svm.OCSVM, Workers: 3}.withDefaults()
+	users := []string{"user_1", "user_2"}
+
+	var wantEvals uint64
+	for _, u := range users {
+		n := uint64(len(capPrefix(ws[u], cfg.MaxTrainWindows)))
+		wantEvals += n * (n + 1) / 2
+	}
+
+	before := svm.ReadKernelStats()
+	if _, err := ParamSearch(ws, []float64{0.5, 0.1}, kernels, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d := svm.ReadKernelStats().Sub(before)
+
+	if d.KernelEvals != wantEvals {
+		t.Errorf("grid kernel evals = %d, want exactly %d (one dot pass per user, shared by %d kernel rows)",
+			d.KernelEvals, wantEvals, len(kernels))
+	}
+	if want := uint64(len(users)); d.DotBuilds != want {
+		t.Errorf("dot builds = %d, want %d (one per user)", d.DotBuilds, want)
+	}
+	if want := uint64(len(users) * len(kernels)); d.GramBuilds != want {
+		t.Errorf("gram builds = %d, want %d (one derived Gram per user×kernel row)", d.GramBuilds, want)
+	}
+}
+
 func TestParamSearchErrors(t *testing.T) {
 	ds := buildTrainSet()
 	ws := windowsFor(t, ds)

@@ -67,6 +67,84 @@ func (g *Gram) column(i int) []float64 { return g.rows[i] }
 // diagonal returns the matrix diagonal (qProvider).
 func (g *Gram) diagonal() []float64 { return g.diag }
 
+// DotProducts is the kernel-independent part of a Gram: the symmetric
+// dot-product matrix xᵢ·xⱼ plus the squared norms ‖xᵢ‖² over a fixed
+// training set. Every kernel of the paper factors through the dot product
+// (see the package comment), so one DotProducts serves the linear,
+// polynomial, sigmoid *and* RBF rows of a grid search — the per-kernel
+// Gram derivation (NewGramFromDots) is a scalar pass that performs no new
+// kernel evaluations.
+//
+// A DotProducts is immutable after construction and safe for concurrent
+// use.
+type DotProducts struct {
+	xs   []sparse.Vector
+	rows [][]float64 // symmetric dot matrix, flat-backed
+	ns   []float64   // squared norms (the matrix diagonal)
+}
+
+// NewDotProducts computes the symmetric dot-product matrix over xs. The
+// n(n+1)/2 sparse dot products are the irreducible kernel work and are
+// counted as kernel evaluations; deriving a Gram from the result is free.
+func NewDotProducts(xs []sparse.Vector) (*DotProducts, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	ns := norms(xs)
+	flat := make([]float64, n*n)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*n : (i+1)*n : (i+1)*n]
+	}
+	for i := 0; i < n; i++ {
+		rows[i][i] = ns[i] // xᵢ·xᵢ = ‖xᵢ‖²
+		for j := i + 1; j < n; j++ {
+			v := sparse.Dot(xs[i], xs[j])
+			rows[i][j] = v
+			rows[j][i] = v
+		}
+	}
+	statKernelEvals.Add(uint64(n) * uint64(n+1) / 2)
+	statDotBuilds.Add(1)
+	return &DotProducts{xs: xs, rows: rows, ns: ns}, nil
+}
+
+// Size returns the number of training vectors (the matrix dimension).
+func (d *DotProducts) Size() int { return len(d.xs) }
+
+// NewGramFromDots derives the kernel matrix for one kernel from a shared
+// dot-product matrix: K[i][j] = k(dots[i][j], ‖xᵢ‖², ‖xⱼ‖²) via the
+// factored kernel form. No sparse dot products are recomputed, so the
+// linear/polynomial/RBF/sigmoid rows of a grid-search all amortize one
+// NewDotProducts — the counter assertion in the grid tests pins this down.
+func NewGramFromDots(d *DotProducts, kernel Kernel) (*Gram, error) {
+	if err := kernel.Validate(); err != nil {
+		return nil, err
+	}
+	if d == nil || len(d.xs) == 0 {
+		return nil, fmt.Errorf("svm: nil or empty dot-product matrix")
+	}
+	n := len(d.xs)
+	flat := make([]float64, n*n)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*n : (i+1)*n : (i+1)*n]
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = kernel.evalSelf(d.ns[i])
+		rows[i][i] = diag[i]
+		for j := i + 1; j < n; j++ {
+			v := kernel.evalDot(d.rows[i][j], d.ns[i], d.ns[j])
+			rows[i][j] = v
+			rows[j][i] = v
+		}
+	}
+	statGramBuilds.Add(1)
+	return &Gram{kernel: kernel, xs: d.xs, rows: rows, diag: diag}, nil
+}
+
 // TrainOCSVMGram is TrainOCSVM evaluated against a precomputed Gram: same
 // dual, same solution, no kernel evaluations. cfg.Kernel is ignored — the
 // Gram fixes the kernel.

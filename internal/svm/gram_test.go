@@ -126,6 +126,89 @@ func TestTrainGramReusesKernelEvals(t *testing.T) {
 	}
 }
 
+// TestGramFromDotsMatchesNewGram checks that a Gram derived from a shared
+// dot-product matrix is entry-identical to one computed directly — for all
+// four kernel families, since every one factors through x·y (RBF via the
+// cached norms).
+func TestGramFromDotsMatchesNewGram(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	xs := gaussCluster(r, 30, 6, 0, 1)
+	dots, err := NewDotProducts(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dots.Size() != len(xs) {
+		t.Fatalf("dots size = %d, want %d", dots.Size(), len(xs))
+	}
+	for _, kernel := range kernelsUnderTest() {
+		want, err := NewGram(kernel, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewGramFromDots(dots, kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kernel() != kernel || got.Size() != want.Size() {
+			t.Fatalf("%v: kernel/size accessors wrong", kernel)
+		}
+		for i := range xs {
+			wc, gc := want.column(i), got.column(i)
+			for j := range xs {
+				if wc[j] != gc[j] {
+					t.Fatalf("%v: K[%d][%d] = %v from dots, %v direct", kernel, i, j, gc[j], wc[j])
+				}
+			}
+			if want.diagonal()[i] != got.diagonal()[i] {
+				t.Fatalf("%v: diag[%d] mismatch", kernel, i)
+			}
+		}
+	}
+}
+
+// TestDotProductsShareKernelEvals is the counter assertion for cross-kernel
+// sharing: deriving one Gram per kernel family from a single DotProducts
+// must cost exactly one triangular pass of kernel evaluations, while
+// building the four Grams independently pays the pass four times.
+func TestDotProductsShareKernelEvals(t *testing.T) {
+	r := rand.New(rand.NewSource(36))
+	xs := gaussCluster(r, 40, 6, 0, 1)
+	kernels := kernelsUnderTest()
+	n := uint64(len(xs))
+
+	before := ReadKernelStats()
+	dots, err := NewDotProducts(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range kernels {
+		if _, err := NewGramFromDots(dots, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared := ReadKernelStats().Sub(before)
+	if want := n * (n + 1) / 2; shared.KernelEvals != want {
+		t.Errorf("shared path kernel evals = %d, want %d (one dot-matrix build)",
+			shared.KernelEvals, want)
+	}
+	if shared.DotBuilds != 1 || shared.GramBuilds != uint64(len(kernels)) {
+		t.Errorf("shared path: dot builds = %d, gram builds = %d, want 1 and %d",
+			shared.DotBuilds, shared.GramBuilds, len(kernels))
+	}
+
+	before = ReadKernelStats()
+	for _, k := range kernels {
+		if _, err := NewGram(k, xs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	direct := ReadKernelStats().Sub(before)
+	if direct.KernelEvals != uint64(len(kernels))*shared.KernelEvals {
+		t.Errorf("direct path kernel evals = %d, want %d× the shared path's %d",
+			direct.KernelEvals, len(kernels), shared.KernelEvals)
+	}
+}
+
 // TestNewGramErrors covers the validation paths.
 func TestNewGramErrors(t *testing.T) {
 	if _, err := NewGram(Kernel{Kind: KernelRBF, Gamma: -1}, gaussCluster(rand.New(rand.NewSource(34)), 5, 3, 0, 1)); err == nil {
@@ -136,5 +219,18 @@ func TestNewGramErrors(t *testing.T) {
 	}
 	if _, err := TrainGram(0, nil, 0.5, TrainConfig{}); err == nil {
 		t.Error("invalid algorithm accepted")
+	}
+	if _, err := NewDotProducts(nil); err == nil {
+		t.Error("empty dot-product set accepted")
+	}
+	if _, err := NewGramFromDots(nil, Linear()); err == nil {
+		t.Error("nil dot-product matrix accepted")
+	}
+	dots, err := NewDotProducts(gaussCluster(rand.New(rand.NewSource(37)), 5, 3, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGramFromDots(dots, Kernel{Kind: KernelRBF, Gamma: -1}); err == nil {
+		t.Error("invalid kernel accepted for dots-derived Gram")
 	}
 }

@@ -21,7 +21,10 @@
 // which a tight scalar loop applies the kernel function. The same
 // factoring serves training: a Gram matrix depends only on the kernel and
 // the data, so grid searches share one Gram across every ν/C cell of a
-// row (see Gram and TrainGram).
+// row (see Gram and TrainGram) — and one level further down, the
+// dot-product matrix depends only on the data, so all kernel rows of a
+// training set derive their Grams from a single DotProducts
+// (NewGramFromDots) at no extra kernel evaluations.
 package svm
 
 import (

@@ -9,12 +9,15 @@ import "sync/atomic"
 // cost), CacheHits/CacheMisses count columnCache column lookups, and
 // GramBuilds counts shared Gram constructions. Counters are cumulative
 // and process-wide; benchmarks snapshot before/after (or Reset) to
-// attribute work.
+// attribute work. DotBuilds counts shared dot-product matrix
+// constructions (NewDotProducts), the kernel-independent work several
+// Gram derivations amortize.
 type KernelStats struct {
 	KernelEvals uint64
 	CacheHits   uint64
 	CacheMisses uint64
 	GramBuilds  uint64
+	DotBuilds   uint64
 }
 
 var (
@@ -22,6 +25,7 @@ var (
 	statCacheHits   atomic.Uint64
 	statCacheMisses atomic.Uint64
 	statGramBuilds  atomic.Uint64
+	statDotBuilds   atomic.Uint64
 )
 
 // ReadKernelStats returns the cumulative counters. Safe for concurrent use
@@ -33,6 +37,7 @@ func ReadKernelStats() KernelStats {
 		CacheHits:   statCacheHits.Load(),
 		CacheMisses: statCacheMisses.Load(),
 		GramBuilds:  statGramBuilds.Load(),
+		DotBuilds:   statDotBuilds.Load(),
 	}
 }
 
@@ -43,6 +48,7 @@ func ResetKernelStats() {
 	statCacheHits.Store(0)
 	statCacheMisses.Store(0)
 	statGramBuilds.Store(0)
+	statDotBuilds.Store(0)
 }
 
 // Sub returns the per-window delta between two cumulative snapshots.
@@ -52,5 +58,6 @@ func (s KernelStats) Sub(prev KernelStats) KernelStats {
 		CacheHits:   s.CacheHits - prev.CacheHits,
 		CacheMisses: s.CacheMisses - prev.CacheMisses,
 		GramBuilds:  s.GramBuilds - prev.GramBuilds,
+		DotBuilds:   s.DotBuilds - prev.DotBuilds,
 	}
 }

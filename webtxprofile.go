@@ -73,6 +73,19 @@ type (
 	Refresher = core.Refresher
 	// RefresherConfig bounds the refresh buffers.
 	RefresherConfig = core.RefresherConfig
+	// StateStore persists evicted devices' identification state so idle
+	// eviction, shard handoff and process restarts keep window buffers
+	// and consecutive-accept streaks.
+	StateStore = core.StateStore
+	// MemStateStore is the in-process StateStore.
+	MemStateStore = core.MemStateStore
+	// DiskStateStore is the directory-backed gzip-JSON StateStore.
+	DiskStateStore = core.DiskStateStore
+	// IdentifierState is a serializable streaming-identifier snapshot.
+	IdentifierState = core.IdentifierState
+	// DeviceState is the portable per-device monitor state (identifier
+	// snapshot plus confirmed identity), the unit StateStores hold.
+	DeviceState = core.DeviceState
 	// SynthConfig parameterizes synthetic benchmark generation.
 	SynthConfig = synth.Config
 	// SynthSegment is one user-interval of a device scenario.
@@ -184,6 +197,26 @@ func NewMonitorWithConfig(set *ProfileSet, consecutiveK int, alerts func(Alert),
 // NewRefresher wraps a profile set for drift-tracking retrains.
 func NewRefresher(set *ProfileSet, cfg RefresherConfig) (*Refresher, error) {
 	return core.NewRefresher(set, cfg)
+}
+
+// NewMemStateStore returns an in-memory identifier-state store: evicted
+// devices survive eviction (bounding live identifier memory) but not the
+// process.
+func NewMemStateStore() *MemStateStore {
+	return core.NewMemStateStore()
+}
+
+// NewDiskStateStore opens (creating if needed) a directory-backed
+// identifier-state store whose spilled device states survive process
+// restarts — the backing for profilerd's -state-dir.
+func NewDiskStateStore(dir string) (*DiskStateStore, error) {
+	return core.NewDiskStateStore(dir)
+}
+
+// RestoreIdentifier rebuilds a streaming identifier from a snapshot taken
+// with Identifier.Snapshot, resuming the exact event sequence.
+func RestoreIdentifier(set *ProfileSet, st IdentifierState) (*Identifier, error) {
+	return core.RestoreIdentifier(set, st)
 }
 
 // IdentifyConsecutive applies the consecutive-window identification rule
