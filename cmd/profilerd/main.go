@@ -20,10 +20,25 @@
 // left off. See README.md for the state lifecycle. SIGINT keeps the
 // classic lossy shutdown (flush pending windows, emit final alerts).
 //
+// Past one process, profilerd clusters (see README.md for the lifecycle):
+//
+//   - profilerd -cluster :7100 -node-name nodeA runs a member node: no
+//     proxy-facing collector, just the cluster wire protocol (feed,
+//     shard export/import, alert push) over its own sharded monitor.
+//   - profilerd -join nodeA=host1:7100,nodeB=host2:7100 runs the
+//     front-end router: the -listen collector ingests proxy log lines,
+//     devices are placed on members by rendezvous hashing, membership
+//     changes drain only the devices whose placement moved, and every
+//     alert is logged with the node it originated on. The front end
+//     holds no monitor, so it needs no bundle, and the identification
+//     flags (-k, -shards, -idle-ttl, -state-dir) belong on the nodes.
+//
 // Usage:
 //
 //	profilerd -bundle profiles.gz -listen 127.0.0.1:7000 -k 5 \
 //	          -shards 16 -idle-ttl 1h -batch 256 -state-dir /var/lib/profilerd
+//	profilerd -bundle profiles.gz -cluster 0.0.0.0:7100 -node-name nodeA
+//	profilerd -listen 127.0.0.1:7000 -join nodeA=host1:7100,nodeB=host2:7100
 package main
 
 import (
@@ -32,6 +47,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,20 +64,53 @@ func main() {
 func run() error {
 	var (
 		bundle   = flag.String("bundle", "profiles.gz", "trained profile bundle")
-		listen   = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
+		listen   = flag.String("listen", "127.0.0.1:7000", "TCP listen address for proxy log lines")
 		k        = flag.Int("k", 5, "consecutive accepted windows for identification")
 		shards   = flag.Int("shards", 16, "device lock stripes in the monitor")
 		idleTTL  = flag.Duration("idle-ttl", time.Hour, "evict devices idle this long in stream time (0 disables)")
 		batch    = flag.Int("batch", 256, "max transactions per ingestion batch")
 		stateDir = flag.String("state-dir", "", "durable identifier state: spill evicted devices here, checkpoint on SIGTERM, restore on start (empty disables)")
+		clusterL = flag.String("cluster", "", "run as a cluster node: serve the node wire protocol on this address instead of a proxy collector")
+		nodeName = flag.String("node-name", "", "this node's cluster name (default: hostname; -cluster mode)")
+		join     = flag.String("join", "", "run as the cluster front end routing to these members: comma-separated name=addr pairs")
 	)
 	flag.Parse()
+	if *clusterL != "" && *join != "" {
+		return fmt.Errorf("-cluster and -join are mutually exclusive: a process is a member or the front end")
+	}
+	// Refuse explicitly-set flags the selected role would silently
+	// ignore — a dead flag on a daemon is a misconfiguration, not a
+	// default.
+	switch {
+	case *join != "":
+		// The front end holds no monitor: identification state, eviction
+		// and the threshold all live on the member nodes.
+		if err := rejectMisplacedFlags("the -join front end (set them on the -cluster processes)",
+			"bundle", "k", "shards", "idle-ttl", "state-dir", "node-name"); err != nil {
+			return err
+		}
+	case *clusterL != "":
+		// A member node serves the cluster protocol only; the proxy-facing
+		// collector (and its batching) lives on the front end.
+		if err := rejectMisplacedFlags("a -cluster member node (set them on the -join front end)",
+			"listen", "batch"); err != nil {
+			return err
+		}
+	default:
+		if err := rejectMisplacedFlags("a standalone daemon (-node-name names a -cluster member)", "node-name"); err != nil {
+			return err
+		}
+	}
+	logger := log.New(os.Stdout, "profilerd: ", log.LstdFlags)
+
+	if *join != "" {
+		return runRouter(logger, *join, *listen, *batch)
+	}
 
 	set, err := webtxprofile.LoadProfilesFile(*bundle)
 	if err != nil {
 		return err
 	}
-	logger := log.New(os.Stdout, "profilerd: ", log.LstdFlags)
 
 	var store *webtxprofile.DiskStateStore
 	if *stateDir != "" {
@@ -80,42 +129,118 @@ func run() error {
 				*stateDir, len(spilled))
 		}
 	}
+	monCfg := webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL, Spill: spillStore(store)}
 
-	mon, err := webtxprofile.NewMonitorWithConfig(set, *k, func(a webtxprofile.Alert) {
-		switch {
-		case a.Kind == webtxprofile.AlertIdentified:
-			logger.Printf("device %s: identified %s (window %s, %d models accepted)",
-				a.Device, a.User, a.Event.Window.Start.Format("15:04:05"), len(a.Event.Accepted))
-		case a.Kind == webtxprofile.AlertLost && a.Event.Window.Start.IsZero():
-			// Idle eviction: the session ended silently, with no closing
-			// window.
-			logger.Printf("device %s: ALERT — %s's session ended (device idle, evicted)",
-				a.Device, a.User)
-		case a.Kind == webtxprofile.AlertLost:
-			logger.Printf("device %s: ALERT — activity no longer matches %s (window %s)",
-				a.Device, a.User, a.Event.Window.Start.Format("15:04:05"))
-		}
-	}, webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL, Spill: spillStore(store)})
+	if *clusterL != "" {
+		return runNode(logger, set, *clusterL, *nodeName, *k, monCfg, store, *stateDir)
+	}
+	return runStandalone(logger, set, *listen, *k, monCfg, *batch, store, *stateDir)
+}
+
+// runStandalone is the classic single-process daemon: collector → monitor.
+func runStandalone(logger *log.Logger, set *webtxprofile.ProfileSet, listen string, k int,
+	monCfg webtxprofile.MonitorConfig, batch int, store *webtxprofile.DiskStateStore, stateDir string) error {
+	mon, err := webtxprofile.NewMonitorWithConfig(set, k, func(a webtxprofile.Alert) {
+		logAlert(logger, "", a)
+	}, monCfg)
 	if err != nil {
 		return err
 	}
 
-	srv, err := webtxprofile.ListenCollectorBatch(*listen, func(txs []webtxprofile.Transaction) {
+	srv, err := webtxprofile.ListenCollectorBatch(listen, func(txs []webtxprofile.Transaction) {
 		if err := mon.FeedBatch(txs); err != nil {
 			logger.Printf("feed: %v", err)
 		}
-	}, webtxprofile.CollectorBatchConfig{MaxBatch: *batch})
+	}, webtxprofile.CollectorBatchConfig{MaxBatch: batch})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	logger.Printf("listening on %s with %d profiles (k=%d, %d shards, idle-ttl %v)",
-		srv.Addr(), len(set.Profiles), *k, *shards, *idleTTL)
+		srv.Addr(), len(set.Profiles), k, monCfg.Shards, monCfg.IdleTTL)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	s := <-sig
+	s := waitSignal()
 	srv.Close() // stop ingestion before the final flush or checkpoint
+	return shutdownMonitor(logger, mon, s, store, stateDir)
+}
+
+// runNode serves the cluster wire protocol over this process's monitor.
+func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string, k int,
+	monCfg webtxprofile.MonitorConfig, store *webtxprofile.DiskStateStore, stateDir string) error {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			return fmt.Errorf("-node-name not set and hostname unavailable: %w", err)
+		}
+		name = host
+	}
+	node, err := webtxprofile.ListenClusterNode(addr, set, webtxprofile.ClusterNodeConfig{
+		Name:     name,
+		K:        k,
+		Monitor:  monCfg,
+		OnAlert:  func(a webtxprofile.Alert) { logAlert(logger, name, a) },
+		ErrorLog: logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	logger.Printf("cluster node %s serving on %s with %d profiles (k=%d, %d shards)",
+		name, node.Addr(), len(set.Profiles), k, monCfg.Shards)
+
+	s := waitSignal()
+	// Stop serving before deciding what happens to the live state, so no
+	// router can keep feeding a monitor that is flushing or
+	// checkpointing — Stop (not Close) keeps the monitor usable for that
+	// decision.
+	node.Stop()
+	return shutdownMonitor(logger, node.Monitor(), s, store, stateDir)
+}
+
+// runRouter is the front end: proxy log lines in, rendezvous-routed
+// transactions out to the member nodes, origin-tagged alerts logged.
+func runRouter(logger *log.Logger, join, listen string, batch int) error {
+	members, err := parseMembers(join)
+	if err != nil {
+		return err
+	}
+	router := webtxprofile.NewClusterRouter(func(a webtxprofile.NodeAlert) {
+		logAlert(logger, a.Node, a.Alert)
+	}, webtxprofile.ClusterRouterConfig{})
+	defer router.Close()
+	for _, m := range members {
+		if err := router.AddNode(m); err != nil {
+			return fmt.Errorf("joining %s at %s: %w", m.Name, m.Addr, err)
+		}
+		logger.Printf("joined node %s at %s", m.Name, m.Addr)
+	}
+
+	srv, err := webtxprofile.ListenCollectorBatch(listen, func(txs []webtxprofile.Transaction) {
+		if err := router.FeedBatch(txs); err != nil {
+			logger.Printf("route: %v", err)
+		}
+	}, webtxprofile.CollectorBatchConfig{MaxBatch: batch})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	view := router.View()
+	logger.Printf("routing %s across %d nodes (membership v%d)", srv.Addr(), len(view.Members), view.Version)
+
+	waitSignal()
+	srv.Close() // stop ingestion, then let the nodes finish their streams
+	if err := router.Flush(); err != nil {
+		logger.Printf("flush: %v", err)
+	}
+	logger.Printf("shutting down after routing %d devices", router.Devices())
+	return nil
+}
+
+// shutdownMonitor applies the shared shutdown contract: SIGTERM with a
+// state dir checkpoints (lossless restart), anything else flushes (lossy
+// end-of-stream alerts).
+func shutdownMonitor(logger *log.Logger, mon *webtxprofile.Monitor, s os.Signal,
+	store *webtxprofile.DiskStateStore, stateDir string) error {
 	devices := mon.Devices()
 	if store != nil && s == syscall.SIGTERM {
 		// Durable shutdown: persist every live device instead of flushing,
@@ -126,13 +251,86 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("checkpoint: %w", err)
 		}
-		logger.Printf("checkpointed %d devices to %s", n, *stateDir)
+		logger.Printf("checkpointed %d devices to %s", n, stateDir)
 		return nil
 	}
 	mon.Flush()
 	mon.Close()
 	logger.Printf("shutting down after monitoring %d devices", devices)
 	return nil
+}
+
+// logAlert renders one identity transition; origin is the cluster node it
+// came from ("" for the in-process monitor).
+func logAlert(logger *log.Logger, origin string, a webtxprofile.Alert) {
+	prefix := ""
+	if origin != "" {
+		prefix = "[" + origin + "] "
+	}
+	switch {
+	case a.Kind == webtxprofile.AlertIdentified:
+		logger.Printf("%sdevice %s: identified %s (window %s, %d models accepted)",
+			prefix, a.Device, a.User, a.Event.Window.Start.Format("15:04:05"), len(a.Event.Accepted))
+	case a.Kind == webtxprofile.AlertLost && a.Event.Window.Start.IsZero():
+		// Idle eviction: the session ended silently, with no closing
+		// window.
+		logger.Printf("%sdevice %s: ALERT — %s's session ended (device idle, evicted)",
+			prefix, a.Device, a.User)
+	case a.Kind == webtxprofile.AlertLost:
+		logger.Printf("%sdevice %s: ALERT — activity no longer matches %s (window %s)",
+			prefix, a.Device, a.User, a.Event.Window.Start.Format("15:04:05"))
+	}
+}
+
+// rejectMisplacedFlags errors when any of the named flags was set on the
+// command line but has no effect in the selected role (flag.Visit only
+// sees explicitly-set flags, so defaults never trip it).
+func rejectMisplacedFlags(role string, dead ...string) error {
+	deadSet := make(map[string]bool, len(dead))
+	for _, d := range dead {
+		deadSet[d] = true
+	}
+	var misplaced []string
+	flag.Visit(func(f *flag.Flag) {
+		if deadSet[f.Name] {
+			misplaced = append(misplaced, "-"+f.Name)
+		}
+	})
+	if len(misplaced) > 0 {
+		return fmt.Errorf("%s: no effect on %s", strings.Join(misplaced, ", "), role)
+	}
+	return nil
+}
+
+// parseMembers parses the -join list: name=addr,name=addr,...
+func parseMembers(s string) ([]webtxprofile.ClusterMember, error) {
+	var out []webtxprofile.ClusterMember
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("-join entry %q is not name=addr", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-join names %s twice", name)
+		}
+		seen[name] = true
+		out = append(out, webtxprofile.ClusterMember{Name: name, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-join lists no members")
+	}
+	return out, nil
+}
+
+func waitSignal() os.Signal {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	return <-sig
 }
 
 // spillStore converts the optional disk store into the monitor's

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseMembers(t *testing.T) {
+	got, err := parseMembers(" nodeA=host1:7100, nodeB=host2:7100 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "nodeA" || got[0].Addr != "host1:7100" ||
+		got[1].Name != "nodeB" || got[1].Addr != "host2:7100" {
+		t.Errorf("parsed %+v", got)
+	}
+	for _, bad := range []string{"", ",", "nodeA", "nodeA=", "=host:1", "a=x,a=y"} {
+		if _, err := parseMembers(bad); err == nil {
+			t.Errorf("-join %q accepted", bad)
+		}
+	}
+}

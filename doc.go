@@ -79,6 +79,31 @@
 // tests. Serialized state carries a format version, checked on decode
 // like the profile bundle's.
 //
+// # Multi-node clustering
+//
+// Past one process, the engine scales out over the shard-handoff
+// primitives: ClusterNodes each run a sharded Monitor over the same
+// trained bundle and speak a length-prefixed JSON wire protocol (feeds
+// as proxy log lines, handoffs as the versioned state blobs above, plus
+// an alert push stream), and a ClusterRouter fronts them.
+//
+// The router's placement guarantee: every device is owned by the member
+// with the highest rendezvous-hash score for it, so a membership change
+// moves only the devices whose top score shifts — AddNode drains an
+// expected 1/n of the population onto the new node, RemoveNode drains
+// exactly the removed node's devices, and nothing else is touched. The
+// routing table stays authoritative over the hash: a failed drain leaves
+// the devices on their old owner with their state intact.
+//
+// The router's drain guarantee: a drained device moves whole (window
+// buffer, streaks, confirmed identity), transactions arriving mid-drain
+// are buffered and replayed to the new owner in arrival order, and the
+// old owner's alerts are delivered before the new owner's. Net effect,
+// asserted by the internal cluster equivalence suites under -race: the
+// cluster's per-device alert sequences are byte-identical to a single
+// never-resharded Monitor, through any sequence of membership changes.
+// Alerts fan in to the router tagged with their origin node (NodeAlert).
+//
 // See the examples/ directory for runnable end-to-end programs and
 // DESIGN.md for the experiment-by-experiment reproduction map.
 package webtxprofile

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"webtxprofile/internal/weblog"
+)
+
+// ErrClientClosed reports an RPC attempted on (or interrupted by) a
+// closed or failed node connection.
+var ErrClientClosed = errors.New("cluster: node connection closed")
+
+// ErrNodeRefused marks an error *reply*: the node received the request,
+// processed it, and definitively failed it. Its absence on a failed RPC
+// means a transport error — the request may or may not have been applied
+// remotely, which matters to the router's drain fallback.
+var ErrNodeRefused = errors.New("request refused")
+
+// NodeClient is one end of a node connection: synchronous request/reply
+// RPCs multiplexed with unsolicited alert pushes. RPCs may be issued from
+// multiple goroutines; replies are matched by sequence number.
+type NodeClient struct {
+	conn net.Conn
+	w    *frameWriter
+	name string // remote node's self-reported name, from the hello reply
+
+	onAlert func(NodeAlert)
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan Frame
+	err     error // terminal receive error, set once
+	closed  bool
+}
+
+// DialNode connects to a cluster node, performs the hello handshake, and
+// (when onAlert is non-nil) subscribes this connection to alert pushes.
+// onAlert runs on the client's single receive goroutine, strictly in the
+// order the node pushed — per-device alert order is preserved — and
+// before any reply that the node wrote after those alerts is delivered to
+// its waiter. It must not block: a stalled callback stalls every pending
+// RPC on this connection.
+func DialNode(addr string, onAlert func(NodeAlert)) (*NodeClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial node %s: %w", addr, err)
+	}
+	c := &NodeClient{
+		conn: conn,
+		// The write deadline mirrors the node side's: a node that stops
+		// reading fails the RPC instead of blocking the caller on the
+		// kernel buffer. (The reply wait has no deadline — a slow but
+		// live node is allowed to take its time.)
+		w:       &frameWriter{bw: bufio.NewWriter(conn), conn: conn, timeout: 30 * time.Second},
+		onAlert: onAlert,
+		pending: make(map[uint64]chan Frame),
+	}
+	go c.receiveLoop()
+	reply, err := c.roundTrip(Frame{Type: FrameHello, Subscribe: onAlert != nil})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: hello to %s: %w", addr, err)
+	}
+	c.name = reply.Node
+	return c, nil
+}
+
+// Name returns the node's self-reported cluster name.
+func (c *NodeClient) Name() string { return c.name }
+
+// Close tears down the connection; in-flight RPCs fail with
+// ErrClientClosed.
+func (c *NodeClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Feed sends transactions (as log lines) for the node's monitor,
+// returning once the node has fed them all.
+func (c *NodeClient) Feed(txs []weblog.Transaction) error {
+	if len(txs) == 0 {
+		return nil
+	}
+	lines := make([]string, len(txs))
+	for i := range txs {
+		lines[i] = txs[i].MarshalLine()
+	}
+	_, err := c.roundTrip(Frame{Type: FrameFeed, Lines: lines})
+	return err
+}
+
+// Export drains the named devices from the node, returning their portable
+// state blob and the count actually exported. All alerts the drained
+// devices produced on the node have been delivered through onAlert by the
+// time Export returns.
+func (c *NodeClient) Export(devices []string) ([]byte, int, error) {
+	reply, err := c.roundTrip(Frame{Type: FrameExport, Devices: devices})
+	if err != nil {
+		return nil, 0, err
+	}
+	return reply.Blob, reply.Count, nil
+}
+
+// Import hands a state blob to the node, returning the number of devices
+// it adopted.
+func (c *NodeClient) Import(blob []byte) (int, error) {
+	reply, err := c.roundTrip(Frame{Type: FrameImport, Blob: blob})
+	if err != nil {
+		return 0, err
+	}
+	return reply.Count, nil
+}
+
+// Flush asks the node to complete pending windows and deliver every
+// outstanding alert; all resulting alerts have passed through onAlert
+// when it returns.
+func (c *NodeClient) Flush() error {
+	_, err := c.roundTrip(Frame{Type: FrameFlush})
+	return err
+}
+
+// Devices returns the node's tracked-device count.
+func (c *NodeClient) Devices() (int, error) {
+	reply, err := c.roundTrip(Frame{Type: FrameStats})
+	if err != nil {
+		return 0, err
+	}
+	return reply.Count, nil
+}
+
+// roundTrip issues one RPC and blocks for its reply (or a terminal
+// connection error). An error reply from the node surfaces as an error
+// carrying the node's message.
+func (c *NodeClient) roundTrip(req Frame) (Frame, error) {
+	ch := make(chan Frame, 1)
+	c.mu.Lock()
+	if c.err != nil || c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return Frame{}, err
+	}
+	c.seq++
+	req.Seq = c.seq
+	c.pending[req.Seq] = ch
+	c.mu.Unlock()
+
+	if err := c.w.write(req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.Seq)
+		c.mu.Unlock()
+		return Frame{}, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return Frame{}, err
+	}
+	if reply.Type == FrameError {
+		return Frame{}, fmt.Errorf("cluster: node %s %w: %s", c.name, ErrNodeRefused, reply.Error)
+	}
+	return reply, nil
+}
+
+// receiveLoop is the single reader: alerts are dispatched in-line (so
+// they are observed before any later reply), replies are routed to their
+// waiting RPC. A receive error fails every pending and future RPC.
+func (c *NodeClient) receiveLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			c.mu.Lock()
+			if c.err == nil {
+				if err == io.EOF || c.closed {
+					c.err = ErrClientClosed
+				} else {
+					c.err = err
+				}
+			}
+			for seq, ch := range c.pending {
+				close(ch)
+				delete(c.pending, seq)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if f.Type == FrameAlert {
+			if c.onAlert != nil && f.Alert != nil {
+				c.onAlert(*f.Alert)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.Seq]
+		if ok {
+			delete(c.pending, f.Seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+		// Replies nobody waits for (caller gave up after a write error)
+		// are dropped.
+	}
+}

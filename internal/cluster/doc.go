@@ -1,0 +1,54 @@
+// Package cluster scales the continuous-identification monitor past one
+// process: a front-end Router places every device on a member Node by
+// rendezvous (highest-random-weight) hashing over a versioned membership
+// view, forwards transactions to the owning node's core.Monitor, and
+// rebalances on membership changes by draining exactly the devices whose
+// placement changed — the multi-node deployment of the paper's
+// centralized continuous-authentication service (Sect. I), where many
+// proxy vantage points feed one logical identification engine.
+//
+// # Topology
+//
+// Nodes are passive shards: each runs a sharded core.Monitor over the
+// same trained profile set and speaks the length-prefixed JSON frame
+// protocol (see wire.go) — feed, export, import, flush — plus an
+// unsolicited alert push stream. All placement intelligence lives in the
+// Router; nodes never talk to each other, and a shard handoff is always
+// router-mediated: ExportDevices on the old owner, ImportShard on the
+// new, transactions buffered in between.
+//
+// # Correctness
+//
+// The contract, inherited from the single-process engine and asserted by
+// the clustertest equivalence suites, is that the cluster is
+// indistinguishable from one never-resharded Monitor: for every device,
+// the sequence of alerts (kind, user, previous user, window) is
+// byte-identical, regardless of how many nodes there are and how often
+// membership changes mid-stream. Three mechanisms carry that proof
+// through a drain:
+//
+//   - State moves whole. A drained device's core.DeviceState blob carries
+//     its window buffer, consecutive-accept streaks, confirmed identity
+//     and last-seen stamp; the importer resumes mid-streak.
+//   - No transaction is lost or reordered. The router buffers a draining
+//     device's transactions and replays them to the new owner after the
+//     import, in arrival order, before reopening the route.
+//   - No alert is reordered. A node syncs its alert deliveries before
+//     answering an export, and the client delivers pushed alerts in-line
+//     before any later RPC reply, so the old owner's alerts for a device
+//     are observed before the new owner's first.
+//
+// Failure handling favors state over placement: if an import is refused
+// or the importer dies, the blob is re-imported into the old owner and
+// the devices stay routed there — the rendezvous hash says where devices
+// should live, but the routing table says where they do.
+//
+// One known at-most-once gap remains: if the importer applied the blob
+// but its ok reply was lost (connection death in the reply window), the
+// router cannot distinguish that from a never-applied import and falls
+// back to the old owner, leaving the importer with a stale copy. The
+// drain error says so explicitly (it distinguishes a definite
+// ErrNodeRefused from transport loss) and the remedy is to clear that
+// node before it rejoins; an acknowledged two-phase handoff is a future
+// step (see ROADMAP).
+package cluster

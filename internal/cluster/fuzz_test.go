@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webtxprofile/internal/core"
+)
+
+// corpusSeeds are the checked-in seeds for FuzzReadFrame: one well-formed
+// frame of each type plus the malformed shapes the decoder must reject
+// cleanly. Kept in code so the testdata corpus is reproducible (see
+// TestRegenerateFuzzCorpus).
+func corpusSeeds(t testing.TB) [][]byte {
+	valid := []Frame{
+		{Type: FrameHello, Seq: 1, Node: "router-1", Subscribe: true},
+		{Type: FrameFeed, Seq: 2, Lines: []string{"2015-01-05 09:00:00.000, svc.example.com, http, GET, user_1, 10.0.0.1, Games, text/html, app, minimal-risk, public"}},
+		{Type: FrameExport, Seq: 3, Devices: []string{"10.0.0.1", "10.0.0.2"}},
+		{Type: FrameImport, Seq: 4, Blob: []byte{0x1f, 0x8b, 0x08, 0x00, 0x00}},
+		{Type: FrameFlush, Seq: 5},
+		{Type: FrameStats, Seq: 6},
+		{Type: FrameOK, Seq: 7, Count: 3, Blob: []byte("blob")},
+		{Type: FrameError, Seq: 8, Error: "refused"},
+		{Type: FrameAlert, Alert: &NodeAlert{Node: "n1", Alert: core.Alert{
+			Device: "10.0.0.1", Kind: core.AlertLost, User: "user_2", Previous: "user_2",
+		}}},
+	}
+	var seeds [][]byte
+	for _, f := range valid {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	seeds = append(seeds,
+		[]byte{},                                      // empty input
+		[]byte{0, 0},                                  // truncated header
+		[]byte{0, 0, 0, 0},                            // zero length
+		[]byte{0xff, 0xff, 0xff, 0xff},                // absurd length
+		[]byte{0, 0, 0, 4, 'n', 'o'},                  // truncated payload
+		[]byte("\x00\x00\x00\x04nope"),                // invalid JSON
+		[]byte("\x00\x00\x00\x0f{\"type\":\"warp\"}"), // unknown type
+	)
+	return seeds
+}
+
+// FuzzReadFrame: arbitrary bytes must decode to a frame or an error —
+// never a panic, never unbounded allocation — and anything that decodes
+// must survive a re-encode/re-decode round trip.
+func FuzzReadFrame(f *testing.F) {
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("decoded frame %+v does not re-encode: %v", fr, err)
+		}
+		back, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if back.Type != fr.Type || back.Seq != fr.Seq {
+			t.Fatalf("round trip drifted: %+v -> %+v", fr, back)
+		}
+		if _, err := ReadFrame(bytes.NewReader(data)); err != nil {
+			t.Fatal("decoding is not deterministic")
+		}
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites testdata/fuzz/FuzzReadFrame from
+// corpusSeeds when WTP_REGEN_CORPUS=1, so the checked-in corpus never
+// drifts from the protocol. Normally it only verifies the files exist.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadFrame")
+	if os.Getenv("WTP_REGEN_CORPUS") == "1" {
+		writeCorpus(t, dir, corpusSeeds(t))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fuzz corpus missing (run with WTP_REGEN_CORPUS=1 to create): %v", err)
+	}
+	if len(entries) < len(corpusSeeds(t)) {
+		t.Errorf("corpus has %d entries, want >= %d", len(entries), len(corpusSeeds(t)))
+	}
+}
+
+// writeCorpus emits seeds in the go-fuzz corpus file format.
+func writeCorpus(t testing.TB, dir string, seeds [][]byte) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "seed-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range old {
+		os.Remove(f)
+	}
+	for i, seed := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"webtxprofile/internal/core"
+	"webtxprofile/internal/weblog"
+)
+
+// NodeConfig configures one cluster member.
+type NodeConfig struct {
+	// Name identifies the node in the membership view and in alert tags.
+	// Required, and must be unique across the cluster (rendezvous
+	// placement hashes it).
+	Name string
+	// K is the consecutive-window identification threshold of the node's
+	// monitor (default 1, as in core).
+	K int
+	// Monitor tunes the node's monitor (sharding, eviction, spill).
+	Monitor core.MonitorConfig
+	// OnAlert, when non-nil, is invoked for every alert in addition to
+	// the wire push — a local tap for logging daemons. Called from the
+	// monitor's delivery goroutine; must not block for long.
+	OnAlert func(core.Alert)
+	// WriteTimeout bounds every frame write to a connection (default
+	// 30s). It is what keeps a stalled peer from wedging the node: a
+	// full TCP buffer blocks, it does not error, so without a deadline
+	// one subscriber that stops reading would stall the alert delivery
+	// goroutine — and with it every feeder — forever. On timeout the
+	// write errors, the connection is dropped, and (for subscribers) the
+	// alert stream moves on.
+	WriteTimeout time.Duration
+	// ErrorLog receives connection-level diagnostics; nil discards them.
+	ErrorLog *log.Logger
+}
+
+// Node is one cluster member: a TCP server exposing its core.Monitor's
+// Feed/FeedBatch, ExportDevices/ImportShard and Flush over the
+// length-prefixed frame protocol, and pushing every alert to subscribed
+// connections tagged with the node's name. A node is passive — it holds
+// no membership view and trusts its router(s) to route transactions and
+// drains correctly; the placement/drain guarantees live in Router.
+type Node struct {
+	name         string
+	ln           net.Listener
+	mon          *core.Monitor
+	tap          func(core.Alert)
+	writeTimeout time.Duration
+	elog         *log.Logger
+
+	mu      sync.Mutex
+	conns   map[net.Conn]*frameWriter
+	subs    map[net.Conn]*frameWriter
+	stopped bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// ListenNode starts a cluster node on addr over a trained profile set.
+// The node owns its monitor; use Monitor for lifecycle operations the
+// protocol does not cover (Checkpoint, local stats).
+func ListenNode(addr string, set *core.ProfileSet, cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("cluster: node needs a name")
+	}
+	n := &Node{
+		name:         cfg.Name,
+		tap:          cfg.OnAlert,
+		writeTimeout: cfg.WriteTimeout,
+		elog:         cfg.ErrorLog,
+		conns:        make(map[net.Conn]*frameWriter),
+		subs:         make(map[net.Conn]*frameWriter),
+	}
+	if n.writeTimeout <= 0 {
+		n.writeTimeout = 30 * time.Second
+	}
+	if n.elog == nil {
+		n.elog = log.New(io.Discard, "", 0)
+	}
+	mon, err := core.NewMonitorWithConfig(set, cfg.K, n.fanout, cfg.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	n.mon = mon
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		mon.Close()
+		return nil, fmt.Errorf("cluster: node %s: listen %s: %w", cfg.Name, addr, err)
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Name returns the node's cluster name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the bound address (useful with ":0").
+func (n *Node) Addr() net.Addr { return n.ln.Addr() }
+
+// Monitor exposes the node's monitor for lifecycle operations outside the
+// wire protocol (Checkpoint on shutdown, Devices for stats).
+func (n *Node) Monitor() *core.Monitor { return n.mon }
+
+// Stop stops accepting, closes every connection and waits for the
+// connection goroutines — but leaves the monitor alive, so the owner can
+// still Flush (lossy end-of-stream alerts) or Checkpoint (durable
+// shutdown) it afterwards. Idempotent.
+func (n *Node) Stop() error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil
+	}
+	n.stopped = true
+	err := n.ln.Close()
+	for c := range n.conns {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+// Close is Stop plus closing the monitor (remaining alerts are delivered
+// first). It does not flush pending windows — a node being drained has
+// already exported its devices, and a crashing node should not emit
+// synthetic end-of-stream alerts; call Stop then Monitor().Flush() first
+// for lossy end-of-stream semantics. Idempotent.
+func (n *Node) Close() error {
+	err := n.Stop()
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return err
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.mon.Close()
+	return err
+}
+
+// fanout is the monitor's alert callback: push to every subscribed
+// connection (tagged with this node's name), and the local tap if any.
+// Runs on the monitor's single delivery goroutine, so pushes preserve
+// per-device alert order on each connection. A connection whose write
+// fails is dropped — a subscriber that stopped reading must not stall
+// identification for everyone else.
+func (n *Node) fanout(a core.Alert) {
+	if n.tap != nil {
+		n.tap(a)
+	}
+	f := Frame{Type: FrameAlert, Alert: &NodeAlert{Node: n.name, Alert: a}}
+	n.mu.Lock()
+	writers := make([]*frameWriter, 0, len(n.subs))
+	conns := make([]net.Conn, 0, len(n.subs))
+	for c, w := range n.subs {
+		writers = append(writers, w)
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for i, w := range writers {
+		if err := w.write(f); err != nil {
+			n.elog.Printf("cluster node %s: dropping alert subscriber %s: %v", n.name, conns[i].RemoteAddr(), err)
+			n.mu.Lock()
+			delete(n.subs, conns[i])
+			n.mu.Unlock()
+			conns[i].Close()
+		}
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w := &frameWriter{bw: bufio.NewWriter(conn), conn: conn, timeout: n.writeTimeout}
+		n.mu.Lock()
+		if n.stopped {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = w
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(conn, w)
+	}
+}
+
+// serveConn handles one connection's request frames sequentially. Replies
+// and alert pushes share the connection's frame writer, so they interleave
+// as whole frames.
+func (n *Node) serveConn(conn net.Conn, w *frameWriter) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		delete(n.subs, conn)
+		n.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			if err != io.EOF {
+				n.elog.Printf("cluster node %s: %s: %v", n.name, conn.RemoteAddr(), err)
+			}
+			return
+		}
+		reply, undo := n.handle(conn, f)
+		if err := w.write(reply); err != nil {
+			n.elog.Printf("cluster node %s: %s: write: %v", n.name, conn.RemoteAddr(), err)
+			if undo != nil {
+				undo()
+			}
+			return
+		}
+	}
+}
+
+// handle dispatches one request frame to the monitor and builds the
+// reply. A non-nil undo must be run if the reply cannot be delivered: it
+// rolls the monitor back so state handed to a vanished peer is not lost
+// (today only exports need this — the exported devices were already
+// removed from the monitor, and an undeliverable blob would otherwise
+// evaporate with the connection).
+func (n *Node) handle(conn net.Conn, f Frame) (reply Frame, undo func()) {
+	switch f.Type {
+	case FrameHello:
+		if f.Subscribe {
+			n.mu.Lock()
+			n.subs[conn] = n.conns[conn]
+			n.mu.Unlock()
+		}
+		return Frame{Type: FrameOK, Seq: f.Seq, Node: n.name}, nil
+	case FrameFeed:
+		txs := make([]weblog.Transaction, len(f.Lines))
+		for i, line := range f.Lines {
+			tx, err := weblog.ParseLine(line)
+			if err != nil {
+				// Reject the whole frame before feeding anything: a feed
+				// frame is an RPC from the router, not a raw proxy log —
+				// a bad line means a protocol bug, not dirty input.
+				return errorFrame(f.Seq, fmt.Errorf("line %d: %w", i, err)), nil
+			}
+			txs[i] = tx
+		}
+		if err := n.mon.FeedBatch(txs); err != nil {
+			return errorFrame(f.Seq, err), nil
+		}
+		return Frame{Type: FrameOK, Seq: f.Seq, Count: len(txs)}, nil
+	case FrameExport:
+		blob, count, err := n.mon.ExportDevices(f.Devices)
+		if err != nil {
+			// Partial export failure: put the exported states straight
+			// back so the node keeps serving them — the router will keep
+			// the devices placed here.
+			if blob != nil {
+				if _, ierr := n.mon.ImportShard(blob); ierr != nil {
+					err = errors.Join(err, fmt.Errorf("restoring after failed export: %w", ierr))
+				}
+			}
+			return errorFrame(f.Seq, err), nil
+		}
+		// Ordering barrier: every alert of the exported devices must be
+		// on the wire before the reply, so the importer's alerts are
+		// strictly later at the router.
+		n.mon.Sync()
+		// If the reply cannot be written (peer gone, or the blob blows
+		// the frame limit), re-adopt the devices: the router will treat
+		// the export as failed and keep them placed here.
+		undo := func() {
+			if _, err := n.mon.ImportShard(blob); err != nil {
+				n.elog.Printf("cluster node %s: restoring %d devices after undeliverable export: %v", n.name, count, err)
+			}
+		}
+		return Frame{Type: FrameOK, Seq: f.Seq, Blob: blob, Count: count}, undo
+	case FrameImport:
+		count, err := n.mon.ImportShard(f.Blob)
+		if err != nil {
+			return errorFrame(f.Seq, err), nil
+		}
+		return Frame{Type: FrameOK, Seq: f.Seq, Count: count}, nil
+	case FrameFlush:
+		n.mon.Flush()
+		return Frame{Type: FrameOK, Seq: f.Seq}, nil
+	case FrameStats:
+		return Frame{Type: FrameOK, Seq: f.Seq, Count: n.mon.Devices()}, nil
+	default:
+		return errorFrame(f.Seq, fmt.Errorf("frame type %q is not a request", f.Type)), nil
+	}
+}
+
+// frameWriter serializes whole-frame writes onto one connection, shared
+// by the reply path and the alert fanout. Every write runs under a
+// deadline (when conn and timeout are set): a peer that stops reading
+// makes the write error out instead of blocking on the kernel buffer.
+type frameWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (w *frameWriter) write(f Frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn != nil && w.timeout > 0 {
+		w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+		defer w.conn.SetWriteDeadline(time.Time{})
+	}
+	if err := WriteFrame(w.bw, f); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}

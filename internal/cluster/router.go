@@ -1,0 +1,611 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"webtxprofile/internal/weblog"
+)
+
+// Member is one node of the cluster as the router sees it.
+type Member struct {
+	// Name is the node's cluster name — the rendezvous-hash identity.
+	// Renaming a node reshuffles its devices; readdressing it does not.
+	Name string
+	// Addr is the node's TCP address.
+	Addr string
+}
+
+// Membership is the router's versioned view of the cluster. Version
+// increments on every effective AddNode/RemoveNode; duplicate events
+// (adding a present member, removing an absent one) change nothing and
+// keep the version, which is what makes membership delivery idempotent.
+type Membership struct {
+	Version int
+	Members []Member // sorted by name
+}
+
+// RouterConfig tunes the router. The zero value selects the defaults.
+type RouterConfig struct {
+	// DrainBatch caps the transactions replayed per RPC when a drained
+	// device's buffered backlog is flushed to its new owner (default 256).
+	DrainBatch int
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.DrainBatch <= 0 {
+		c.DrainBatch = 256
+	}
+	return c
+}
+
+// Router is the cluster front end: it places every device on a member
+// node by rendezvous (highest-random-weight) hashing over the current
+// membership view, forwards transactions to the owning node's monitor,
+// and rebalances on membership changes by draining only the devices whose
+// placement changed.
+//
+// Placement guarantees:
+//
+//   - A device's owner is the member with the highest rendezvous score
+//     for it, so placement is stable: AddNode moves only devices whose
+//     top score shifts to the new node (an expected 1/n of them), and
+//     RemoveNode moves only the removed node's devices. No other device
+//     is touched by a membership change.
+//   - The routing table is authoritative over the hash: if a drain fails
+//     (the importer refused or died), the affected devices stay routed to
+//     their old owner — placement degrades, state does not.
+//
+// Drain guarantees:
+//
+//   - A drained device's identification state travels whole: window
+//     buffer, consecutive-accept streaks, confirmed identity and
+//     last-seen stamp (the core.DeviceState blob).
+//   - Transactions arriving for a device mid-drain are buffered and
+//     replayed to the new owner after the import, in arrival order, so no
+//     window or streak is lost or reordered. Devices not being drained
+//     keep feeding live throughout.
+//   - The old owner's alerts for a drained device are all delivered
+//     before the new owner's (the export reply is ordered after the
+//     alerts on the node connection), so per-device alert order is
+//     preserved across the handoff — the cluster-equivalence property the
+//     clustertest suites assert.
+//
+// Feed, FeedBatch and membership changes may be called concurrently;
+// transactions for one device must come from one goroutine at a time (the
+// monitor's own contract). Rebalances are serialized internally.
+type Router struct {
+	alerts func(NodeAlert)
+	cfg    RouterConfig
+
+	// balMu serializes AddNode/RemoveNode so at most one rebalance is in
+	// flight: drains assume no route is already draining when they mark
+	// theirs.
+	balMu sync.Mutex
+
+	// mu guards the fields below. Lock order: a node handle's mu, when
+	// held together with mu, is always acquired first — nothing waits for
+	// a handle while holding mu.
+	mu      sync.Mutex
+	version int
+	nodes   map[string]*nodeHandle
+	routes  map[string]*route
+	closed  bool
+}
+
+// nodeHandle is the router's connection to one member. Its mu serializes
+// every RPC to the node, which is what makes a drain safe: once the
+// drainer holds it, no previously-routed transaction is still in flight
+// to that node.
+type nodeHandle struct {
+	member  Member
+	mu      sync.Mutex
+	client  *NodeClient
+	leaving bool
+}
+
+// route is the authoritative placement of one device. While draining,
+// arriving transactions accumulate in buf and are replayed by the drainer.
+type route struct {
+	node     string
+	draining bool
+	buf      []weblog.Transaction
+}
+
+// NewRouter creates a router with no members. alerts receives every
+// identity transition from every node, tagged with its origin; it runs on
+// the per-node receive goroutines and must be safe for concurrent use and
+// non-blocking. Add at least one node before feeding.
+func NewRouter(alerts func(NodeAlert), cfg RouterConfig) *Router {
+	if alerts == nil {
+		alerts = func(NodeAlert) {}
+	}
+	return &Router{
+		alerts: alerts,
+		cfg:    cfg.withDefaults(),
+		nodes:  make(map[string]*nodeHandle),
+		routes: make(map[string]*route),
+	}
+}
+
+// View returns the current versioned membership.
+func (r *Router) View() Membership {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := Membership{Version: r.version}
+	for _, h := range r.nodes {
+		if !h.leaving {
+			m.Members = append(m.Members, h.member)
+		}
+	}
+	sort.Slice(m.Members, func(i, j int) bool { return m.Members[i].Name < m.Members[j].Name })
+	return m
+}
+
+// Owner reports which node a device is currently routed to (ok=false for
+// a device the router has never seen).
+func (r *Router) Owner(device string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt, ok := r.routes[device]
+	if !ok {
+		return "", false
+	}
+	return rt.node, true
+}
+
+// Devices returns the number of devices the router has placed.
+func (r *Router) Devices() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.routes)
+}
+
+// Close disconnects from every node. Nodes keep running — closing the
+// front end must not destroy the cluster's identification state.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	handles := make([]*nodeHandle, 0, len(r.nodes))
+	for _, h := range r.nodes {
+		handles = append(handles, h)
+	}
+	r.mu.Unlock()
+	var errs []error
+	for _, h := range handles {
+		if err := h.client.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Flush asks every node to complete pending windows and deliver all
+// outstanding alerts (end-of-stream semantics); every resulting alert has
+// been handed to the router's callback when Flush returns. Call it once
+// feeding has stopped.
+func (r *Router) Flush() error {
+	r.mu.Lock()
+	handles := make([]*nodeHandle, 0, len(r.nodes))
+	for _, h := range r.nodes {
+		handles = append(handles, h)
+	}
+	r.mu.Unlock()
+	var errs []error
+	for _, h := range handles {
+		h.mu.Lock()
+		err := h.client.Flush()
+		h.mu.Unlock()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("cluster: flushing node %s: %w", h.member.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// hrwScore is the rendezvous weight of placing device on node: FNV-1a
+// over device then node (NUL-separated) pushed through a splitmix64
+// finalizer. The finalizer matters: raw FNV-1a diffuses so weakly that
+// the *comparison* of two scores is correlated across keys sharing a
+// suffix — with similar node names, whole device ranges land on one node.
+// Deterministic across processes so an operator can predict placement.
+func hrwScore(node, device string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(device))
+	h.Write([]byte{0})
+	h.Write([]byte(node))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ownerLocked picks the highest-scoring non-leaving member for a device
+// ("" when there are none). Ties break to the lexicographically smaller
+// name so placement is total and deterministic.
+func (r *Router) ownerLocked(device string) string {
+	best, bestScore := "", uint64(0)
+	for name, h := range r.nodes {
+		if h.leaving {
+			continue
+		}
+		s := hrwScore(name, device)
+		if best == "" || s > bestScore || (s == bestScore && name < best) {
+			best, bestScore = name, s
+		}
+	}
+	return best
+}
+
+// routeLocked returns the device's route, placing it by rendezvous hash
+// on first sight. Returns nil when the cluster has no usable members.
+func (r *Router) routeLocked(device string) *route {
+	if rt, ok := r.routes[device]; ok {
+		if rt.draining || r.nodes[rt.node] != nil {
+			return rt
+		}
+		// The recorded owner is gone (a failed drain settled onto a node
+		// that then disappeared): re-place the device fresh.
+		delete(r.routes, device)
+	}
+	owner := r.ownerLocked(device)
+	if owner == "" {
+		return nil
+	}
+	rt := &route{node: owner}
+	r.routes[device] = rt
+	return rt
+}
+
+// errNoMembers reports feeding an empty cluster.
+var errNoMembers = errors.New("cluster: router has no member nodes")
+
+// Feed routes one transaction to its device's owner. A transaction for a
+// device mid-drain is buffered and replayed after the handoff; Feed
+// returns immediately for it (its feed error, if any, surfaces from the
+// membership call driving the drain). Feed is FeedBatch for one
+// transaction — the routing, buffering and recheck rules are identical
+// by construction.
+func (r *Router) Feed(tx weblog.Transaction) error {
+	return r.FeedBatch([]weblog.Transaction{tx})
+}
+
+// FeedBatch routes a batch, partitioning it per owning node and feeding
+// each node its sub-batch in one RPC. Per-device transaction order is
+// preserved (a device's transactions share one partition and are sent in
+// slice order); transactions for devices mid-drain are buffered exactly
+// like Feed's.
+func (r *Router) FeedBatch(txs []weblog.Transaction) error {
+	var errs []error
+	pending := txs
+	for rounds := 0; len(pending) > 0; rounds++ {
+		if rounds > len(txs)+2 {
+			// Each round either feeds, buffers, or re-routes after an
+			// observed topology change; this bound is unreachable without
+			// a livelock bug.
+			errs = append(errs, fmt.Errorf("cluster: batch routing did not settle after %d rounds", rounds))
+			break
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			errs = append(errs, ErrClientClosed)
+			break
+		}
+		groups := make(map[string][]weblog.Transaction)
+		for _, tx := range pending {
+			rt := r.routeLocked(tx.SourceIP)
+			if rt == nil {
+				r.mu.Unlock()
+				return errors.Join(append(errs, errNoMembers)...)
+			}
+			if rt.draining {
+				rt.buf = append(rt.buf, tx)
+				continue
+			}
+			groups[rt.node] = append(groups[rt.node], tx)
+		}
+		r.mu.Unlock()
+		pending = nil
+		// Deterministic node order keeps joined errors stable.
+		names := make([]string, 0, len(groups))
+		for name := range groups {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			group := groups[name]
+			r.mu.Lock()
+			h := r.nodes[name]
+			r.mu.Unlock()
+			if h == nil {
+				pending = append(pending, group...) // node left; re-route
+				continue
+			}
+			h.mu.Lock()
+			r.mu.Lock()
+			send := group[:0]
+			for _, tx := range group {
+				rt := r.routes[tx.SourceIP]
+				switch {
+				case rt == nil || rt.node != name:
+					pending = append(pending, tx) // moved; re-route
+				case rt.draining:
+					rt.buf = append(rt.buf, tx)
+				default:
+					send = append(send, tx)
+				}
+			}
+			r.mu.Unlock()
+			if len(send) > 0 {
+				if err := h.client.Feed(send); err != nil {
+					errs = append(errs, fmt.Errorf("cluster: feeding node %s: %w", name, err))
+				}
+			}
+			h.mu.Unlock()
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// AddNode joins a member and rebalances: exactly the devices whose
+// rendezvous placement moves to the new node are drained from their
+// current owners (state exported, transactions buffered and replayed) and
+// imported there. Adding an already-present member with the same address
+// is an idempotent no-op; the same name at a different address is an
+// error (drop the old member first). If the new node refuses or loses an
+// import, those devices stay on their old owner with nothing lost, and
+// AddNode reports the failure while the membership (already extended)
+// stands.
+func (r *Router) AddNode(m Member) error {
+	if m.Name == "" || m.Addr == "" {
+		return fmt.Errorf("cluster: member needs name and addr, got %+v", m)
+	}
+	r.balMu.Lock()
+	defer r.balMu.Unlock()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClientClosed
+	}
+	if h, ok := r.nodes[m.Name]; ok {
+		known := h.member
+		r.mu.Unlock()
+		if known.Addr == m.Addr {
+			return nil // duplicate membership event: idempotent
+		}
+		return fmt.Errorf("cluster: member %s already at %s (got %s)", m.Name, known.Addr, m.Addr)
+	}
+	r.mu.Unlock()
+
+	client, err := DialNode(m.Addr, r.tagged(m.Name))
+	if err != nil {
+		return err
+	}
+	h := &nodeHandle{member: m, client: client}
+
+	r.mu.Lock()
+	r.nodes[m.Name] = h
+	r.version++
+	// Devices whose top rendezvous score moved to the new node drain
+	// from their current owners. balMu guarantees none is mid-drain.
+	moves := make(map[string][]string)
+	for device, rt := range r.routes {
+		if rt.node != m.Name && r.ownerLocked(device) == m.Name {
+			rt.draining = true
+			moves[rt.node] = append(moves[rt.node], device)
+		}
+	}
+	r.mu.Unlock()
+
+	var errs []error
+	for _, src := range sortedKeys(moves) {
+		if _, err := r.drain(src, m.Name, moves[src], false); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RemoveNode drains every device off a member (each to its rendezvous
+// owner among the remaining members) and drops it from the view. Removing
+// an unknown member is an idempotent no-op; removing the last member is
+// an error. If a destination refuses an import, the affected devices are
+// restored onto the leaving node and the removal is aborted — the node
+// stays a member — so state is never stranded on a closed connection.
+func (r *Router) RemoveNode(name string) error {
+	r.balMu.Lock()
+	defer r.balMu.Unlock()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClientClosed
+	}
+	h, ok := r.nodes[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil // duplicate membership event: idempotent
+	}
+	live := 0
+	for _, other := range r.nodes {
+		if !other.leaving {
+			live++
+		}
+	}
+	if live <= 1 {
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: cannot remove %s: it is the last member", name)
+	}
+	h.leaving = true // new devices stop placing here
+	moves := make(map[string][]string)
+	for device, rt := range r.routes {
+		if rt.node != name {
+			continue
+		}
+		dst := r.ownerLocked(device)
+		rt.draining = true
+		moves[dst] = append(moves[dst], device)
+	}
+	r.mu.Unlock()
+
+	var errs []error
+	aborted := false
+	for _, dst := range sortedKeys(moves) {
+		fellBack, err := r.drain(name, dst, moves[dst], true)
+		if err != nil {
+			errs = append(errs, err)
+		}
+		if fellBack {
+			aborted = true
+		}
+	}
+	if aborted {
+		// Some devices are back on the leaving node: keep it a member.
+		r.mu.Lock()
+		h.leaving = false
+		r.mu.Unlock()
+		return errors.Join(append(errs, fmt.Errorf("cluster: removal of %s aborted, node remains a member", name))...)
+	}
+	r.mu.Lock()
+	delete(r.nodes, name)
+	r.version++
+	r.mu.Unlock()
+	if err := h.client.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// drain moves the named devices (already marked draining by the caller)
+// from src to dst: export, import, then replay of the transactions
+// buffered meanwhile. On import failure the state blob is put back on src
+// and the devices settle there (fellBack=true). On export failure with
+// leavingSrc the devices settle on dst fresh — their state is lost with
+// the failing source, which is exactly the node being removed — otherwise
+// they settle back on src.
+func (r *Router) drain(src, dst string, devices []string, leavingSrc bool) (fellBack bool, err error) {
+	sort.Strings(devices)
+	r.mu.Lock()
+	hs, hd := r.nodes[src], r.nodes[dst]
+	r.mu.Unlock()
+
+	hs.mu.Lock()
+	blob, exported, exportErr := hs.client.Export(devices)
+	hs.mu.Unlock()
+	if exportErr != nil {
+		if leavingSrc {
+			// The leaving node could not hand its state over; the devices
+			// restart fresh on their new owner rather than pointing at a
+			// node that is going away.
+			serr := r.settle(devices, dst)
+			return false, errors.Join(fmt.Errorf("cluster: exporting %d devices from leaving %s (state lost): %w", len(devices), src, exportErr), serr)
+		}
+		serr := r.settle(devices, src)
+		return true, errors.Join(fmt.Errorf("cluster: exporting %d devices from %s: %w", len(devices), src, exportErr), serr)
+	}
+
+	hd.mu.Lock()
+	_, importErr := hd.client.Import(blob)
+	hd.mu.Unlock()
+	if importErr != nil {
+		// The importer refused or died mid-import. The blob is still in
+		// hand: put the devices back on their old owner so nothing is
+		// lost. Re-import into src cannot collide — src stopped tracking
+		// these devices when it exported them.
+		hs.mu.Lock()
+		_, restoreErr := hs.client.Import(blob)
+		hs.mu.Unlock()
+		serr := r.settle(devices, src)
+		err := fmt.Errorf("cluster: importing %d devices into %s, kept on %s: %w", exported, dst, src, importErr)
+		if !errors.Is(importErr, ErrNodeRefused) {
+			// A transport failure, not a refusal: the import may have
+			// been applied before the reply was lost, in which case dst
+			// now holds a copy that will diverge. Surface it — the
+			// operator must clear dst (restart, or drop and re-add the
+			// member) before it can own these devices again.
+			err = fmt.Errorf("%w; importer unreachable mid-import, %s may hold a stale copy — clear it before it rejoins", err, dst)
+		}
+		return true, errors.Join(err, restoreErr, serr)
+	}
+	return false, r.settle(devices, dst)
+}
+
+// settle replays the drained devices' buffered transactions to owner
+// until the buffers run dry, then reopens the routes there. The loop
+// chases feeds that keep arriving mid-replay; each pass replays what
+// accumulated during the previous one, and the routes reopen atomically
+// with observing all buffers empty.
+func (r *Router) settle(devices []string, owner string) error {
+	var errs []error
+	for {
+		r.mu.Lock()
+		h := r.nodes[owner]
+		var pend []weblog.Transaction
+		for _, d := range devices {
+			if rt := r.routes[d]; rt != nil && len(rt.buf) > 0 {
+				pend = append(pend, rt.buf...)
+				rt.buf = nil
+			}
+		}
+		if len(pend) == 0 || h == nil {
+			for _, d := range devices {
+				if rt := r.routes[d]; rt != nil {
+					rt.node = owner
+					rt.draining = false
+				}
+			}
+			r.mu.Unlock()
+			if h == nil {
+				errs = append(errs, fmt.Errorf("cluster: settling %d devices on unknown node %s", len(devices), owner))
+			}
+			return errors.Join(errs...)
+		}
+		r.mu.Unlock()
+		for len(pend) > 0 {
+			n := min(r.cfg.DrainBatch, len(pend))
+			h.mu.Lock()
+			err := h.client.Feed(pend[:n])
+			h.mu.Unlock()
+			if err != nil {
+				// Surface the error but keep settling: the routes must
+				// reopen or the devices buffer forever.
+				errs = append(errs, fmt.Errorf("cluster: replaying %d buffered transactions to %s: %w", n, owner, err))
+			}
+			pend = pend[n:]
+		}
+	}
+}
+
+// tagged builds the per-node alert relay feeding the router's fan-in
+// callback.
+func (r *Router) tagged(node string) func(NodeAlert) {
+	return func(a NodeAlert) {
+		// Trust the tag the node wrote; fall back to the member name for
+		// older nodes that leave it empty.
+		if a.Node == "" {
+			a.Node = node
+		}
+		r.alerts(a)
+	}
+}
+
+func sortedKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"webtxprofile/internal/core"
+)
+
+// The cluster wire protocol is length-prefixed JSON: each frame is a
+// 4-byte big-endian payload length followed by one JSON-encoded Frame.
+// Transactions travel inside feed frames as the newline-less log-line
+// format of package weblog (the same lines the collector's proxies
+// stream), and shard handoffs travel as the opaque versioned blobs
+// core.Monitor's ExportDevices/ImportShard produce, so the node protocol
+// reuses both existing serializations rather than inventing new ones.
+//
+// One TCP connection carries both directions: the client writes request
+// frames with a non-zero Seq and the node answers each with an "ok" or
+// "error" frame echoing that Seq; subscribed connections additionally
+// receive unsolicited "alert" frames (Seq 0) interleaved between replies.
+// Frames on a connection are written atomically (under a write lock), so
+// a reader always sees whole frames in write order.
+
+// MaxFrameBytes caps one frame's JSON payload. Shard-export blobs are the
+// largest frames; 64 MiB is ~100k devices at typical state sizes. The
+// reader rejects larger headers before allocating, so a corrupt or
+// hostile length prefix cannot balloon memory.
+const MaxFrameBytes = 64 << 20
+
+// Frame types.
+const (
+	// FrameHello opens a session: the client names itself and may
+	// subscribe to alert pushes. The node replies ok with its own name.
+	FrameHello = "hello"
+	// FrameFeed carries transactions as weblog log lines; the node feeds
+	// them to its monitor and replies ok with the count fed.
+	FrameFeed = "feed"
+	// FrameExport names devices to drain; the node exports them from its
+	// monitor and replies ok with the state blob and count.
+	FrameExport = "export"
+	// FrameImport carries a state blob to adopt; the node imports it and
+	// replies ok with the count of devices adopted.
+	FrameImport = "import"
+	// FrameFlush asks the node to complete pending windows and deliver
+	// every outstanding alert before replying ok.
+	FrameFlush = "flush"
+	// FrameStats asks for the node's tracked-device count.
+	FrameStats = "stats"
+	// FrameOK is the success reply; payload fields depend on the request.
+	FrameOK = "ok"
+	// FrameError is the failure reply; Error carries the message.
+	FrameError = "error"
+	// FrameAlert is an unsolicited identity-transition push (Seq 0) sent
+	// to subscribed connections, tagged with the origin node.
+	FrameAlert = "alert"
+)
+
+// Frame is the unit of the cluster wire protocol. Exactly the fields
+// relevant to a frame's Type are populated; the rest stay at their zero
+// values and are omitted from the JSON.
+type Frame struct {
+	Type string `json:"type"`
+	// Seq correlates a reply with its request; alert pushes use 0.
+	Seq uint64 `json:"seq,omitempty"`
+	// Node names the sender in hello frames and hello replies.
+	Node string `json:"node,omitempty"`
+	// Subscribe asks (in a hello) for alert pushes on this connection.
+	Subscribe bool `json:"subscribe,omitempty"`
+	// Lines are weblog log lines (feed).
+	Lines []string `json:"lines,omitempty"`
+	// Devices names the devices to drain (export).
+	Devices []string `json:"devices,omitempty"`
+	// Blob is a shard-state blob (import request, export reply).
+	Blob []byte `json:"blob,omitempty"`
+	// Count reports how many transactions were fed or devices were
+	// exported/imported/tracked (ok replies).
+	Count int `json:"count,omitempty"`
+	// Error is the failure message (error replies).
+	Error string `json:"error,omitempty"`
+	// Alert is the pushed identity transition (alert frames).
+	Alert *NodeAlert `json:"alert,omitempty"`
+}
+
+// NodeAlert is one identity transition observed somewhere in the cluster,
+// tagged with the node whose monitor raised it — the fan-in unit the
+// router delivers.
+type NodeAlert struct {
+	// Node names the member whose monitor emitted the alert. During a
+	// drain a device's alerts may switch origin (old owner first, new
+	// owner after the handoff); the per-device alert order is preserved
+	// across the switch.
+	Node  string     `json:"node"`
+	Alert core.Alert `json:"alert"`
+}
+
+// knownFrameTypes rejects frames whose type no handler understands at
+// decode time, so protocol drift surfaces as a clean error on the reader
+// rather than a silent no-op.
+var knownFrameTypes = map[string]bool{
+	FrameHello: true, FrameFeed: true, FrameExport: true, FrameImport: true,
+	FrameFlush: true, FrameStats: true, FrameOK: true, FrameError: true,
+	FrameAlert: true,
+}
+
+// WriteFrame encodes one frame onto w. Callers sharing a connection must
+// serialize WriteFrame calls (the protocol requires whole frames in write
+// order).
+func WriteFrame(w io.Writer, f Frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %s frame: %w", f.Type, err)
+	}
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("cluster: %s frame of %d bytes exceeds limit %d", f.Type, len(payload), MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("cluster: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame from r. Malformed input — truncated
+// headers or payloads, oversized lengths, invalid JSON, unknown frame
+// types — returns an error, never panics (FuzzReadFrame). A clean EOF
+// before any header byte returns io.EOF unwrapped so callers can detect
+// an orderly connection end.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("cluster: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Frame{}, fmt.Errorf("cluster: zero-length frame")
+	}
+	if n > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("cluster: reading %d-byte frame payload: %w", n, err)
+	}
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return Frame{}, fmt.Errorf("cluster: decoding frame: %w", err)
+	}
+	if !knownFrameTypes[f.Type] {
+		return Frame{}, fmt.Errorf("cluster: unknown frame type %q", f.Type)
+	}
+	return f, nil
+}
+
+// errorFrame builds the failure reply for a request.
+func errorFrame(seq uint64, err error) Frame {
+	return Frame{Type: FrameError, Seq: seq, Error: err.Error()}
+}

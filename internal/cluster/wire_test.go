@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"webtxprofile/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHello, Seq: 1, Node: "router-1", Subscribe: true},
+		{Type: FrameFeed, Seq: 2, Lines: []string{"a, b", "c, d"}},
+		{Type: FrameExport, Seq: 3, Devices: []string{"10.0.0.1", "10.0.0.2"}},
+		{Type: FrameImport, Seq: 4, Blob: []byte{0x1f, 0x8b, 0x00, 0xff}},
+		{Type: FrameFlush, Seq: 5},
+		{Type: FrameStats, Seq: 6},
+		{Type: FrameOK, Seq: 7, Count: 42, Blob: []byte("state")},
+		{Type: FrameError, Seq: 8, Error: "boom"},
+		{Type: FrameAlert, Alert: &NodeAlert{Node: "n1", Alert: core.Alert{
+			Device: "10.0.0.1", Kind: core.AlertIdentified, User: "user_3", Previous: "user_1",
+		}}},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("WriteFrame(%s): %v", f.Type, err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame(%s): %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip changed frame:\n got %+v\nwant %+v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsMalformed(t *testing.T) {
+	header := func(n uint32) []byte {
+		var h [4]byte
+		binary.BigEndian.PutUint32(h[:], n)
+		return h[:]
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"zero length", header(0), "zero-length"},
+		{"oversize length", header(MaxFrameBytes + 1), "exceeds limit"},
+		{"truncated header", []byte{0, 0}, "frame header"},
+		{"truncated payload", append(header(10), '{', '}'), "payload"},
+		{"invalid json", append(header(4), []byte("nope")...), "decoding frame"},
+		{"unknown type", append(header(15), []byte(`{"type":"warp"}`)...), "unknown frame type"},
+		{"empty type", append(header(2), []byte(`{}`)...), "unknown frame type"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrame(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("malformed frame accepted")
+			}
+			if err == io.EOF {
+				t.Fatal("malformed frame reported as clean EOF")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	f := Frame{Type: FrameImport, Blob: make([]byte, MaxFrameBytes)}
+	if err := WriteFrame(io.Discard, f); err == nil {
+		t.Error("oversize frame written")
+	}
+}

@@ -1,0 +1,175 @@
+package collector
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/weblog"
+)
+
+// Shared-ingest regression suite: one ListenCollectorBatch server fed by
+// many concurrent clients — the deployment shape of a vantage point with
+// several proxies. integration_test.go only ever drives a single
+// connection; these pin down the multi-client contract: batches fill
+// under concurrent load, per-client transaction order survives, and a
+// client disconnect flushes its partial batch instead of dropping it.
+
+// clientTx marks a transaction with its client and sequence number so
+// delivery can be audited per client: the client index rides in the
+// source address, the sequence in the timestamp.
+func clientTx(client, seq int) weblog.Transaction {
+	tx := sampleTx(seq)
+	tx.SourceIP = fmt.Sprintf("10.50.%d.1", client)
+	return tx
+}
+
+// runClients streams per-client transaction sequences concurrently, each
+// on its own connection, closing the connection right after its last
+// send (no explicit server-side flush can be forced by the client).
+func runClients(t *testing.T, addr string, clients, perClient int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < perClient; i++ {
+				if err := cl.Send(clientTx(c, i)); err != nil {
+					errs <- err
+					cl.Close()
+					return
+				}
+			}
+			errs <- cl.Close()
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// auditDelivery checks nothing was lost and per-client order holds.
+func auditDelivery(t *testing.T, g *batchGather, clients, perClient int) {
+	t.Helper()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	next := make([]int, clients)
+	for _, tx := range g.txs {
+		var c int
+		if _, err := fmt.Sscanf(tx.SourceIP, "10.50.%d.1", &c); err != nil || c < 0 || c >= clients {
+			t.Fatalf("unexpected source %s", tx.SourceIP)
+		}
+		want := sampleTx(next[c]).Timestamp
+		if !tx.Timestamp.Equal(want) {
+			t.Fatalf("client %d delivery out of order: got seq stamp %v, want %v", c, tx.Timestamp, want)
+		}
+		next[c]++
+	}
+	for c, n := range next {
+		if n != perClient {
+			t.Errorf("client %d: delivered %d transactions, want %d (loss on disconnect?)", c, n, perClient)
+		}
+	}
+}
+
+// TestSharedIngestBatchFill: with enough volume per connection, batches
+// must actually fill to MaxBatch (the shape Monitor.FeedBatch wants) —
+// not trickle out one timer flush at a time — and every transaction from
+// every client must arrive, in per-client order.
+func TestSharedIngestBatchFill(t *testing.T) {
+	const clients, perClient, maxBatch = 8, 100, 16
+	var g batchGather
+	// A generous flush interval so full batches, not the timer, dominate
+	// delivery while the burst is in flight.
+	s, err := ListenBatch("127.0.0.1:0", g.add, BatchConfig{MaxBatch: maxBatch, FlushInterval: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	runClients(t, s.Addr().String(), clients, perClient)
+	waitFor(t, func() bool { return g.len() == clients*perClient })
+
+	g.mu.Lock()
+	maxSeen, batches := g.maxSeen, g.batches
+	g.mu.Unlock()
+	if maxSeen != maxBatch {
+		t.Errorf("largest batch = %d, want a full %d under sustained load", maxSeen, maxBatch)
+	}
+	if minBatches := clients * perClient / maxBatch; batches < minBatches/4 {
+		t.Errorf("only %d batches for %d transactions — batching degenerated", batches, clients*perClient)
+	}
+	auditDelivery(t, &g, clients, perClient)
+	if got := s.Received(); got != int64(clients*perClient) {
+		t.Errorf("received = %d, want %d", got, clients*perClient)
+	}
+}
+
+// TestSharedIngestDisconnectFlush: partial batches must survive client
+// disconnects. The flush interval is an hour and every client's stream
+// length is coprime to MaxBatch, so the only way the tail of each
+// client's data reaches the handler is the connection-end flush.
+func TestSharedIngestDisconnectFlush(t *testing.T) {
+	const clients, perClient = 6, 37
+	var g batchGather
+	s, err := ListenBatch("127.0.0.1:0", g.add, BatchConfig{MaxBatch: 64, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	runClients(t, s.Addr().String(), clients, perClient)
+	waitFor(t, func() bool { return g.len() == clients*perClient })
+	auditDelivery(t, &g, clients, perClient)
+	if fails := s.ParseFailures(); fails != 0 {
+		t.Errorf("parse failures = %d, want 0", fails)
+	}
+}
+
+// TestSharedIngestAbruptDisconnect: a client whose connection dies with
+// data already on the wire (no clean shutdown beyond the TCP close) still
+// gets everything it flushed delivered; nothing wedges the server for the
+// remaining clients.
+func TestSharedIngestAbruptDisconnect(t *testing.T) {
+	const perClient = 23
+	var g batchGather
+	s, err := ListenBatch("127.0.0.1:0", g.add, BatchConfig{MaxBatch: 64, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Client 0 writes, flushes to the socket, then closes immediately.
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < perClient; i++ {
+		if err := cl.Send(clientTx(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second client keeps the server demonstrably live afterwards.
+	runClients(t, s.Addr().String(), 1, perClient) // client index 0 again: audit as 1 client × 2 runs
+	waitFor(t, func() bool { return g.len() == 2*perClient })
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.txs) != 2*perClient {
+		t.Fatalf("delivered %d transactions, want %d", len(g.txs), 2*perClient)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMonitorExportDevicesMatchesReference moves an arbitrary subset of
+// live devices between two monitors mid-stream via the device-granular
+// export and checks the combined per-device alert sequences stay
+// byte-identical to a single uninterrupted monitor — the primitive the
+// cluster router's drain is built on.
+func TestMonitorExportDevicesMatchesReference(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, devices := deviceStream(testDS, 6, 6000)
+	const k = 2
+	want := referenceAlerts(t, set, txs, k)
+
+	col := newAlertCollector()
+	src, err := NewMonitorWithConfig(set, k, col.callback, MonitorConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewMonitorWithConfig(set, k, col.callback, MonitorConfig{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := map[string]bool{devices[1]: true, devices[4]: true}
+	cut := len(txs) / 2
+	for _, tx := range txs[:cut] {
+		if err := src.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, n, err := src.ExportDevices([]string{devices[1], devices[4], devices[1], "", "10.255.0.9"})
+	if err != nil {
+		t.Fatalf("ExportDevices: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("exported %d devices, want 2 (dups, empties and unknowns skipped)", n)
+	}
+	src.Sync()
+	if got, err := dst.ImportShard(blob); err != nil || got != 2 {
+		t.Fatalf("ImportShard = %d, %v", got, err)
+	}
+	for _, tx := range txs[cut:] {
+		m := src
+		if moved[tx.SourceIP] {
+			m = dst
+		}
+		if err := m.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Flush()
+	dst.Flush()
+	src.Close()
+	dst.Close()
+	comparePerDevice(t, want, col.got)
+}
+
+// TestMonitorExportDevicesFromSpill checks that exporting a device that
+// was idle-evicted into the spill store pulls its state out of the store,
+// and that the blob resumes it exactly on the importer.
+func TestMonitorExportDevicesFromSpill(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, _ := deviceStream(testDS, 1, 40)
+	store := NewMemStateStore()
+	const ttl = 10 * time.Minute
+	src, err := NewMonitorWithConfig(set, 2, func(Alert) {}, MonitorConfig{Shards: 2, IdleTTL: ttl, Spill: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	a := txs[0]
+	a.SourceIP = "10.0.0.1"
+	if err := src.Feed(a); err != nil {
+		t.Fatal(err)
+	}
+	// Another device's traffic ages 10.0.0.1 out into the store.
+	b := txs[0]
+	b.SourceIP = "10.0.0.2"
+	for i := 0; i < 5; i++ {
+		b.Timestamp = a.Timestamp.Add(time.Duration(i+2) * ttl)
+		if err := src.Feed(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Len() != 1 {
+		t.Fatalf("spilled devices = %d, want 1", store.Len())
+	}
+	blob, n, err := src.ExportDevices([]string{"10.0.0.1"})
+	if err != nil || n != 1 {
+		t.Fatalf("ExportDevices = %d, %v", n, err)
+	}
+	if store.Len() != 0 {
+		t.Error("export left the spilled blob behind")
+	}
+	dst, err := NewMonitor(set, 2, func(Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if got, err := dst.ImportShard(blob); err != nil || got != 1 {
+		t.Fatalf("ImportShard = %d, %v", got, err)
+	}
+	if dst.Devices() != 1 {
+		t.Errorf("importer tracks %d devices, want 1", dst.Devices())
+	}
+}
+
+// TestMonitorExportDevicesEmpty: exporting nothing (or only unknowns)
+// yields a valid empty blob that imports as zero devices.
+func TestMonitorExportDevicesEmpty(t *testing.T) {
+	set, _ := sharedSet(t)
+	m, err := NewMonitor(set, 2, func(Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	blob, n, err := m.ExportDevices([]string{"10.1.2.3"})
+	if err != nil || n != 0 {
+		t.Fatalf("ExportDevices = %d, %v", n, err)
+	}
+	if got, err := m.ImportShard(blob); err != nil || got != 0 {
+		t.Fatalf("ImportShard of empty export = %d, %v", got, err)
+	}
+}

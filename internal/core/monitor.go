@@ -737,6 +737,74 @@ func (m *Monitor) ExportShard(i int) ([]byte, error) {
 	return encodeShardState(states)
 }
 
+// ExportDevices serializes and stops tracking the named devices — the
+// device-granular side of a shard handoff, used by the cluster router to
+// drain exactly the devices whose placement changed on a membership
+// change. The blob is the same format ExportShard produces, so ImportShard
+// on another Monitor resumes the devices exactly. Devices not currently
+// tracked are looked up in the spill store (they may have been idle-evicted
+// there) and exported from it; devices unknown to both are skipped — the
+// caller may be draining a device this monitor never saw. Duplicate names
+// are exported once. It returns the number of devices exported. Alerts
+// already enqueued for the exported devices still deliver here; call Sync
+// to wait for them before handing the blob to the importer.
+//
+// Feeding an exported device again starts it fresh (or rehydrates a stale
+// spill copy), forking its state from the exported blob — callers moving
+// live devices must stop routing transactions here first.
+func (m *Monitor) ExportDevices(devices []string) ([]byte, int, error) {
+	states := make([]DeviceState, 0, len(devices))
+	seen := make(map[string]struct{}, len(devices))
+	var errs []error
+	for _, device := range devices {
+		if _, dup := seen[device]; dup || device == "" {
+			continue
+		}
+		seen[device] = struct{}{}
+		sh := m.shardFor(device)
+		sh.mu.Lock()
+		if tr, ok := sh.devices[device]; ok {
+			states = append(states, deviceStateLocked(device, tr))
+			delete(sh.devices, device)
+			sh.mu.Unlock()
+			continue
+		}
+		sh.mu.Unlock()
+		if m.cfg.Spill == nil {
+			continue
+		}
+		blob, ok, err := m.cfg.Spill.Get(device)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("core: exporting spilled device %s: %w", device, err))
+			continue
+		}
+		if !ok {
+			continue
+		}
+		st, err := decodeDeviceState(blob)
+		if err == nil && st.Device != device {
+			err = fmt.Errorf("core: spilled state for device %s names device %s", device, st.Device)
+		}
+		if err != nil {
+			// Corrupt spill copy: leave it for the admit path's
+			// drop-and-restart handling rather than move garbage.
+			errs = append(errs, err)
+			continue
+		}
+		if err := m.cfg.Spill.Delete(device); err != nil {
+			errs = append(errs, fmt.Errorf("core: exported spilled device %s but could not clear it: %w", device, err))
+		}
+		states = append(states, st)
+	}
+	// Deterministic bytes for a given device population, like ExportShard.
+	sort.Slice(states, func(a, b int) bool { return states[a].Device < states[b].Device })
+	blob, err := encodeShardState(states)
+	if err != nil {
+		return nil, 0, errors.Join(append(errs, err)...)
+	}
+	return blob, len(states), errors.Join(errs...)
+}
+
 // ImportShard adopts the devices of an ExportShard blob, routing each to
 // this monitor's own shard for it (the exporting monitor's shard layout —
 // count and hash seed — does not travel; only the devices do) and resuming
@@ -786,6 +854,16 @@ func (m *Monitor) Flush() {
 		}
 		sh.mu.Unlock()
 	}
+	m.pump.wait()
+}
+
+// Sync blocks until every alert enqueued so far has been delivered to the
+// callback, without flushing any windows — the ordering barrier a shard
+// handoff needs: after ExportDevices+Sync, all of the exported devices'
+// alerts have left this monitor, so the importer's alerts are strictly
+// later. Syncing concurrently with feeding is safe; alerts enqueued after
+// Sync begins may or may not be waited for.
+func (m *Monitor) Sync() {
 	m.pump.wait()
 }
 
