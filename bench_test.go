@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -410,6 +411,74 @@ func BenchmarkMonitorFeed(b *testing.B) {
 	for _, devices := range []int{1_000, 10_000, 100_000} {
 		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
 			benchMonitorFeedBatch(b, devices, webtxprofile.MonitorConfig{Shards: 64})
+		})
+	}
+}
+
+// BenchmarkIngestToMonitor measures the full feed path the daemon runs —
+// TCP collector, shared ingest queue, batch delivery, Monitor.FeedBatch —
+// at the paper's deployment population (100k devices), comparing the two
+// sender encodings (transactions/op = 1).
+func BenchmarkIngestToMonitor(b *testing.B) {
+	const devices = 100_000
+	for _, enc := range []string{"lines", "binary"} {
+		b.Run(enc, func(b *testing.B) {
+			set := monitorBenchSet(b)
+			env := benchEnv(b)
+			mon, err := webtxprofile.NewMonitorWithConfig(set, 5, func(webtxprofile.Alert) {},
+				webtxprofile.MonitorConfig{Shards: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mon.Close()
+			var fedTo atomic.Int64
+			done := make(chan struct{})
+			target := int64(b.N)
+			srv, err := webtxprofile.ListenCollectorBatch("127.0.0.1:0", func(txs []webtxprofile.Transaction) {
+				if err := mon.FeedBatch(txs); err != nil {
+					b.Error(err)
+				}
+				if fedTo.Add(int64(len(txs))) >= target {
+					select {
+					case <-done:
+					default:
+						close(done)
+					}
+				}
+			}, webtxprofile.CollectorBatchConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			dial := webtxprofile.DialCollector
+			if enc == "binary" {
+				dial = webtxprofile.DialCollectorBinary
+			}
+			c, err := dial(srv.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			names := benchDeviceNames(devices)
+			base := env.Train.Transactions
+			start := base[len(base)-1].Timestamp.Add(time.Hour)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := base[i%len(base)]
+				tx.SourceIP = names[i%devices]
+				tx.Timestamp = start.Add(time.Duration(i) * 50 * time.Millisecond)
+				if err := c.Send(tx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			c.Close() // conn-end flush marker delivers the final partial batch
+			<-done
+			b.StopTimer()
+			mon.Flush()
 		})
 	}
 }

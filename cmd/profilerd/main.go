@@ -69,6 +69,8 @@ func run() error {
 		shards   = flag.Int("shards", 16, "device lock stripes in the monitor")
 		idleTTL  = flag.Duration("idle-ttl", time.Hour, "evict devices idle this long in stream time (0 disables)")
 		batch    = flag.Int("batch", 256, "max transactions per ingestion batch")
+		ingestQ  = flag.Int("ingest-queue", 0, "bounded ingest queue depth; senders block (TCP backpressure) when full (0 = 4x -batch)")
+		maxWire  = flag.Int("max-wire", 0, "highest cluster wire protocol version to negotiate (0 = highest supported, 1 forces JSON frames)")
 		stateDir = flag.String("state-dir", "", "durable identifier state: spill evicted devices here, checkpoint on SIGTERM, restore on start (empty disables)")
 		clusterL = flag.String("cluster", "", "run as a cluster node: serve the node wire protocol on this address instead of a proxy collector")
 		nodeName = flag.String("node-name", "", "this node's cluster name (default: hostname; -cluster mode)")
@@ -93,18 +95,19 @@ func run() error {
 		// A member node serves the cluster protocol only; the proxy-facing
 		// collector (and its batching) lives on the front end.
 		if err := rejectMisplacedFlags("a -cluster member node (set them on the -join front end)",
-			"listen", "batch"); err != nil {
+			"listen", "batch", "ingest-queue"); err != nil {
 			return err
 		}
 	default:
-		if err := rejectMisplacedFlags("a standalone daemon (-node-name names a -cluster member)", "node-name"); err != nil {
+		if err := rejectMisplacedFlags("a standalone daemon (-node-name names a -cluster member, -max-wire the cluster protocol)",
+			"node-name", "max-wire"); err != nil {
 			return err
 		}
 	}
 	logger := log.New(os.Stdout, "profilerd: ", log.LstdFlags)
 
 	if *join != "" {
-		return runRouter(logger, *join, *listen, *batch)
+		return runRouter(logger, *join, *listen, *batch, *ingestQ, *maxWire)
 	}
 
 	set, err := webtxprofile.LoadProfilesFile(*bundle)
@@ -132,14 +135,14 @@ func run() error {
 	monCfg := webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL, Spill: spillStore(store)}
 
 	if *clusterL != "" {
-		return runNode(logger, set, *clusterL, *nodeName, *k, monCfg, store, *stateDir)
+		return runNode(logger, set, *clusterL, *nodeName, *k, *maxWire, monCfg, store, *stateDir)
 	}
-	return runStandalone(logger, set, *listen, *k, monCfg, *batch, store, *stateDir)
+	return runStandalone(logger, set, *listen, *k, monCfg, *batch, *ingestQ, store, *stateDir)
 }
 
 // runStandalone is the classic single-process daemon: collector → monitor.
 func runStandalone(logger *log.Logger, set *webtxprofile.ProfileSet, listen string, k int,
-	monCfg webtxprofile.MonitorConfig, batch int, store *webtxprofile.DiskStateStore, stateDir string) error {
+	monCfg webtxprofile.MonitorConfig, batch, ingestQ int, store *webtxprofile.DiskStateStore, stateDir string) error {
 	mon, err := webtxprofile.NewMonitorWithConfig(set, k, func(a webtxprofile.Alert) {
 		logAlert(logger, "", a)
 	}, monCfg)
@@ -151,7 +154,7 @@ func runStandalone(logger *log.Logger, set *webtxprofile.ProfileSet, listen stri
 		if err := mon.FeedBatch(txs); err != nil {
 			logger.Printf("feed: %v", err)
 		}
-	}, webtxprofile.CollectorBatchConfig{MaxBatch: batch})
+	}, webtxprofile.CollectorBatchConfig{MaxBatch: batch, QueueDepth: ingestQ})
 	if err != nil {
 		return err
 	}
@@ -165,7 +168,7 @@ func runStandalone(logger *log.Logger, set *webtxprofile.ProfileSet, listen stri
 }
 
 // runNode serves the cluster wire protocol over this process's monitor.
-func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string, k int,
+func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string, k, maxWire int,
 	monCfg webtxprofile.MonitorConfig, store *webtxprofile.DiskStateStore, stateDir string) error {
 	if name == "" {
 		host, err := os.Hostname()
@@ -177,6 +180,7 @@ func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string
 	node, err := webtxprofile.ListenClusterNode(addr, set, webtxprofile.ClusterNodeConfig{
 		Name:     name,
 		K:        k,
+		MaxWire:  maxWire,
 		Monitor:  monCfg,
 		OnAlert:  func(a webtxprofile.Alert) { logAlert(logger, name, a) },
 		ErrorLog: logger,
@@ -199,14 +203,14 @@ func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string
 
 // runRouter is the front end: proxy log lines in, rendezvous-routed
 // transactions out to the member nodes, origin-tagged alerts logged.
-func runRouter(logger *log.Logger, join, listen string, batch int) error {
+func runRouter(logger *log.Logger, join, listen string, batch, ingestQ, maxWire int) error {
 	members, err := parseMembers(join)
 	if err != nil {
 		return err
 	}
 	router := webtxprofile.NewClusterRouter(func(a webtxprofile.NodeAlert) {
 		logAlert(logger, a.Node, a.Alert)
-	}, webtxprofile.ClusterRouterConfig{})
+	}, webtxprofile.ClusterRouterConfig{MaxWire: maxWire})
 	defer router.Close()
 	for _, m := range members {
 		if err := router.AddNode(m); err != nil {
@@ -219,7 +223,7 @@ func runRouter(logger *log.Logger, join, listen string, batch int) error {
 		if err := router.FeedBatch(txs); err != nil {
 			logger.Printf("route: %v", err)
 		}
-	}, webtxprofile.CollectorBatchConfig{MaxBatch: batch})
+	}, webtxprofile.CollectorBatchConfig{MaxBatch: batch, QueueDepth: ingestQ})
 	if err != nil {
 		return err
 	}

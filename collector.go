@@ -14,7 +14,7 @@ type CollectorClient = collector.Client
 type CollectorBatchConfig = collector.BatchConfig
 
 // ListenCollector starts a TCP log collector on addr; handler receives
-// every parsed transaction (from per-connection goroutines).
+// every parsed transaction (from the server's single ingest goroutine).
 func ListenCollector(addr string, handler func(Transaction)) (*CollectorServer, error) {
 	return collector.Listen(addr, collector.Handler(handler))
 }
@@ -30,4 +30,11 @@ func ListenCollectorBatch(addr string, handler func([]Transaction), cfg Collecto
 // DialCollector connects a log-producing client to a collector.
 func DialCollector(addr string) (*CollectorClient, error) {
 	return collector.Dial(addr)
+}
+
+// DialCollectorBinary connects a client that sends length-prefixed binary
+// transaction records instead of log lines — the allocation-free sender
+// for high-volume proxies (requires a binary-capable collector).
+func DialCollectorBinary(addr string) (*CollectorClient, error) {
+	return collector.DialBinary(addr)
 }

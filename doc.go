@@ -51,9 +51,25 @@
 //   - Devices idle longer than MonitorConfig.IdleTTL (in stream time) are
 //     evicted, bounding tracked-device memory.
 //
-// The collector can deliver parsed transactions in batches
-// (ListenCollectorBatch), pairing with FeedBatch so each shard lock is
-// taken once per batch.
+// # Ingest queue and backpressure
+//
+// The collector's connections do not call the handler themselves: every
+// connection parses its lines (or binary records — DialCollectorBinary
+// switches a sender to length-prefixed weblog binary records, decoded
+// zero-copy) and feeds one bounded multi-producer single-consumer
+// queue; a single consumer goroutine invokes the handler, so handlers
+// need no locking and per-connection transaction order is preserved
+// end to end. The queue (CollectorBatchConfig.QueueDepth, default
+// 4×MaxBatch) is the backpressure contract: when the consumer falls
+// behind, enqueues block, the connection goroutines stop reading, and
+// the stall propagates through TCP flow control back to the proxies —
+// the collector never buffers unboundedly and never drops a parsed
+// transaction. Batch delivery (ListenCollectorBatch) rides the same
+// queue, pairing with FeedBatch so each shard lock is taken once per
+// batch; a size-capped batch flushes immediately, a partial batch after
+// FlushInterval. The steady-state feed path — ParseLine through feature
+// extraction into the shard loop — is allocation-free once warm,
+// gated by testing.AllocsPerRun tests at every layer.
 //
 // # Durable identifier state
 //
@@ -83,9 +99,11 @@
 //
 // Past one process, the engine scales out over the shard-handoff
 // primitives: ClusterNodes each run a sharded Monitor over the same
-// trained bundle and speak a length-prefixed JSON wire protocol (feeds
-// as proxy log lines, handoffs as the versioned state blobs above, plus
-// an alert push stream), and a ClusterRouter fronts them.
+// trained bundle and speak a length-prefixed wire protocol (versioned
+// per connection: JSON v1 for compatibility, compact binary v2 — feeds
+// as zero-copy binary transaction records — negotiated in the hello
+// exchange; handoffs travel as the versioned state blobs above in both,
+// plus an alert push stream), and a ClusterRouter fronts them.
 //
 // The router's placement guarantee: every device is owned by the member
 // with the highest rendezvous-hash score for it, so a membership change

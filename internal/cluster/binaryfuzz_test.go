@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/core"
+	"webtxprofile/internal/taxonomy"
+	"webtxprofile/internal/weblog"
+)
+
+// binarySeedTx is a representative transaction for the corpus seeds.
+func binarySeedTx() weblog.Transaction {
+	return weblog.Transaction{
+		Timestamp: time.Date(2015, 5, 29, 5, 5, 4, 123e6, time.UTC),
+		Host:      "www.inlinegames.com", Scheme: taxonomy.SchemeHTTP,
+		Action: taxonomy.ActionGet, UserID: "user_9", SourceIP: "10.0.0.9",
+		Category:  "Games",
+		MediaType: taxonomy.MediaType{Super: "text", Sub: "html"},
+		AppType:   "browser", Reputation: taxonomy.MinimalRisk,
+	}
+}
+
+// binaryCorpusSeeds are the checked-in seeds for FuzzBinaryFrame: one
+// well-formed wire-v2 payload per frame shape plus the malformed inputs
+// the decoder must reject cleanly. Kept in code so the testdata corpus
+// is reproducible (see TestRegenerateBinaryFuzzCorpus).
+func binaryCorpusSeeds(t testing.TB) [][]byte {
+	tx := binarySeedTx()
+	valid := []Frame{
+		{Type: FrameHello, Seq: 1, Node: "router-1", Subscribe: true, Wire: WireV2},
+		{Type: FrameFeed, Seq: 2, Txs: []weblog.Transaction{tx, tx}},
+		{Type: FrameFeed, Seq: 3, Lines: []string{tx.MarshalLine()}},
+		{Type: FrameExport, Seq: 4, Devices: []string{"10.0.0.1", "10.0.0.2"}},
+		{Type: FrameImport, Seq: 5, Blob: []byte{0x1f, 0x8b, 0x08, 0x00, 0x00}},
+		{Type: FrameFlush, Seq: 6},
+		{Type: FrameStats, Seq: 7},
+		{Type: FrameOK, Seq: 8, Count: 3, Blob: []byte("blob")},
+		{Type: FrameOK, Seq: 9, Count: -1},
+		{Type: FrameError, Seq: 10, Error: "refused"},
+		{Type: FrameAlert, Alert: &NodeAlert{Node: "n1", Alert: core.Alert{
+			Device: "10.0.0.1", Kind: core.AlertLost, User: "user_2", Previous: "user_2",
+		}}},
+	}
+	var seeds [][]byte
+	for _, f := range valid {
+		payload, err := AppendBinaryFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, payload)
+	}
+	seeds = append(seeds,
+		[]byte{},                                                       // empty payload
+		[]byte{binaryMagic},                                            // bare magic
+		[]byte{binaryMagic, 0x01, 0x01, 0x00},                          // wrong version byte
+		[]byte{binaryMagic, WireV2, 0x00, 0x00},                        // frame type code 0
+		[]byte{binaryMagic, WireV2, 0x63, 0x00},                        // unknown frame type code
+		[]byte{binaryMagic, WireV2, 0x01},                              // missing seq varint
+		[]byte{binaryMagic, WireV2, 0x01, 0x80},                        // truncated seq varint
+		[]byte{binaryMagic, WireV2, 0x01, 0x01, 0xff},                  // unknown field tag
+		[]byte{binaryMagic, WireV2, 0x02, 0x01, tagTxs, 0xff, 0xff, 3}, // tx count exceeds payload
+		[]byte{binaryMagic, WireV2, 0x02, 0x01, tagLines, 0x09, 0x02},  // line count exceeds payload
+		[]byte{binaryMagic, WireV2, 0x04, 0x01, tagBlob, 0x7f, 'x'},    // blob length exceeds payload
+	)
+	return seeds
+}
+
+// FuzzBinaryFrame: arbitrary bytes fed to the wire-v2 payload decoder
+// must produce a frame or an error — never a panic, never allocation
+// beyond what the input length justifies — and any frame that decodes
+// must reach an encode/decode fixed point: re-encoding the canonical
+// form reproduces it bit-for-bit.
+func FuzzBinaryFrame(f *testing.F) {
+	for _, seed := range binaryCorpusSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f1, err := decodeBinaryFrame(data)
+		if err != nil {
+			return
+		}
+		// The first decode may hold non-canonical shapes (e.g. an empty
+		// but non-nil Blob from a zero-length field the encoder would
+		// omit); one round trip canonicalizes, after which encoding must
+		// be a fixed point.
+		enc1, err := AppendBinaryFrame(nil, f1)
+		if err != nil {
+			t.Fatalf("decoded frame %+v does not re-encode: %v", f1, err)
+		}
+		f2, err := decodeBinaryFrame(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if f2.Type != f1.Type || f2.Seq != f1.Seq {
+			t.Fatalf("round trip drifted: %+v -> %+v", f1, f2)
+		}
+		enc2, err := AppendBinaryFrame(nil, f2)
+		if err != nil {
+			t.Fatalf("canonical frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n first %x\nsecond %x", enc1, enc2)
+		}
+		f3, err := decodeBinaryFrame(enc2)
+		if err != nil {
+			t.Fatalf("fixed-point encoding does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(f2, f3) {
+			t.Fatalf("canonical decode is unstable:\n%+v\n%+v", f2, f3)
+		}
+	})
+}
+
+// TestBinaryFrameRoundTrip pins exact equality for every producer-built
+// frame shape: what the writer encodes, the reader decodes back
+// field-for-field (the fuzz target only guarantees fixed-point
+// stability, which is weaker).
+func TestBinaryFrameRoundTrip(t *testing.T) {
+	tx := binarySeedTx()
+	tx.Scheme, tx.Action = taxonomy.SchemeHTTPS, taxonomy.ActionPost
+	tx.Reputation, tx.Private = taxonomy.HighRisk, true
+	frames := []Frame{
+		{Type: FrameHello, Seq: 1, Node: "router-1", Subscribe: true, Wire: WireV2},
+		{Type: FrameFeed, Seq: 2, Txs: []weblog.Transaction{tx}},
+		{Type: FrameExport, Seq: 3, Devices: []string{"10.0.0.1", "10.0.0.2"}},
+		{Type: FrameImport, Seq: 4, Blob: []byte{1, 2, 3}},
+		{Type: FrameOK, Seq: 5, Count: -7},
+		{Type: FrameError, Seq: 6, Error: "refused"},
+	}
+	for _, want := range frames {
+		payload, err := AppendBinaryFrame(nil, want)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Type, err)
+		}
+		got, err := decodeBinaryFrame(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s frame drifted:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+}
+
+// TestRegenerateBinaryFuzzCorpus rewrites testdata/fuzz/FuzzBinaryFrame
+// from binaryCorpusSeeds when WTP_REGEN_CORPUS=1, so the checked-in
+// corpus never drifts from the codec. Normally it only verifies the
+// files exist.
+func TestRegenerateBinaryFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzBinaryFrame")
+	if os.Getenv("WTP_REGEN_CORPUS") == "1" {
+		writeCorpus(t, dir, binaryCorpusSeeds(t))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fuzz corpus missing (run with WTP_REGEN_CORPUS=1 to create): %v", err)
+	}
+	if len(entries) < len(binaryCorpusSeeds(t)) {
+		t.Errorf("corpus has %d entries, want >= %d", len(entries), len(binaryCorpusSeeds(t)))
+	}
+}

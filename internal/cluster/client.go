@@ -29,6 +29,7 @@ type NodeClient struct {
 	conn net.Conn
 	w    *frameWriter
 	name string // remote node's self-reported name, from the hello reply
+	wire int    // negotiated wire version, from the hello reply
 
 	onAlert func(NodeAlert)
 
@@ -39,14 +40,25 @@ type NodeClient struct {
 	closed  bool
 }
 
-// DialNode connects to a cluster node, performs the hello handshake, and
-// (when onAlert is non-nil) subscribes this connection to alert pushes.
+// DialNode connects to a cluster node, performs the hello handshake —
+// negotiating the highest wire version both ends speak — and (when
+// onAlert is non-nil) subscribes this connection to alert pushes.
 // onAlert runs on the client's single receive goroutine, strictly in the
 // order the node pushed — per-device alert order is preserved — and
 // before any reply that the node wrote after those alerts is delivered to
 // its waiter. It must not block: a stalled callback stalls every pending
 // RPC on this connection.
 func DialNode(addr string, onAlert func(NodeAlert)) (*NodeClient, error) {
+	return DialNodeWire(addr, onAlert, 0)
+}
+
+// DialNodeWire is DialNode with a cap on the wire version this client will
+// advertise (0 or anything above MaxWireVersion means MaxWireVersion;
+// 1 forces JSON frames against any node).
+func DialNodeWire(addr string, onAlert func(NodeAlert), maxWire int) (*NodeClient, error) {
+	if maxWire <= 0 || maxWire > MaxWireVersion {
+		maxWire = MaxWireVersion
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial node %s: %w", addr, err)
@@ -62,17 +74,27 @@ func DialNode(addr string, onAlert func(NodeAlert)) (*NodeClient, error) {
 		pending: make(map[uint64]chan Frame),
 	}
 	go c.receiveLoop()
-	reply, err := c.roundTrip(Frame{Type: FrameHello, Subscribe: onAlert != nil})
+	reply, err := c.roundTrip(Frame{Type: FrameHello, Subscribe: onAlert != nil, Wire: maxWire})
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("cluster: hello to %s: %w", addr, err)
 	}
 	c.name = reply.Node
+	// An old node omits Wire from its reply: normWire reads that as v1.
+	// A node must not negotiate above what we advertised; if a buggy one
+	// does, cap it rather than speak frames it may not intend.
+	c.wire = negotiateWire(reply.Wire, maxWire)
+	if c.wire >= WireV2 {
+		c.w.setWire(c.wire)
+	}
 	return c, nil
 }
 
 // Name returns the node's self-reported cluster name.
 func (c *NodeClient) Name() string { return c.name }
+
+// Wire returns the wire version negotiated in the hello exchange.
+func (c *NodeClient) Wire() int { return c.wire }
 
 // Close tears down the connection; in-flight RPCs fail with
 // ErrClientClosed.
@@ -87,11 +109,16 @@ func (c *NodeClient) Close() error {
 	return c.conn.Close()
 }
 
-// Feed sends transactions (as log lines) for the node's monitor,
-// returning once the node has fed them all.
+// Feed sends transactions for the node's monitor, returning once the node
+// has fed them all. On a wire-v2 connection they travel as binary records;
+// on v1 they are marshaled to log lines.
 func (c *NodeClient) Feed(txs []weblog.Transaction) error {
 	if len(txs) == 0 {
 		return nil
+	}
+	if c.wire >= WireV2 {
+		_, err := c.roundTrip(Frame{Type: FrameFeed, Txs: txs})
+		return err
 	}
 	lines := make([]string, len(txs))
 	for i := range txs {

@@ -200,6 +200,7 @@ func AssertSameSigs(tb testing.TB, want, got map[string][]string) {
 type Harness struct {
 	Set    *core.ProfileSet
 	K      int
+	Wire   int // wire-version cap for router and nodes; 0 = highest
 	Router *cluster.Router
 	Alerts *Recorder
 
@@ -209,16 +210,28 @@ type Harness struct {
 
 // NewHarness starts one node per name, a router, and joins the nodes in
 // order. The nodes run default monitor configs (no eviction) over the
-// shared trained set.
+// shared trained set, at the protocol's highest wire version; use
+// NewHarnessWire to pin an older one.
 func NewHarness(tb testing.TB, set *core.ProfileSet, k int, names ...string) *Harness {
+	tb.Helper()
+	return NewHarnessWire(tb, set, k, 0, names...)
+}
+
+// NewHarnessWire is NewHarness with the cluster's wire version capped at
+// wire (0 = highest): the cluster-equivalence suites run once per wire
+// version, since the equivalence contract — byte-identical per-device
+// alert sequences against the single-monitor reference — must hold on
+// both encodings.
+func NewHarnessWire(tb testing.TB, set *core.ProfileSet, k int, wire int, names ...string) *Harness {
 	tb.Helper()
 	h := &Harness{
 		Set:    set,
 		K:      k,
+		Wire:   wire,
 		Alerts: NewRecorder(),
 		nodes:  make(map[string]*cluster.Node),
 	}
-	h.Router = cluster.NewRouter(h.Alerts.Record, cluster.RouterConfig{})
+	h.Router = cluster.NewRouter(h.Alerts.Record, cluster.RouterConfig{MaxWire: wire})
 	for _, name := range names {
 		h.Join(tb, name)
 	}
@@ -230,7 +243,7 @@ func NewHarness(tb testing.TB, set *core.ProfileSet, k int, names ...string) *Ha
 // AddNode), registering it for teardown.
 func (h *Harness) StartNode(tb testing.TB, name string) *cluster.Node {
 	tb.Helper()
-	n, err := cluster.ListenNode("127.0.0.1:0", h.Set, cluster.NodeConfig{Name: name, K: h.K})
+	n, err := cluster.ListenNode("127.0.0.1:0", h.Set, cluster.NodeConfig{Name: name, K: h.K, MaxWire: h.Wire})
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -94,41 +94,59 @@ func runWithMembershipChanges(t *testing.T, h *clustertest.Harness, txs []weblog
 	}
 }
 
-func TestClusterEquivalenceFeed(t *testing.T) {
-	txs, want := clusterWorkload(t)
-	set, _ := clustertest.TrainedSet(t)
-	h := clustertest.NewHarness(t, set, equivK, "n1", "n2", "n3")
-	runWithMembershipChanges(t, h, txs, func(stream []weblog.Transaction) error {
-		for _, tx := range stream {
-			if err := h.Router.Feed(tx); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+// wireVersions enumerates the wire encodings the equivalence contract
+// must hold on; the suite runs once per entry.
+var wireVersions = []struct {
+	name string
+	wire int
+}{
+	{"wire1", cluster.WireV1},
+	{"wire2", cluster.WireV2},
+}
 
-	// Fan-in tagging: with devices spread across nodes and two
-	// membership changes, alerts must have arrived from more than one
-	// origin, and only from nodes that were ever members.
-	origins := h.Alerts.Origins()
-	if len(origins) < 2 {
-		t.Errorf("alerts arrived from %d origin(s) %v, want several", len(origins), origins)
-	}
-	valid := map[string]bool{"n1": true, "n2": true, "n3": true, "n4": true}
-	for node := range origins {
-		if !valid[node] {
-			t.Errorf("alert tagged with unknown origin %q", node)
-		}
+func TestClusterEquivalenceFeed(t *testing.T) {
+	for _, wv := range wireVersions {
+		t.Run(wv.name, func(t *testing.T) {
+			txs, want := clusterWorkload(t)
+			set, _ := clustertest.TrainedSet(t)
+			h := clustertest.NewHarnessWire(t, set, equivK, wv.wire, "n1", "n2", "n3")
+			runWithMembershipChanges(t, h, txs, func(stream []weblog.Transaction) error {
+				for _, tx := range stream {
+					if err := h.Router.Feed(tx); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+
+			// Fan-in tagging: with devices spread across nodes and two
+			// membership changes, alerts must have arrived from more than
+			// one origin, and only from nodes that were ever members.
+			origins := h.Alerts.Origins()
+			if len(origins) < 2 {
+				t.Errorf("alerts arrived from %d origin(s) %v, want several", len(origins), origins)
+			}
+			valid := map[string]bool{"n1": true, "n2": true, "n3": true, "n4": true}
+			for node := range origins {
+				if !valid[node] {
+					t.Errorf("alert tagged with unknown origin %q", node)
+				}
+			}
+		})
 	}
 }
 
 func TestClusterEquivalenceFeedBatch(t *testing.T) {
-	txs, want := clusterWorkload(t)
-	set, _ := clustertest.TrainedSet(t)
-	h := clustertest.NewHarness(t, set, equivK, "n1", "n2", "n3")
-	runWithMembershipChanges(t, h, txs, h.Router.FeedBatch)
-	clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+	for _, wv := range wireVersions {
+		t.Run(wv.name, func(t *testing.T) {
+			txs, want := clusterWorkload(t)
+			set, _ := clustertest.TrainedSet(t)
+			h := clustertest.NewHarnessWire(t, set, equivK, wv.wire, "n1", "n2", "n3")
+			runWithMembershipChanges(t, h, txs, h.Router.FeedBatch)
+			clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+		})
+	}
 }
 
 // TestClusterSingleNodeEquivalence pins the degenerate topology: one node

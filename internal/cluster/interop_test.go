@@ -1,0 +1,131 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"webtxprofile/internal/cluster"
+	"webtxprofile/internal/cluster/clustertest"
+	"webtxprofile/internal/weblog"
+)
+
+// TestWireNegotiationMatrix runs one live node/client pair per corner of
+// the version matrix and asserts the hello exchange lands on
+// min(client, node) — then proves the connection actually works at that
+// version by feeding a real workload through it.
+func TestWireNegotiationMatrix(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, _ := clustertest.Workload(t, ds, 3, 300)
+	cases := []struct {
+		nodeMax, clientMax, want int
+	}{
+		{0, 0, cluster.WireV2}, // both default to the highest version
+		{0, 1, cluster.WireV1}, // v1 client against a v2 node
+		{1, 0, cluster.WireV1}, // v2 client against a v1-capped node
+		{1, 1, cluster.WireV1},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("node%d_client%d", tc.nodeMax, tc.clientMax), func(t *testing.T) {
+			n, err := cluster.ListenNode("127.0.0.1:0", set,
+				cluster.NodeConfig{Name: "n1", K: 2, MaxWire: tc.nodeMax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer n.Close()
+			c, err := cluster.DialNodeWire(n.Addr().String(), nil, tc.clientMax)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if c.Wire() != tc.want {
+				t.Fatalf("negotiated wire %d, want %d", c.Wire(), tc.want)
+			}
+			if err := c.Feed(txs); err != nil {
+				t.Fatalf("feed at wire %d: %v", c.Wire(), err)
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := c.Devices(); err != nil || got != 3 {
+				t.Fatalf("node tracks %d devices (err %v), want 3", got, err)
+			}
+		})
+	}
+}
+
+// TestWireMixedClientsOneNode pins that the wire version is a
+// per-connection property: a v1 and a v2 client feeding the same node
+// concurrently-held connections must both land their transactions.
+func TestWireMixedClientsOneNode(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, devices := clustertest.Workload(t, ds, 4, 400)
+	n, err := cluster.ListenNode("127.0.0.1:0", set, cluster.NodeConfig{Name: "n1", K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	v1, err := cluster.DialNodeWire(n.Addr().String(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	v2, err := cluster.DialNodeWire(n.Addr().String(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if v1.Wire() != cluster.WireV1 || v2.Wire() != cluster.WireV2 {
+		t.Fatalf("negotiated wires %d and %d, want 1 and 2", v1.Wire(), v2.Wire())
+	}
+
+	// Split the workload by device so each connection keeps the
+	// per-device ordering contract, half the devices per wire version.
+	owner := map[string]*cluster.NodeClient{}
+	for i, d := range devices {
+		if i%2 == 0 {
+			owner[d] = v1
+		} else {
+			owner[d] = v2
+		}
+	}
+	for _, tx := range txs {
+		if err := owner[tx.SourceIP].Feed([]weblog.Transaction{tx}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := v1.Devices(); err != nil || got != len(devices) {
+		t.Fatalf("node tracks %d devices (err %v), want %d", got, err, len(devices))
+	}
+}
+
+// TestWireFeedRejectsInvalidRecord pins server-side validation on the
+// binary feed path: a transaction that fails Validate must be refused as
+// an error reply, not fed or dropped silently.
+func TestWireFeedRejectsInvalidRecord(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, _ := clustertest.Workload(t, ds, 2, 10)
+	n, err := cluster.ListenNode("127.0.0.1:0", set, cluster.NodeConfig{Name: "n1", K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	c, err := cluster.DialNodeWire(n.Addr().String(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	bad := txs[0]
+	bad.UserID = ""
+	if err := c.Feed([]weblog.Transaction{txs[1], bad}); err == nil {
+		t.Fatal("feed with an invalid record succeeded, want error reply")
+	}
+	// The connection must survive a refused frame.
+	if err := c.Feed(txs[:1]); err != nil {
+		t.Fatalf("feed after refused frame: %v", err)
+	}
+}

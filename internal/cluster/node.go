@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -29,6 +30,10 @@ type NodeConfig struct {
 	// the wire push — a local tap for logging daemons. Called from the
 	// monitor's delivery goroutine; must not block for long.
 	OnAlert func(core.Alert)
+	// MaxWire caps the wire version this node will negotiate (default
+	// MaxWireVersion). Setting 1 forces JSON frames even with v2-capable
+	// peers — an escape hatch for debugging and mixed-version rollouts.
+	MaxWire int
 	// WriteTimeout bounds every frame write to a connection (default
 	// 30s). It is what keeps a stalled peer from wedging the node: a
 	// full TCP buffer blocks, it does not error, so without a deadline
@@ -53,6 +58,7 @@ type Node struct {
 	mon          *core.Monitor
 	tap          func(core.Alert)
 	writeTimeout time.Duration
+	maxWire      int
 	elog         *log.Logger
 
 	mu      sync.Mutex
@@ -75,12 +81,16 @@ func ListenNode(addr string, set *core.ProfileSet, cfg NodeConfig) (*Node, error
 		name:         cfg.Name,
 		tap:          cfg.OnAlert,
 		writeTimeout: cfg.WriteTimeout,
+		maxWire:      cfg.MaxWire,
 		elog:         cfg.ErrorLog,
 		conns:        make(map[net.Conn]*frameWriter),
 		subs:         make(map[net.Conn]*frameWriter),
 	}
 	if n.writeTimeout <= 0 {
 		n.writeTimeout = 30 * time.Second
+	}
+	if n.maxWire <= 0 || n.maxWire > MaxWireVersion {
+		n.maxWire = MaxWireVersion
 	}
 	if n.elog == nil {
 		n.elog = log.New(io.Discard, "", 0)
@@ -229,6 +239,12 @@ func (n *Node) serveConn(conn net.Conn, w *frameWriter) {
 			}
 			return
 		}
+		if f.Type == FrameHello && reply.Type == FrameOK {
+			// The negotiated version takes effect after the hello reply:
+			// the reply itself is always JSON (a v1 peer must be able to
+			// read it), everything later uses what was agreed.
+			w.setWire(reply.Wire)
+		}
 	}
 }
 
@@ -246,18 +262,30 @@ func (n *Node) handle(conn net.Conn, f Frame) (reply Frame, undo func()) {
 			n.subs[conn] = n.conns[conn]
 			n.mu.Unlock()
 		}
-		return Frame{Type: FrameOK, Seq: f.Seq, Node: n.name}, nil
+		return Frame{Type: FrameOK, Seq: f.Seq, Node: n.name, Wire: negotiateWire(f.Wire, n.maxWire)}, nil
 	case FrameFeed:
-		txs := make([]weblog.Transaction, len(f.Lines))
-		for i, line := range f.Lines {
-			tx, err := weblog.ParseLine(line)
-			if err != nil {
-				// Reject the whole frame before feeding anything: a feed
-				// frame is an RPC from the router, not a raw proxy log —
-				// a bad line means a protocol bug, not dirty input.
-				return errorFrame(f.Seq, fmt.Errorf("line %d: %w", i, err)), nil
+		txs := f.Txs
+		if txs == nil {
+			txs = make([]weblog.Transaction, len(f.Lines))
+			for i, line := range f.Lines {
+				tx, err := weblog.ParseLine(line)
+				if err != nil {
+					// Reject the whole frame before feeding anything: a
+					// feed frame is an RPC from the router, not a raw proxy
+					// log — a bad record means a protocol bug, not dirty
+					// input.
+					return errorFrame(f.Seq, fmt.Errorf("line %d: %w", i, err)), nil
+				}
+				txs[i] = tx
 			}
-			txs[i] = tx
+		} else {
+			// Binary records decode structurally; apply the semantic
+			// checks ParseLine would have run on the line path.
+			for i := range txs {
+				if err := txs[i].Validate(); err != nil {
+					return errorFrame(f.Seq, fmt.Errorf("record %d: %w", i, err)), nil
+				}
+			}
 		}
 		if err := n.mon.FeedBatch(txs); err != nil {
 			return errorFrame(f.Seq, err), nil
@@ -309,11 +337,25 @@ func (n *Node) handle(conn net.Conn, f Frame) (reply Frame, undo func()) {
 // by the reply path and the alert fanout. Every write runs under a
 // deadline (when conn and timeout are set): a peer that stops reading
 // makes the write error out instead of blocking on the kernel buffer.
+// Writes start at wire v1 (JSON); setWire upgrades the connection after
+// the hello exchange negotiates v2, from which point frames are encoded
+// binary into a reused scratch buffer.
 type frameWriter struct {
 	mu      sync.Mutex
 	bw      *bufio.Writer
 	conn    net.Conn
 	timeout time.Duration
+	wire    int
+	scratch []byte
+}
+
+// setWire fixes the connection's negotiated wire version. Ordered through
+// the same lock as write: a frame already being written finishes in the
+// old encoding, later frames use the new one.
+func (w *frameWriter) setWire(v int) {
+	w.mu.Lock()
+	w.wire = v
+	w.mu.Unlock()
 }
 
 func (w *frameWriter) write(f Frame) error {
@@ -323,8 +365,34 @@ func (w *frameWriter) write(f Frame) error {
 		w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
 		defer w.conn.SetWriteDeadline(time.Time{})
 	}
-	if err := WriteFrame(w.bw, f); err != nil {
+	if w.wire >= WireV2 {
+		if err := w.writeBinaryLocked(f); err != nil {
+			return err
+		}
+	} else if err := WriteFrame(w.bw, f); err != nil {
 		return err
 	}
 	return w.bw.Flush()
+}
+
+// writeBinaryLocked encodes f as a wire-v2 frame into the reused scratch
+// buffer and writes it with its length prefix. Runs under w.mu.
+func (w *frameWriter) writeBinaryLocked(f Frame) error {
+	payload, err := AppendBinaryFrame(w.scratch[:0], f)
+	if err != nil {
+		return err
+	}
+	w.scratch = payload[:0]
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("cluster: %s frame of %d bytes exceeds limit %d", f.Type, len(payload), MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: writing frame header: %w", err)
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return fmt.Errorf("cluster: writing frame payload: %w", err)
+	}
+	return nil
 }

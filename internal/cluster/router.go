@@ -33,11 +33,19 @@ type RouterConfig struct {
 	// DrainBatch caps the transactions replayed per RPC when a drained
 	// device's buffered backlog is flushed to its new owner (default 256).
 	DrainBatch int
+	// MaxWire caps the wire version the router advertises to nodes
+	// (default MaxWireVersion). Each connection still negotiates down to
+	// what its node speaks, so a mixed-version cluster works either way;
+	// setting 1 forces JSON frames everywhere.
+	MaxWire int
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
 	if c.DrainBatch <= 0 {
 		c.DrainBatch = 256
+	}
+	if c.MaxWire <= 0 || c.MaxWire > MaxWireVersion {
+		c.MaxWire = MaxWireVersion
 	}
 	return c
 }
@@ -389,7 +397,7 @@ func (r *Router) AddNode(m Member) error {
 	}
 	r.mu.Unlock()
 
-	client, err := DialNode(m.Addr, r.tagged(m.Name))
+	client, err := DialNodeWire(m.Addr, r.tagged(m.Name), r.cfg.MaxWire)
 	if err != nil {
 		return err
 	}

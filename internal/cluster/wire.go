@@ -7,15 +7,20 @@ import (
 	"io"
 
 	"webtxprofile/internal/core"
+	"webtxprofile/internal/weblog"
 )
 
-// The cluster wire protocol is length-prefixed JSON: each frame is a
-// 4-byte big-endian payload length followed by one JSON-encoded Frame.
-// Transactions travel inside feed frames as the newline-less log-line
-// format of package weblog (the same lines the collector's proxies
-// stream), and shard handoffs travel as the opaque versioned blobs
-// core.Monitor's ExportDevices/ImportShard produce, so the node protocol
-// reuses both existing serializations rather than inventing new ones.
+// The cluster wire protocol is length-prefixed: each frame is a 4-byte
+// big-endian payload length followed by one encoded Frame. A payload is
+// either JSON (wire v1, and every hello) or the compact binary encoding of
+// wirecodec.go (wire v2, negotiated in the hello exchange); the reader
+// tells them apart by the first payload byte. Transactions travel inside
+// v1 feed frames as the newline-less log-line format of package weblog
+// (the same lines the collector's proxies stream) and inside v2 feed
+// frames as weblog binary records; shard handoffs travel in both versions
+// as the opaque versioned blobs core.Monitor's ExportDevices/ImportShard
+// produce, so the node protocol reuses the existing serializations rather
+// than inventing new ones.
 //
 // One TCP connection carries both directions: the client writes request
 // frames with a non-zero Seq and the node answers each with an "ok" or
@@ -69,8 +74,17 @@ type Frame struct {
 	Node string `json:"node,omitempty"`
 	// Subscribe asks (in a hello) for alert pushes on this connection.
 	Subscribe bool `json:"subscribe,omitempty"`
-	// Lines are weblog log lines (feed).
+	// Wire negotiates the connection's encoding: in a hello it advertises
+	// the sender's highest supported wire version, in the hello reply it
+	// fixes the negotiated one. Zero means wire v1 (a peer that predates
+	// the field).
+	Wire int `json:"wire,omitempty"`
+	// Lines are weblog log lines (feed, wire v1).
 	Lines []string `json:"lines,omitempty"`
+	// Txs are decoded transactions (feed, wire v2). They never appear in
+	// JSON frames: v2 payloads carry them as weblog binary records, and a
+	// v1 sender uses Lines.
+	Txs []weblog.Transaction `json:"-"`
 	// Devices names the devices to drain (export).
 	Devices []string `json:"devices,omitempty"`
 	// Blob is a shard-state blob (import request, export reply).
@@ -127,11 +141,14 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return nil
 }
 
-// ReadFrame decodes one frame from r. Malformed input — truncated
-// headers or payloads, oversized lengths, invalid JSON, unknown frame
-// types — returns an error, never panics (FuzzReadFrame). A clean EOF
-// before any header byte returns io.EOF unwrapped so callers can detect
-// an orderly connection end.
+// ReadFrame decodes one frame from r, accepting JSON (wire v1) and binary
+// (wire v2) payloads interchangeably: the binary magic in the first
+// payload byte selects the decoder, so a reader needs no per-connection
+// version state. Malformed input — truncated headers or payloads,
+// oversized lengths, invalid JSON or binary structure, unknown frame
+// types — returns an error, never panics (FuzzReadFrame,
+// FuzzBinaryFrame). A clean EOF before any header byte returns io.EOF
+// unwrapped so callers can detect an orderly connection end.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -150,6 +167,9 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Frame{}, fmt.Errorf("cluster: reading %d-byte frame payload: %w", n, err)
+	}
+	if payload[0] == binaryMagic {
+		return decodeBinaryFrame(payload)
 	}
 	var f Frame
 	if err := json.Unmarshal(payload, &f); err != nil {

@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"webtxprofile/internal/weblog"
+)
+
+// Wire v2: a compact binary frame encoding negotiated per connection in
+// the hello exchange (see doc.go for the layout and negotiation rules).
+// The hello itself — and every frame from a v1 peer — stays JSON; the
+// reader distinguishes the two per frame by the payload's first byte,
+// which is the binary magic for v2 frames and '{' for JSON.
+
+// Wire protocol versions. A peer advertises the highest version it speaks
+// in its hello frame; the node replies with min(peer, own), and both sides
+// write that version from the next frame on.
+const (
+	// WireV1 is length-prefixed JSON — the original protocol, and the
+	// version assumed for peers whose hello carries no wire field.
+	WireV1 = 1
+	// WireV2 is the length-prefixed binary frame encoding; transactions
+	// travel as weblog binary records instead of log lines.
+	WireV2 = 2
+	// MaxWireVersion is the highest version this build speaks.
+	MaxWireVersion = WireV2
+)
+
+// binaryMagic is the first payload byte of every binary frame. JSON
+// payloads always start with '{', so one byte disambiguates.
+const binaryMagic = 0xF7
+
+// normWire maps a hello's advertised wire version to an effective one:
+// absent (0) means a v1 peer; anything higher than this build is capped by
+// negotiation, not here.
+func normWire(w int) int {
+	if w <= 0 {
+		return WireV1
+	}
+	return w
+}
+
+// negotiateWire picks the version both ends speak.
+func negotiateWire(peer, own int) int {
+	p, o := normWire(peer), normWire(own)
+	if p < o {
+		return p
+	}
+	return o
+}
+
+// Binary frame type codes, fixed on the wire (the JSON type strings are
+// not sent in v2).
+var frameTypeCodes = map[string]byte{
+	FrameHello: 1, FrameFeed: 2, FrameExport: 3, FrameImport: 4,
+	FrameFlush: 5, FrameStats: 6, FrameOK: 7, FrameError: 8, FrameAlert: 9,
+}
+
+// frameTypeNames inverts frameTypeCodes (index = code).
+var frameTypeNames = func() [10]string {
+	var names [10]string
+	for name, code := range frameTypeCodes {
+		names[code] = name
+	}
+	return names
+}()
+
+// Binary frame field tags. Fields at their zero value are omitted; an
+// unknown tag is a decode error (protocol drift must surface, as with
+// unknown JSON frame types).
+const (
+	tagNode      = 1 // uvarint length + bytes
+	tagSubscribe = 2 // no payload; presence means true
+	tagWire      = 3 // uvarint
+	tagLines     = 4 // uvarint count, then per line: uvarint length + bytes
+	tagDevices   = 5 // uvarint count, then per device: uvarint length + bytes
+	tagBlob      = 6 // uvarint length + bytes
+	tagCount     = 7 // zigzag varint
+	tagError     = 8 // uvarint length + bytes
+	tagAlert     = 9 // uvarint length + JSON-encoded NodeAlert
+	tagTxs       = 10
+	// tagTxs: uvarint count, then count weblog binary records back to back
+	// (the records are self-delimiting).
+)
+
+// AppendBinaryFrame appends f's wire-v2 encoding to dst. The layout is
+//
+//	magic byte, version byte (2), frame type code, uvarint seq,
+//	tagged fields until the payload ends
+//
+// Feed payloads use Txs when set, Lines otherwise — a frame carrying both
+// would encode both, but no producer does.
+func AppendBinaryFrame(dst []byte, f Frame) ([]byte, error) {
+	code, ok := frameTypeCodes[f.Type]
+	if !ok {
+		return dst, fmt.Errorf("cluster: frame type %q has no binary encoding", f.Type)
+	}
+	dst = append(dst, binaryMagic, WireV2, code)
+	dst = binary.AppendUvarint(dst, f.Seq)
+	if f.Node != "" {
+		dst = appendTagString(dst, tagNode, f.Node)
+	}
+	if f.Subscribe {
+		dst = append(dst, tagSubscribe)
+	}
+	if f.Wire != 0 {
+		dst = append(dst, tagWire)
+		dst = binary.AppendUvarint(dst, uint64(f.Wire))
+	}
+	if len(f.Lines) > 0 {
+		dst = appendTagStrings(dst, tagLines, f.Lines)
+	}
+	if len(f.Devices) > 0 {
+		dst = appendTagStrings(dst, tagDevices, f.Devices)
+	}
+	if len(f.Blob) > 0 {
+		dst = append(dst, tagBlob)
+		dst = binary.AppendUvarint(dst, uint64(len(f.Blob)))
+		dst = append(dst, f.Blob...)
+	}
+	if f.Count != 0 {
+		dst = append(dst, tagCount)
+		dst = binary.AppendVarint(dst, int64(f.Count))
+	}
+	if f.Error != "" {
+		dst = appendTagString(dst, tagError, f.Error)
+	}
+	if f.Alert != nil {
+		payload, err := json.Marshal(f.Alert)
+		if err != nil {
+			return dst, fmt.Errorf("cluster: encoding alert: %w", err)
+		}
+		dst = append(dst, tagAlert)
+		dst = binary.AppendUvarint(dst, uint64(len(payload)))
+		dst = append(dst, payload...)
+	}
+	if len(f.Txs) > 0 {
+		dst = append(dst, tagTxs)
+		dst = binary.AppendUvarint(dst, uint64(len(f.Txs)))
+		for i := range f.Txs {
+			dst = f.Txs[i].AppendBinary(dst)
+		}
+	}
+	return dst, nil
+}
+
+func appendTagString(dst []byte, tag byte, s string) []byte {
+	dst = append(dst, tag)
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendTagStrings(dst []byte, tag byte, ss []string) []byte {
+	dst = append(dst, tag)
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// decodeBinaryFrame decodes one wire-v2 payload. The payload is converted
+// to a string once; every decoded string field (including the transactions'
+// fields) aliases that one copy, so a feed frame decodes with no per-field
+// allocation. Malformed input returns an error, never panics
+// (FuzzBinaryFrame).
+func decodeBinaryFrame(payload []byte) (Frame, error) {
+	s := string(payload)
+	if len(s) < 3 || s[0] != binaryMagic {
+		return Frame{}, fmt.Errorf("cluster: not a binary frame")
+	}
+	if s[1] != WireV2 {
+		return Frame{}, fmt.Errorf("cluster: unsupported binary frame version %d", s[1])
+	}
+	code := s[2]
+	if int(code) >= len(frameTypeNames) || frameTypeNames[code] == "" {
+		return Frame{}, fmt.Errorf("cluster: unknown binary frame type %d", code)
+	}
+	f := Frame{Type: frameTypeNames[code]}
+	s = s[3:]
+	seq, s, err := readWireUvarint(s)
+	if err != nil {
+		return Frame{}, fmt.Errorf("cluster: frame seq: %w", err)
+	}
+	f.Seq = seq
+	for len(s) > 0 {
+		tag := s[0]
+		s = s[1:]
+		switch tag {
+		case tagNode:
+			f.Node, s, err = readWireString(s)
+		case tagSubscribe:
+			f.Subscribe = true
+		case tagWire:
+			var w uint64
+			if w, s, err = readWireUvarint(s); err == nil {
+				if w > MaxWireVersion {
+					// Cap instead of reject: a future peer advertising v9
+					// must still negotiate down to what this build speaks.
+					w = MaxWireVersion
+				}
+				f.Wire = int(w)
+			}
+		case tagLines:
+			f.Lines, s, err = readWireStrings(s)
+		case tagDevices:
+			f.Devices, s, err = readWireStrings(s)
+		case tagBlob:
+			var b string
+			if b, s, err = readWireString(s); err == nil {
+				f.Blob = []byte(b)
+			}
+		case tagCount:
+			var c int64
+			if c, s, err = readWireVarint(s); err == nil {
+				f.Count = int(c)
+			}
+		case tagError:
+			f.Error, s, err = readWireString(s)
+		case tagAlert:
+			var b string
+			if b, s, err = readWireString(s); err == nil {
+				var a NodeAlert
+				if err = json.Unmarshal([]byte(b), &a); err == nil {
+					f.Alert = &a
+				}
+			}
+		case tagTxs:
+			var count uint64
+			if count, s, err = readWireUvarint(s); err != nil {
+				break
+			}
+			// A minimal record is 12 bytes (1-byte timestamp varint, nine
+			// empty fields, reputation, flags): a count claiming more
+			// records than the remaining bytes could hold is corrupt, and
+			// rejecting it here keeps the allocation below proportional to
+			// real input.
+			if count > uint64(len(s)/12)+1 {
+				err = fmt.Errorf("%d transactions cannot fit in %d bytes", count, len(s))
+				break
+			}
+			txs := make([]weblog.Transaction, count)
+			for i := range txs {
+				if txs[i], s, err = weblog.DecodeBinaryFrom(s); err != nil {
+					err = fmt.Errorf("transaction %d: %w", i, err)
+					break
+				}
+			}
+			if err == nil {
+				f.Txs = txs
+			}
+		default:
+			err = fmt.Errorf("unknown field tag %d", tag)
+		}
+		if err != nil {
+			return Frame{}, fmt.Errorf("cluster: decoding binary %s frame: %w", f.Type, err)
+		}
+	}
+	return f, nil
+}
+
+// readWireUvarint is binary.Uvarint over a string, returning the rest.
+func readWireUvarint(s string) (uint64, string, error) {
+	var x uint64
+	var shift uint
+	for i := 0; i < len(s) && i < binary.MaxVarintLen64; i++ {
+		b := s[i]
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, "", fmt.Errorf("uvarint overflows 64 bits")
+			}
+			return x | uint64(b)<<shift, s[i+1:], nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	if len(s) > binary.MaxVarintLen64 {
+		return 0, "", fmt.Errorf("uvarint overflows 64 bits")
+	}
+	return 0, "", fmt.Errorf("truncated uvarint")
+}
+
+func readWireVarint(s string) (int64, string, error) {
+	ux, rest, err := readWireUvarint(s)
+	if err != nil {
+		return 0, "", err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, rest, nil
+}
+
+// readWireString reads one uvarint-length-prefixed string aliasing s.
+func readWireString(s string) (string, string, error) {
+	n, rest, err := readWireUvarint(s)
+	if err != nil {
+		return "", "", err
+	}
+	if n > uint64(len(rest)) {
+		return "", "", fmt.Errorf("field of %d bytes exceeds remaining %d", n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// readWireStrings reads a counted list of length-prefixed strings.
+func readWireStrings(s string) ([]string, string, error) {
+	count, s, err := readWireUvarint(s)
+	if err != nil {
+		return nil, "", err
+	}
+	if count == 0 {
+		return nil, s, nil
+	}
+	// Each entry needs at least its 1-byte length prefix.
+	if count > uint64(len(s)) {
+		return nil, "", fmt.Errorf("%d strings cannot fit in %d bytes", count, len(s))
+	}
+	out := make([]string, count)
+	for i := range out {
+		if out[i], s, err = readWireString(s); err != nil {
+			return nil, "", fmt.Errorf("string %d: %w", i, err)
+		}
+	}
+	return out, s, nil
+}

@@ -1,17 +1,27 @@
 // Package collector provides the network substrate for the paper's
 // deployment scenario (Sect. I): a centralized continuous-authentication
-// service receiving web-transaction logs from a secure proxy. The wire
-// format is the newline-delimited log-line format of package weblog, so a
-// proxy can stream its log file verbatim.
+// service receiving web-transaction logs from a secure proxy. The default
+// wire format is the newline-delimited log-line format of package weblog,
+// so a proxy can stream its log file verbatim; a connection can upgrade
+// itself to length-prefixed binary transaction records (see DialBinary)
+// for an allocation-free ingest path.
+//
+// All connections feed one bounded ingest queue consumed by a single
+// goroutine: when the handler falls behind, the queue fills and the
+// connection goroutines block on the enqueue, which stops their socket
+// reads and pushes back on the senders through TCP flow control instead of
+// buffering without bound.
 package collector
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,27 +29,32 @@ import (
 	"webtxprofile/internal/weblog"
 )
 
-// Handler consumes one parsed transaction. Handlers are called from
-// per-connection goroutines and must be safe for concurrent use.
+// Handler consumes one parsed transaction. The handler is called from the
+// server's single ingest goroutine, so calls never overlap; per-connection
+// arrival order is preserved.
 type Handler func(tx weblog.Transaction)
 
 // BatchHandler consumes a batch of parsed transactions in arrival order —
 // the shape the sharded monitor's FeedBatch wants, taking each shard lock
-// once per batch instead of once per transaction. Batch handlers are
-// called from per-connection goroutines (and their flush timers) and must
-// be safe for concurrent use. The slice is reused after the call returns;
-// handlers must not retain it.
+// once per batch instead of once per transaction. The handler is called
+// from the server's single ingest goroutine, so calls never overlap;
+// per-connection arrival order is preserved. The slice is reused after the
+// call returns; handlers must not retain it.
 type BatchHandler func(txs []weblog.Transaction)
 
 // BatchConfig tunes batch ingestion. The zero value selects the defaults.
 type BatchConfig struct {
-	// MaxBatch flushes a connection's batch once it holds this many
+	// MaxBatch flushes the pending batch once it holds this many
 	// transactions (default 256).
 	MaxBatch int
 	// FlushInterval bounds how long a partial batch waits before being
 	// flushed, keeping identification latency low on quiet links
 	// (default 50ms).
 	FlushInterval time.Duration
+	// QueueDepth bounds the shared ingest queue, in transactions
+	// (default 4×MaxBatch). When the queue is full, connection reads
+	// block — backpressure reaches the proxies as TCP flow control.
+	QueueDepth int
 }
 
 func (c BatchConfig) withDefaults() BatchConfig {
@@ -49,18 +64,45 @@ func (c BatchConfig) withDefaults() BatchConfig {
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = 50 * time.Millisecond
 	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
 	return c
 }
 
-// Server accepts TCP connections carrying newline-delimited transaction
-// log lines and dispatches parsed records to the handler. Malformed lines
-// are counted and skipped — a log collector must outlive bad input.
+// maxLineBytes caps one log line, matching weblog.MaxBinaryRecord for the
+// binary mode: a runaway sender cannot balloon memory.
+const maxLineBytes = 1 << 20
+
+// wirePreamble is the in-band upgrade request for binary-record mode. It
+// is deliberately shaped as a comment line: a collector that predates the
+// binary mode skips it and keeps expecting log lines, so a binary-capable
+// client talking to an old server fails per record (counted, logged)
+// rather than corrupting the stream.
+const wirePreamble = "#wire2"
+
+// qitem is one unit on the shared ingest queue: a transaction, or a flush
+// marker enqueued when a connection ends so its partial batch is delivered
+// without waiting for the timer.
+type qitem struct {
+	tx    weblog.Transaction
+	flush bool
+}
+
+// Server accepts TCP connections carrying transaction records — log lines
+// by default, length-prefixed binary records after a connection sends the
+// wire preamble — and dispatches parsed records to the handler through the
+// shared ingest queue. Malformed records are counted and skipped — a log
+// collector must outlive bad input.
 type Server struct {
 	ln      net.Listener
 	handler Handler
 	batch   BatchHandler
 	bcfg    BatchConfig
 	errLog  *log.Logger
+
+	queue chan qitem
+	qdone chan struct{}
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -77,13 +119,13 @@ func Listen(addr string, handler Handler) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("collector: nil handler")
 	}
-	return listen(addr, &Server{handler: handler})
+	return listen(addr, &Server{handler: handler, bcfg: BatchConfig{}.withDefaults()})
 }
 
 // ListenBatch starts a collector that delivers transactions in batches:
-// each connection accumulates up to cfg.MaxBatch records and flushes when
-// the batch fills, when cfg.FlushInterval elapses, or when the connection
-// ends.
+// the ingest goroutine accumulates up to cfg.MaxBatch records and flushes
+// when the batch fills, when cfg.FlushInterval elapses, or when a
+// connection ends.
 func ListenBatch(addr string, handler BatchHandler, cfg BatchConfig) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("collector: nil batch handler")
@@ -99,12 +141,15 @@ func listen(addr string, s *Server) (*Server, error) {
 	s.ln = ln
 	s.errLog = log.New(discard{}, "", 0)
 	s.conns = make(map[net.Conn]struct{})
+	s.queue = make(chan qitem, s.bcfg.QueueDepth)
+	s.qdone = make(chan struct{})
+	go s.consume()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
 
-// SetErrorLog directs malformed-line and connection diagnostics to l.
+// SetErrorLog directs malformed-record and connection diagnostics to l.
 // Call before traffic arrives.
 func (s *Server) SetErrorLog(l *log.Logger) {
 	if l != nil {
@@ -118,15 +163,18 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // Received returns the count of successfully parsed transactions.
 func (s *Server) Received() int64 { return s.received.Load() }
 
-// ParseFailures returns the count of skipped malformed lines.
+// ParseFailures returns the count of skipped malformed records.
 func (s *Server) ParseFailures() int64 { return s.parseFails.Load() }
 
-// Close stops accepting, closes every live connection and waits for the
-// connection goroutines to drain.
+// Close stops accepting, closes every live connection, waits for the
+// connection goroutines to drain and for the ingest goroutine to deliver
+// everything still queued. When Close returns, no more handler calls will
+// be made.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		<-s.qdone
 		return nil
 	}
 	s.closed = true
@@ -136,6 +184,8 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	close(s.queue)
+	<-s.qdone
 	return err
 }
 
@@ -159,6 +209,67 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// consume is the single ingest goroutine: it drains the shared queue into
+// the handler, batching when the server runs in batch mode. One flush
+// timer serves the whole server; it is armed when a partial batch starts
+// waiting and stopped-and-drained whenever the batch flushes for another
+// reason, so closing the server never strands a timer.
+func (s *Server) consume() {
+	defer close(s.qdone)
+	if s.batch == nil {
+		for it := range s.queue {
+			if !it.flush {
+				s.handler(it.tx)
+			}
+		}
+		return
+	}
+	buf := make([]weblog.Transaction, 0, s.bcfg.MaxBatch)
+	timer := time.NewTimer(s.bcfg.FlushInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false // a value may be pending on timer.C
+	flush := func() {
+		if armed {
+			if !timer.Stop() {
+				<-timer.C
+			}
+			armed = false
+		}
+		if len(buf) > 0 {
+			s.batch(buf)
+			buf = buf[:0]
+		}
+	}
+	defer flush()
+	for {
+		select {
+		case it, ok := <-s.queue:
+			if !ok {
+				return // deferred flush delivers the tail
+			}
+			if it.flush {
+				flush()
+				continue
+			}
+			buf = append(buf, it.tx)
+			if len(buf) >= s.bcfg.MaxBatch {
+				flush()
+			} else if !armed {
+				timer.Reset(s.bcfg.FlushInterval)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			if len(buf) > 0 {
+				s.batch(buf)
+				buf = buf[:0]
+			}
+		}
+	}
+}
+
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -167,85 +278,125 @@ func (s *Server) handleConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	var b *batcher
-	deliver := s.handler
 	if s.batch != nil {
-		b = newBatcher(s.batch, s.bcfg)
-		defer b.close()
-		deliver = b.add
+		// Deliver the connection's tail immediately on disconnect rather
+		// than waiting out the flush timer. The queue cannot be closed
+		// before this send: Close waits for this goroutine first.
+		defer func() { s.queue <- qitem{flush: true} }()
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		raw, err := readLine(br)
+		if err != nil {
+			if err != io.EOF {
+				s.errLog.Printf("collector: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		line := bytes.TrimSpace(raw)
+		if len(line) == 0 {
 			continue
 		}
-		tx, err := weblog.ParseLine(line)
+		if line[0] == '#' {
+			if string(line) == wirePreamble {
+				s.ingestBinary(conn, br)
+				return
+			}
+			continue
+		}
+		// The one steady-state allocation per transaction: the line is
+		// copied out of the read buffer because ParseLine's fields alias it.
+		tx, err := weblog.ParseLine(string(line))
 		if err != nil {
 			s.parseFails.Add(1)
 			s.errLog.Printf("collector: %s: %v", conn.RemoteAddr(), err)
 			continue
 		}
 		s.received.Add(1)
-		deliver(tx)
-	}
-	if err := sc.Err(); err != nil {
-		s.errLog.Printf("collector: %s: read: %v", conn.RemoteAddr(), err)
+		s.queue <- qitem{tx: tx}
 	}
 }
 
-// batcher accumulates one connection's transactions and flushes them to
-// the batch handler when full, on a timer, or at connection end. The
-// buffer is reused across flushes.
-type batcher struct {
-	h     BatchHandler
-	max   int
-	delay time.Duration
-
-	mu    sync.Mutex
-	buf   []weblog.Transaction
-	timer *time.Timer
-}
-
-func newBatcher(h BatchHandler, cfg BatchConfig) *batcher {
-	b := &batcher{h: h, max: cfg.MaxBatch, delay: cfg.FlushInterval,
-		buf: make([]weblog.Transaction, 0, cfg.MaxBatch)}
-	b.timer = time.AfterFunc(cfg.FlushInterval, b.flush)
-	b.timer.Stop()
-	return b
-}
-
-func (b *batcher) add(tx weblog.Transaction) {
-	b.mu.Lock()
-	b.buf = append(b.buf, tx)
-	switch len(b.buf) {
-	case b.max:
-		b.flushLocked()
-	case 1:
-		b.timer.Reset(b.delay)
+// ingestBinary consumes uvarint-length-prefixed binary transaction records
+// until the connection ends. Framing damage (a bad length, a short read)
+// terminates the connection; a record that frames but does not decode or
+// validate is counted and skipped like a malformed line.
+func (s *Server) ingestBinary(conn net.Conn, br *bufio.Reader) {
+	var rec []byte
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			if err != io.EOF {
+				s.errLog.Printf("collector: %s: binary read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if n == 0 || n > weblog.MaxBinaryRecord {
+			s.errLog.Printf("collector: %s: binary record of %d bytes out of range", conn.RemoteAddr(), n)
+			return
+		}
+		if uint64(cap(rec)) < n {
+			rec = make([]byte, n)
+		}
+		rec = rec[:n]
+		if _, err := io.ReadFull(br, rec); err != nil {
+			s.errLog.Printf("collector: %s: binary read: %v", conn.RemoteAddr(), err)
+			return
+		}
+		tx, err := weblog.DecodeBinary(rec)
+		if err == nil {
+			err = tx.Validate()
+		}
+		if err != nil {
+			s.parseFails.Add(1)
+			s.errLog.Printf("collector: %s: %v", conn.RemoteAddr(), err)
+			continue
+		}
+		s.received.Add(1)
+		s.queue <- qitem{tx: tx}
 	}
-	b.mu.Unlock()
 }
 
-func (b *batcher) flush() {
-	b.mu.Lock()
-	b.flushLocked()
-	b.mu.Unlock()
-}
-
-func (b *batcher) flushLocked() {
-	if len(b.buf) == 0 {
-		return
+// readLine returns the next newline-terminated line, excluding the
+// delimiter; a final unterminated line is returned before io.EOF. The
+// returned bytes alias the reader's buffer and are only valid until the
+// next read.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	switch err {
+	case nil:
+		return line[:len(line)-1], nil
+	case io.EOF:
+		if len(line) > 0 {
+			return line, nil
+		}
+		return nil, io.EOF
+	case bufio.ErrBufferFull:
+		// Oversized line: fall through to the copying slow path.
+	default:
+		return nil, err
 	}
-	b.h(b.buf)
-	b.buf = b.buf[:0]
-	b.timer.Stop()
-}
-
-func (b *batcher) close() {
-	b.flush()
-	b.timer.Stop()
+	buf := append([]byte(nil), line...)
+	for {
+		if len(buf) > maxLineBytes {
+			return nil, fmt.Errorf("line exceeds %d bytes", maxLineBytes)
+		}
+		line, err = br.ReadSlice('\n')
+		buf = append(buf, line...)
+		switch err {
+		case nil:
+			return buf[:len(buf)-1], nil
+		case io.EOF:
+			if len(buf) > 0 {
+				return buf, nil
+			}
+			return nil, io.EOF
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return nil, err
+		}
+	}
 }
 
 // discard is an io.Writer that drops everything (log.Logger needs one).
@@ -255,11 +406,14 @@ func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
 // Client streams transactions to a collector.
 type Client struct {
-	conn net.Conn
-	bw   *bufio.Writer
+	conn    net.Conn
+	bw      *bufio.Writer
+	binary  bool
+	rec     []byte // reused record scratch (binary mode)
+	scratch []byte // reused framed-record scratch (binary mode)
 }
 
-// Dial connects to a collector at addr.
+// Dial connects to a collector at addr, speaking the log-line format.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -268,10 +422,36 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, bw: bufio.NewWriter(conn)}, nil
 }
 
+// DialBinary connects to a collector at addr and upgrades the connection
+// to binary transaction records: Send then encodes with AppendBinary into
+// a reused buffer instead of marshaling a log line, removing the per-send
+// allocations. Requires a binary-capable collector; an older server skips
+// the upgrade preamble as a comment and will count every record as a
+// malformed line.
+func DialBinary(addr string) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.bw.WriteString(wirePreamble + "\n"); err != nil {
+		c.conn.Close()
+		return nil, err
+	}
+	c.binary = true
+	return c, nil
+}
+
 // Send queues one transaction; call Flush (or Close) to push buffered
 // records to the wire.
 func (c *Client) Send(tx weblog.Transaction) error {
 	if err := tx.Validate(); err != nil {
+		return err
+	}
+	if c.binary {
+		c.rec = tx.AppendBinary(c.rec[:0])
+		c.scratch = binary.AppendUvarint(c.scratch[:0], uint64(len(c.rec)))
+		c.scratch = append(c.scratch, c.rec...)
+		_, err := c.bw.Write(c.scratch)
 		return err
 	}
 	if _, err := c.bw.WriteString(tx.MarshalLine()); err != nil {

@@ -6,6 +6,7 @@ import (
 	"hash/maphash"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -313,6 +314,37 @@ func (m *Monitor) Feed(tx weblog.Transaction) error {
 // fully bad batch cannot produce an unbounded error value.
 const feedBatchMaxErrs = 8
 
+// batchScratch holds FeedBatch's counting-sort partition arrays. The
+// arrays scale with batch size and shard count, so a steady-state feed
+// loop would otherwise pay several allocations per batch; pooling them
+// keeps the batch path allocation-free once warm. Pool-local, never
+// retained past the FeedBatch call that took it.
+type batchScratch struct {
+	shardOf []int32
+	order   []int32
+	starts  []int
+	fill    []int
+	work    []int
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// grab sizes the scratch for a batch of n transactions over shards
+// shards, reusing prior capacity.
+func (sc *batchScratch) grab(n, shards int) (shardOf, order []int32, starts, fill []int) {
+	if cap(sc.shardOf) < n {
+		sc.shardOf = make([]int32, n)
+		sc.order = make([]int32, n)
+	}
+	if cap(sc.starts) < shards+1 {
+		sc.starts = make([]int, shards+1)
+		sc.fill = make([]int, shards+1)
+	}
+	starts = sc.starts[:shards+1]
+	clear(starts)
+	return sc.shardOf[:n], sc.order[:n], starts, sc.fill[:shards]
+}
+
 // FeedBatch feeds a slice of transactions (non-decreasing timestamps per
 // device, as with Feed), taking each shard lock once per batch instead of
 // once per transaction and processing the batch's shards on a bounded
@@ -329,10 +361,16 @@ func (m *Monitor) FeedBatch(txs []weblog.Transaction) error {
 	if len(txs) == 0 {
 		return nil
 	}
-	// Stable counting-sort partition by shard: three fixed allocations,
-	// no copies of the Transaction structs themselves.
-	shardOf := make([]int32, len(txs))
-	starts := make([]int, len(m.shards)+1)
+	// Stable counting-sort partition by shard: no copies of the
+	// Transaction structs themselves, and the index arrays come from a
+	// pool so a warm feed loop allocates nothing here.
+	sc := batchScratchPool.Get().(*batchScratch)
+	shardOf, order, starts, fill := sc.grab(len(txs), len(m.shards))
+	work := sc.work[:0]
+	defer func() {
+		sc.work = work
+		batchScratchPool.Put(sc)
+	}()
 	for i := range txs {
 		s := m.shardIndex(txs[i].SourceIP)
 		shardOf[i] = int32(s)
@@ -341,14 +379,12 @@ func (m *Monitor) FeedBatch(txs []weblog.Transaction) error {
 	for s := 0; s < len(m.shards); s++ {
 		starts[s+1] += starts[s]
 	}
-	order := make([]int32, len(txs))
-	fill := append([]int(nil), starts[:len(m.shards)]...)
+	copy(fill, starts[:len(m.shards)])
 	for i := range txs {
 		s := shardOf[i]
 		order[fill[s]] = int32(i)
 		fill[s]++
 	}
-	work := make([]int, 0, len(m.shards))
 	for si := range m.shards {
 		if starts[si] < starts[si+1] {
 			work = append(work, si)
@@ -466,6 +502,10 @@ func (m *Monitor) feedLocked(sh *monitorShard, tx weblog.Transaction) error {
 // loss this machinery exists to prevent — and only fails the one
 // transaction; the next one retries the rehydration.
 func (m *Monitor) admitLocked(sh *monitorShard, device string) (*deviceTrack, error) {
+	// The id arrives aliasing transient ingest memory (a wire frame's
+	// payload, a log line); clone it before it becomes a long-lived map
+	// key so tracking one device cannot pin a whole decoded frame.
+	device = strings.Clone(device)
 	if m.cfg.Spill != nil {
 		blob, ok, err := m.cfg.Spill.Get(device)
 		if err != nil {

@@ -1,0 +1,78 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/sparse"
+	"webtxprofile/internal/weblog"
+)
+
+// TestExtractIntoMatchesExtract pins the scratch extractor to the
+// allocating one across the corpus variants (including the zero media type
+// and the unverified reputation, whose risk column is skipped).
+func TestExtractIntoMatchesExtract(t *testing.T) {
+	vocab := Build(corpus())
+	var scratch sparse.Vector
+	for i, tr := range corpus() {
+		want := vocab.Extract(&tr)
+		vocab.ExtractInto(&tr, &scratch)
+		if !reflect.DeepEqual(want.Idx, scratch.Idx) || !reflect.DeepEqual(want.Val, scratch.Val) {
+			t.Errorf("tx %d: ExtractInto %+v, Extract %+v", i, scratch, want)
+		}
+	}
+}
+
+// TestExtractIntoAllocs gates the extractor's budget: with a warm
+// destination, extraction allocates nothing.
+func TestExtractIntoAllocs(t *testing.T) {
+	vocab := Build(corpus())
+	tr := corpus()[0]
+	var scratch sparse.Vector
+	vocab.ExtractInto(&tr, &scratch)
+	if avg := testing.AllocsPerRun(200, func() {
+		vocab.ExtractInto(&tr, &scratch)
+	}); avg > 0 {
+		t.Errorf("warm ExtractInto allocates %.1f times per tx, want 0", avg)
+	}
+}
+
+// TestStreamerFeedAllocs gates the whole steady-state feed path: parsing a
+// log line and feeding it through a long-running streamer — windows
+// emitting as they complete — must average at most 2 allocations per
+// transaction. The budget covers the collector's per-line string plus the
+// slices an emitted Window legitimately carries away; the per-window maps
+// and extract vectors the path used to allocate would blow it immediately.
+func TestStreamerFeedAllocs(t *testing.T) {
+	vocab := Build(corpus())
+	s, err := NewStreamer(vocab, WindowConfig{Duration: time.Minute, Shift: 30 * time.Second}, "10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, len(corpus()))
+	for i, tr := range corpus() {
+		tr.Timestamp = time.Time{} // timestamp is re-stamped per feed below
+		lines[i] = tx(0, tr.UserID, tr.Category, tr.AppType, tr.MediaType, tr.Reputation).MarshalLine()
+	}
+	var fed int
+	const perRun = 120
+	feed := func(tb testing.TB) {
+		for i := 0; i < perRun; i++ {
+			tr, err := weblog.ParseLine(lines[fed%len(lines)])
+			if err != nil {
+				tb.Fatal(err)
+			}
+			tr.Timestamp = t0.Add(time.Duration(fed) * time.Second)
+			fed++
+			if _, err := s.Add(tr); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	feed(t) // warm-up: grows the buffer, accumulator scratch and user tally
+	avg := testing.AllocsPerRun(20, func() { feed(t) })
+	if perTx := avg / perRun; perTx > 2 {
+		t.Errorf("feed path allocates %.2f times per tx, want <= 2", perTx)
+	}
+}

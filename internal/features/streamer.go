@@ -2,6 +2,7 @@ package features
 
 import (
 	"fmt"
+	"maps"
 	"time"
 
 	"webtxprofile/internal/sparse"
@@ -30,6 +31,14 @@ type Streamer struct {
 	lastSeen  weblog.Transaction
 	closed    bool
 	emitCount int
+
+	// Reusable window-build scratch (lazily created): the accumulator, the
+	// per-transaction extract destination and the user tally live across
+	// windows so steady-state builds allocate only what each emitted Window
+	// carries away. Deliberately absent from StreamerState.
+	acc     *sparse.Accumulator
+	scratch sparse.Vector
+	users   map[string]int
 }
 
 // NewStreamer returns a streaming window composer for one entity.
@@ -184,29 +193,36 @@ func RestoreStreamer(vocab *Vocabulary, cfg WindowConfig, st StreamerState) (*St
 	return s, nil
 }
 
-// build aggregates buffered transactions inside [start, end).
+// build aggregates buffered transactions inside [start, end) using the
+// streamer's reusable scratch; only an emitted Window materializes fresh
+// slices and a fresh user-count map.
 func (s *Streamer) build(start, end time.Time) (Window, bool) {
-	acc := sparse.NewAccumulator(s.vocab.NumericCols())
-	users := make(map[string]int)
+	if s.acc == nil {
+		s.acc = sparse.NewAccumulator(s.vocab.NumericCols())
+		s.users = make(map[string]int)
+	}
+	s.acc.Reset()
+	clear(s.users)
 	for i := range s.buf {
 		ts := s.buf[i].Timestamp
 		if ts.Before(start) || !ts.Before(end) {
 			continue
 		}
-		acc.Add(s.vocab.Extract(&s.buf[i]))
-		users[s.buf[i].UserID]++
+		s.vocab.ExtractInto(&s.buf[i], &s.scratch)
+		s.acc.Add(s.scratch)
+		s.users[s.buf[i].UserID]++
 	}
-	if acc.Count() == 0 {
+	if s.acc.Count() == 0 {
 		return Window{}, false
 	}
 	s.emitCount++
 	return Window{
 		Start:      start,
 		End:        end,
-		Vector:     acc.Vector(),
-		Count:      acc.Count(),
+		Vector:     s.acc.Vector(),
+		Count:      s.acc.Count(),
 		Entity:     s.entity,
-		UserCounts: users,
+		UserCounts: maps.Clone(s.users),
 	}, true
 }
 

@@ -183,46 +183,53 @@ func (v *Vocabulary) GroupCounts() (counts [9]int, total int) {
 // public-destination flag, reputation risk and reputation-verified.
 // Values absent from the vocabulary contribute no column.
 func (v *Vocabulary) Extract(tx *weblog.Transaction) sparse.Vector {
+	out := sparse.Vector{Idx: make([]int32, 0, 10), Val: make([]float64, 0, 10)}
+	v.ExtractInto(tx, &out)
+	return out
+}
+
+// ExtractInto is Extract writing into dst's backing arrays (length reset to
+// zero, grown only when the transaction has more columns than any before).
+// It is the streaming hot path's extractor: once dst has warmed up, a call
+// allocates nothing. dst is only valid until the next ExtractInto with the
+// same destination.
+func (v *Vocabulary) ExtractInto(tx *weblog.Transaction, dst *sparse.Vector) {
 	// Columns are assigned in strictly increasing group order, and within
 	// a group lookups may hit at most one column, so indexes collected in
-	// group order arrive sorted — no sort needed.
-	idx := make([]int32, 0, 10)
-	val := make([]float64, 0, 10)
-	add := func(col int, x float64) {
-		if x == 0 {
-			return
-		}
-		idx = append(idx, int32(col))
-		val = append(val, x)
-	}
+	// group order arrive sorted — no sort needed. A transaction never emits
+	// a zero value: presence columns are 1 by construction and a zero
+	// reputation risk is skipped like an absent column.
+	idx, val := dst.Idx[:0], dst.Val[:0]
 	if c, ok := v.actions[tx.Action]; ok {
-		add(c, 1)
+		idx, val = append(idx, int32(c)), append(val, 1)
 	}
 	if c, ok := v.schemes[tx.Scheme]; ok {
-		add(c, 1)
+		idx, val = append(idx, int32(c)), append(val, 1)
 	}
 	if tx.Private {
-		add(v.colPub, 1)
+		idx, val = append(idx, int32(v.colPub)), append(val, 1)
 	}
-	add(v.colRisk, tx.Reputation.Risk())
+	if risk := tx.Reputation.Risk(); risk != 0 {
+		idx, val = append(idx, int32(v.colRisk)), append(val, risk)
+	}
 	if tx.Reputation.Verified() {
-		add(v.colVerif, 1)
+		idx, val = append(idx, int32(v.colVerif)), append(val, 1)
 	}
 	if c, ok := v.cats[tx.Category]; ok {
-		add(c, 1)
+		idx, val = append(idx, int32(c)), append(val, 1)
 	}
 	if !tx.MediaType.IsZero() {
 		if c, ok := v.supers[tx.MediaType.Super]; ok {
-			add(c, 1)
+			idx, val = append(idx, int32(c)), append(val, 1)
 		}
 		if c, ok := v.subs[tx.MediaType.Sub]; ok {
-			add(c, 1)
+			idx, val = append(idx, int32(c)), append(val, 1)
 		}
 	}
 	if c, ok := v.apps[tx.AppType]; ok {
-		add(c, 1)
+		idx, val = append(idx, int32(c)), append(val, 1)
 	}
-	return sparse.Vector{Idx: idx, Val: val}
+	dst.Idx, dst.Val = idx, val
 }
 
 // vocabularyJSON is the serialized form of a Vocabulary. Explicit

@@ -84,6 +84,7 @@ func Compose(vocab *Vocabulary, cfg WindowConfig, txs []weblog.Transaction, enti
 	}
 	var windows []Window
 	acc := sparse.NewAccumulator(vocab.NumericCols())
+	var scratch sparse.Vector
 	t0 := txs[0].Timestamp
 	last := txs[len(txs)-1].Timestamp
 	lo := 0 // first transaction with Timestamp >= start
@@ -102,7 +103,8 @@ func Compose(vocab *Vocabulary, cfg WindowConfig, txs []weblog.Transaction, enti
 		acc.Reset()
 		users := make(map[string]int)
 		for i := lo; i < len(txs) && txs[i].Timestamp.Before(end); i++ {
-			acc.Add(vocab.Extract(&txs[i]))
+			vocab.ExtractInto(&txs[i], &scratch)
+			acc.Add(scratch)
 			users[txs[i].UserID]++
 		}
 		if acc.Count() == 0 {

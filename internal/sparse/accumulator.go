@@ -1,6 +1,6 @@
 package sparse
 
-import "sort"
+import "slices"
 
 // Accumulator aggregates many transaction vectors into one window vector
 // following Sect. III-C of the paper: binary (bag-of-words) columns combine
@@ -12,32 +12,73 @@ import "sort"
 // accumulated transactions (not by the count of transactions that stored
 // the column), matching the paper's worked example where reputation 0, 0.5,
 // 0 over three transactions yields 0.167.
+//
+// The accumulator is built for reuse on the streaming hot path: instead of
+// per-window maps it keeps dense scratch arrays sized to the highest column
+// seen — per-column value and epoch-mark slots plus the touched-column list
+// — so Reset is a counter bump and Add never allocates once the scratch has
+// grown to the vocabulary's width. Only Vector materializes fresh slices
+// (they leave with the emitted window).
 type Accumulator struct {
-	numeric map[int32]bool
-	sums    map[int32]float64 // numeric columns: running sums
-	present map[int32]bool    // binary columns: OR
+	numeric []bool    // dense numeric-column mask
+	vals    []float64 // per-column running sum (numeric) or presence (binary)
+	mark    []uint32  // epoch stamp: vals[i] is live iff mark[i] == epoch
+	touched []int32   // columns stamped this epoch, unsorted
+	epoch   uint32
 	count   int
 }
 
 // NewAccumulator returns an empty accumulator. numericCols lists the column
-// indexes aggregated by mean; it is retained by reference and must not be
-// mutated while the accumulator is in use.
+// indexes aggregated by mean; the set is copied into a dense mask, so later
+// mutation of the map does not affect the accumulator.
 func NewAccumulator(numericCols map[int32]bool) *Accumulator {
-	return &Accumulator{
-		numeric: numericCols,
-		sums:    make(map[int32]float64),
-		present: make(map[int32]bool),
+	a := &Accumulator{epoch: 1}
+	for col, ok := range numericCols {
+		if !ok || col < 0 {
+			continue
+		}
+		if int(col) >= len(a.numeric) {
+			a.numeric = append(a.numeric, make([]bool, int(col)+1-len(a.numeric))...)
+		}
+		a.numeric[col] = true
 	}
+	return a
+}
+
+// isNumeric reports whether column i aggregates by mean.
+func (a *Accumulator) isNumeric(i int32) bool {
+	return int(i) < len(a.numeric) && a.numeric[i]
+}
+
+// ensure grows the scratch arrays to hold column i. Fresh slots carry mark
+// 0, which no epoch ever equals (epochs start at 1 and skip 0 on wrap).
+func (a *Accumulator) ensure(i int32) {
+	if int(i) < len(a.mark) {
+		return
+	}
+	n := int(i) + 1 - len(a.mark)
+	a.mark = append(a.mark, make([]uint32, n)...)
+	a.vals = append(a.vals, make([]float64, n)...)
 }
 
 // Add folds one transaction vector into the window.
 func (a *Accumulator) Add(v Vector) {
 	a.count++
 	for k, i := range v.Idx {
-		if a.numeric[i] {
-			a.sums[i] += v.Val[k]
-		} else {
-			a.present[i] = true
+		if i < 0 {
+			continue
+		}
+		a.ensure(i)
+		if a.isNumeric(i) {
+			if a.mark[i] != a.epoch {
+				a.mark[i] = a.epoch
+				a.vals[i] = 0
+				a.touched = append(a.touched, i)
+			}
+			a.vals[i] += v.Val[k]
+		} else if a.mark[i] != a.epoch {
+			a.mark[i] = a.epoch
+			a.touched = append(a.touched, i)
 		}
 	}
 }
@@ -46,35 +87,41 @@ func (a *Accumulator) Add(v Vector) {
 func (a *Accumulator) Count() int { return a.count }
 
 // Vector materializes the aggregated window vector. It returns the zero
-// Vector when no transactions were added.
+// Vector when no transactions were added. Binary columns emit 1; numeric
+// columns emit their mean, except an exact-zero sum, which (like an absent
+// column) contributes nothing.
 func (a *Accumulator) Vector() Vector {
 	if a.count == 0 {
 		return Vector{}
 	}
-	idx := make([]int32, 0, len(a.present)+len(a.sums))
-	for i := range a.present {
-		idx = append(idx, i)
-	}
-	for i := range a.sums {
-		if a.sums[i] != 0 {
+	slices.Sort(a.touched)
+	idx := make([]int32, 0, len(a.touched))
+	val := make([]float64, 0, len(a.touched))
+	for _, i := range a.touched {
+		if a.isNumeric(i) {
+			if a.vals[i] == 0 {
+				continue
+			}
 			idx = append(idx, i)
-		}
-	}
-	sort.Slice(idx, func(x, y int) bool { return idx[x] < idx[y] })
-	val := make([]float64, len(idx))
-	for k, i := range idx {
-		if a.numeric[i] {
-			val[k] = a.sums[i] / float64(a.count)
+			val = append(val, a.vals[i]/float64(a.count))
 		} else {
-			val[k] = 1
+			idx = append(idx, i)
+			val = append(val, 1)
 		}
 	}
 	return Vector{Idx: idx, Val: val}
 }
 
-// Reset clears the accumulator for reuse.
+// Reset clears the accumulator for reuse: the epoch bump invalidates every
+// stamped slot at once, no scratch is released.
 func (a *Accumulator) Reset() {
 	a.count = 0
-	clear(a.sums)
-	clear(a.present)
+	a.touched = a.touched[:0]
+	a.epoch++
+	if a.epoch == 0 {
+		// Epoch wrapped onto the fresh-slot sentinel: clear the stamps once
+		// and restart above it.
+		clear(a.mark)
+		a.epoch = 1
+	}
 }

@@ -1,0 +1,86 @@
+package sparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// vec builds a test vector directly from pre-sorted parallel slices.
+func vec(idx []int32, val []float64) Vector { return Vector{Idx: idx, Val: val} }
+
+// TestAccumulatorAddAllocs gates the hot-path budget: once the scratch has
+// grown to the vocabulary width, Reset and Add allocate nothing.
+func TestAccumulatorAddAllocs(t *testing.T) {
+	numeric := map[int32]bool{6: true, 7: true}
+	acc := NewAccumulator(numeric)
+	v1 := vec([]int32{0, 5, 6, 7}, []float64{1, 1, 0.5, 1})
+	v2 := vec([]int32{1, 6, 40}, []float64{1, 0.25, 1})
+	// Warm the scratch to the highest column before measuring.
+	acc.Add(v1)
+	acc.Add(v2)
+	if avg := testing.AllocsPerRun(200, func() {
+		acc.Reset()
+		acc.Add(v1)
+		acc.Add(v2)
+		acc.Add(v1)
+	}); avg > 0 {
+		t.Errorf("warm Reset+Add allocates %.1f times per window, want 0", avg)
+	}
+}
+
+// TestAccumulatorReuseMatchesFresh: an accumulator reused through many
+// Reset cycles produces exactly what a freshly constructed one produces,
+// including after scratch growth and interleaved column sets.
+func TestAccumulatorReuseMatchesFresh(t *testing.T) {
+	numeric := map[int32]bool{2: true, 9: true}
+	windows := [][]Vector{
+		{vec([]int32{0, 2}, []float64{1, 0.5}), vec([]int32{1, 2}, []float64{1, -0.5})},
+		{vec([]int32{9}, []float64{0.25})},
+		{}, // empty window: zero Vector from both
+		{vec([]int32{30, 2}, []float64{1, 1}), vec([]int32{0}, []float64{1})},
+	}
+	reused := NewAccumulator(numeric)
+	for wi, txs := range windows {
+		reused.Reset()
+		fresh := NewAccumulator(numeric)
+		for _, v := range txs {
+			reused.Add(v)
+			fresh.Add(v)
+		}
+		got, want := reused.Vector(), fresh.Vector()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("window %d: reused %+v, fresh %+v", wi, got, want)
+		}
+	}
+}
+
+// TestAccumulatorEpochWraparound drives the epoch counter across its uint32
+// wrap and checks stale marks cannot leak a previous window's columns.
+func TestAccumulatorEpochWraparound(t *testing.T) {
+	acc := NewAccumulator(nil)
+	acc.Add(vec([]int32{3, 8}, []float64{1, 1}))
+	// Force the wrap: the next Reset lands the epoch on 0, which must clear
+	// the stamps rather than resurrect the marks set above.
+	acc.epoch = ^uint32(0)
+	acc.Reset()
+	if acc.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", acc.epoch)
+	}
+	acc.Add(vec([]int32{5}, []float64{1}))
+	want := vec([]int32{5}, []float64{1})
+	if got := acc.Vector(); !reflect.DeepEqual(got, want) {
+		t.Errorf("post-wrap vector %+v, want %+v", got, want)
+	}
+}
+
+// TestAccumulatorIgnoresNegativeIndex: a negative column index (illegal in
+// a validated Vector, but reachable from a hostile wire peer) is skipped
+// rather than crashing the shard loop.
+func TestAccumulatorIgnoresNegativeIndex(t *testing.T) {
+	acc := NewAccumulator(map[int32]bool{-4: true})
+	acc.Add(Vector{Idx: []int32{-4, 2}, Val: []float64{1, 1}})
+	want := vec([]int32{2}, []float64{1})
+	if got := acc.Vector(); !reflect.DeepEqual(got, want) {
+		t.Errorf("vector %+v, want %+v", got, want)
+	}
+}
