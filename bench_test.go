@@ -8,6 +8,7 @@ package webtxprofile_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -495,6 +496,192 @@ func BenchmarkMonitorFeedBatchWorkers(b *testing.B) {
 	b.Run("workers=max", func(b *testing.B) {
 		benchMonitorFeedBatch(b, devices, webtxprofile.MonitorConfig{Shards: 64})
 	})
+}
+
+// calibratedPopulationModel builds one synthetic RBF OC-SVM profile the
+// way per-user training shapes them: the user's windows draw from a
+// 60-column "home" vocabulary subset (users revisit the same services),
+// the RBF width discriminates between same-user and alien windows, dual
+// coefficients cluster near the 1/(νn) training bound, and ρ is placed
+// just under the weakest training vector's kernel sum — every training
+// support vector accepted, alien windows decisively rejected.
+func calibratedPopulationModel(tb testing.TB, r *rand.Rand, dim int) *svm.Model {
+	home := r.Perm(dim)[:min(60, dim)]
+	m := &svm.Model{Algo: svm.OCSVM, Kernel: svm.RBF(0.3), Param: 0.1, TrainSize: 50}
+	for s := 0; s < 50; s++ {
+		dense := make(map[int]float64, 20)
+		for len(dense) < 20 {
+			dense[home[r.Intn(len(home))]] = 0.1 + r.Float64()
+		}
+		m.SVs = append(m.SVs, sparse.New(dense))
+		m.Coef = append(m.Coef, 0.4+0.2*r.Float64())
+	}
+	if err := m.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	// With ρ = 0, Decision(x) is the raw kernel sum Σαᵢk(xᵢ,x).
+	minS := math.Inf(1)
+	for _, sv := range m.SVs {
+		if d := m.Decision(sv); d < minS {
+			minS = d
+		}
+	}
+	m.Rho = 0.9 * minS
+	return m
+}
+
+// benchRandVec generates a window-like sparse vector for the population
+// fixtures.
+func benchRandVec(r *rand.Rand, dim, nnz int) sparse.Vector {
+	dense := make(map[int]float64, nnz)
+	for len(dense) < nnz {
+		dense[r.Intn(dim)] = 0.1 + r.Float64()
+	}
+	return sparse.New(dense)
+}
+
+// populationModels builds U calibrated profiles over 800 columns plus
+// probe windows. Every 8th probe is a copy of some model's support
+// vector, so the accept/exact-kernel-loop path is exercised alongside
+// the screened rejections that dominate multi-user scoring.
+func populationModels(b testing.TB, u int) ([]*svm.Model, []sparse.Vector) {
+	b.Helper()
+	r := rand.New(rand.NewSource(int64(u)*31 + 7))
+	models := make([]*svm.Model, u)
+	for i := range models {
+		models[i] = calibratedPopulationModel(b, r, 800)
+	}
+	probes := make([]sparse.Vector, 256)
+	for i := range probes {
+		if i%8 == 0 {
+			m := models[r.Intn(u)]
+			probes[i] = m.SVs[r.Intn(len(m.SVs))]
+		} else {
+			probes[i] = benchRandVec(r, 800, 20)
+		}
+	}
+	return models, probes
+}
+
+// BenchmarkPopulationDecisions is the PR 7 headline: one window scored
+// against U user models, comparing the per-model-index baseline
+// (DecisionBatch: each model re-walks the window through its own inverted
+// index) against the fused population index (one shared postings pass plus
+// decision screening) in both precision modes. decisions/sec is the
+// reported capacity metric — the paper's identification loop runs exactly
+// this evaluation per completed window.
+func BenchmarkPopulationDecisions(b *testing.B) {
+	for _, u := range []int{100, 1_000, 10_000} {
+		models, probes := populationModels(b, u)
+		rate := func(b *testing.B) {
+			b.ReportMetric(float64(u)*float64(b.N)/b.Elapsed().Seconds(), "decisions/sec")
+		}
+		b.Run(fmt.Sprintf("baseline/models=%d", u), func(b *testing.B) {
+			var out []float64
+			for i := 0; i < b.N; i++ {
+				out = svm.DecisionBatch(models, probes[i%len(probes)], out[:0])
+			}
+			rate(b)
+		})
+		b.Run(fmt.Sprintf("fused/models=%d", u), func(b *testing.B) {
+			sc := svm.NewScorer(models)
+			before := svm.ReadKernelStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.AcceptMask(probes[i%len(probes)])
+			}
+			rate(b)
+			st := svm.ReadKernelStats().Sub(before)
+			b.ReportMetric(float64(st.ScreenedModels)/float64(b.N), "screened/op")
+		})
+		b.Run(fmt.Sprintf("fused-float32/models=%d", u), func(b *testing.B) {
+			sc := svm.NewFusedIndex(models, svm.FusedConfig{Float32: true}).NewScorer()
+			before := svm.ReadKernelStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.AcceptMask(probes[i%len(probes)])
+			}
+			rate(b)
+			st := svm.ReadKernelStats().Sub(before)
+			b.ReportMetric(float64(st.ScreenedModels)/float64(b.N), "screened/op")
+		})
+	}
+}
+
+// populationProfileSet grafts U synthetic profiles onto the bench set's
+// real vocabulary and window configuration, so a Monitor over an
+// arbitrarily large population still extracts features from the genuine
+// taxonomy.
+func populationProfileSet(b *testing.B, u int) *webtxprofile.ProfileSet {
+	b.Helper()
+	base := monitorBenchSet(b)
+	dim := base.Vocabulary.Size()
+	r := rand.New(rand.NewSource(int64(u)*17 + 3))
+	set := &webtxprofile.ProfileSet{
+		Vocabulary: base.Vocabulary,
+		Window:     base.Window,
+		Algorithm:  svm.OCSVM,
+		Profiles:   make(map[string]*webtxprofile.Profile, u),
+	}
+	for i := 0; i < u; i++ {
+		id := fmt.Sprintf("synth-user-%05d", i)
+		set.Profiles[id] = &webtxprofile.Profile{
+			UserID: id, Model: calibratedPopulationModel(b, r, dim), TrainWindows: 50,
+		}
+	}
+	return set
+}
+
+// BenchmarkMonitorFeedPopulation measures the monitor end of the fused
+// engine at the paper's deployment population — 100k tracked devices —
+// as the enrolled-profile count grows. Every device is admitted in an
+// untimed warm-up lap; each timed transaction then completes exactly one
+// window (the per-device gap exceeds the window span), so ops measure the
+// steady-state feed-extract-score path and decisions/sec ≈ U × windows/sec.
+func BenchmarkMonitorFeedPopulation(b *testing.B) {
+	const devices = 100_000
+	env := benchEnv(b)
+	names := benchDeviceNames(devices)
+	for _, u := range []int{100, 1_000, 10_000} {
+		b.Run(fmt.Sprintf("profiles=%d", u), func(b *testing.B) {
+			set := populationProfileSet(b, u)
+			mon, err := webtxprofile.NewMonitorWithConfig(set, 5, func(webtxprofile.Alert) {},
+				webtxprofile.MonitorConfig{Shards: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mon.Close()
+			base := env.Train.Transactions
+			start := base[len(base)-1].Timestamp.Add(time.Hour)
+			const batchSize = 512
+			batch := make([]webtxprofile.Transaction, 0, batchSize)
+			feed := func(from, n int) {
+				fed := 0
+				for fed < n {
+					c := min(batchSize, n-fed)
+					batch = batch[:0]
+					for j := 0; j < c; j++ {
+						i := from + fed + j
+						tx := base[i%len(base)]
+						tx.SourceIP = names[i%devices]
+						tx.Timestamp = start.Add(time.Duration(i) * 50 * time.Millisecond)
+						batch = append(batch, tx)
+					}
+					if err := mon.FeedBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+					fed += c
+				}
+			}
+			feed(0, devices) // warm-up: admit every device
+			b.ResetTimer()
+			feed(devices, b.N)
+			b.StopTimer()
+			b.ReportMetric(float64(u)*float64(b.N)/b.Elapsed().Seconds(), "decisions/sec")
+			// No Flush: it would classify every tracked device's open
+			// window — 100k × U decisions of teardown, not steady state.
+		})
+	}
 }
 
 // BenchmarkParamSearchFullGrid measures one user's full Table III grid —

@@ -6,19 +6,28 @@
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./... | benchjson > BENCH.json
+//	go test -run xxx -bench . -benchmem ./... | benchjson -baseline BENCH_PREV.json > BENCH.json
 //
 // Every benchmark line becomes one record carrying the iteration count and
 // all reported metrics — the standard ns/op, B/op and allocs/op as well as
 // custom b.ReportMetric units (e.g. kernelEvals/op). Context lines (goos,
 // goarch, cpu, pkg) annotate the records that follow them.
+//
+// With -baseline, benchjson additionally prints a trajectory table to
+// stderr comparing this run's ns/op against the prior report, flagging
+// regressions beyond 10%. The table is warn-only — CI publishes it in the
+// job log but the exit status is unaffected, since one-shot CI runners
+// are far too noisy for a hard perf gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -92,7 +101,64 @@ func parse(r io.Reader) (Report, error) {
 	return rep, sc.Err()
 }
 
+// regressionThreshold is the ns/op growth beyond which the trajectory
+// table flags a benchmark (warn-only).
+const regressionThreshold = 0.10
+
+// trajectory renders the warn-only comparison table between a prior
+// report and the current one, matching benchmarks by name. Benchmarks
+// only present on one side are summarized, not compared.
+func trajectory(prev, cur Report, baselineName string) string {
+	prevNs := make(map[string]float64, len(prev.Benchmarks))
+	for _, rec := range prev.Benchmarks {
+		if ns, ok := rec.Metrics["ns/op"]; ok && ns > 0 {
+			prevNs[rec.Name] = ns
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark trajectory vs %s (warn-only; >%d%% ns/op growth flagged)\n",
+		baselineName, int(regressionThreshold*100))
+	fmt.Fprintf(&b, "%-72s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	compared, onlyNew, regressions := 0, 0, 0
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, rec := range cur.Benchmarks {
+		seen[rec.Name] = true
+		ns, ok := rec.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			continue
+		}
+		old, ok := prevNs[rec.Name]
+		if !ok {
+			onlyNew++
+			continue
+		}
+		compared++
+		delta := (ns - old) / old
+		mark := ""
+		if delta > regressionThreshold {
+			mark = "  !! regression"
+			regressions++
+		}
+		fmt.Fprintf(&b, "%-72s %14.1f %14.1f %+7.1f%%%s\n", rec.Name, old, ns, delta*100, mark)
+	}
+	var gone []string
+	for name := range prevNs {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	fmt.Fprintf(&b, "compared %d benchmarks; %d new (no baseline), %d regressions flagged\n",
+		compared, onlyNew, regressions)
+	if len(gone) > 0 {
+		fmt.Fprintf(&b, "in baseline but not this run: %s\n", strings.Join(gone, ", "))
+	}
+	return b.String()
+}
+
 func main() {
+	baseline := flag.String("baseline", "", "prior benchmark JSON report to diff against (trajectory table on stderr, warn-only)")
+	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -105,5 +171,18 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var prev Report
+		if err := json.Unmarshal(data, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, trajectory(prev, rep, *baseline))
 	}
 }

@@ -46,6 +46,51 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func rec(name string, ns float64) Record {
+	return Record{Name: name, Runs: 10, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestTrajectory(t *testing.T) {
+	prev := Report{Benchmarks: []Record{
+		rec("BenchmarkStable-8", 100),
+		rec("BenchmarkRegressed-8", 100),
+		rec("BenchmarkImproved-8", 300),
+		rec("BenchmarkRemoved-8", 50),
+		{Name: "BenchmarkNoNs-8", Runs: 1, Metrics: map[string]float64{"allocs/op": 3}},
+	}}
+	cur := Report{Benchmarks: []Record{
+		rec("BenchmarkStable-8", 104),
+		rec("BenchmarkRegressed-8", 150),
+		rec("BenchmarkImproved-8", 100),
+		rec("BenchmarkNew-8", 42),
+	}}
+	out := trajectory(prev, cur, "BENCH_PR6.json")
+
+	for _, want := range []string{
+		"BenchmarkStable-8",
+		"BenchmarkRegressed-8",
+		"BenchmarkImproved-8",
+		"compared 3 benchmarks; 1 new (no baseline), 1 regressions flagged",
+		"in baseline but not this run: BenchmarkRemoved-8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "BenchmarkRegressed-8") && !strings.Contains(line, "!! regression"):
+			t.Errorf("regressed benchmark not flagged: %q", line)
+		case strings.Contains(line, "BenchmarkStable-8") && strings.Contains(line, "!! regression"):
+			t.Errorf("within-threshold benchmark flagged: %q", line)
+		case strings.Contains(line, "BenchmarkImproved-8") && strings.Contains(line, "!! regression"):
+			t.Errorf("improvement flagged as regression: %q", line)
+		case strings.Contains(line, "BenchmarkNew-8"):
+			t.Errorf("baseline-less benchmark appears in the table: %q", line)
+		}
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	rep, err := parse(strings.NewReader("PASS\n"))
 	if err != nil {

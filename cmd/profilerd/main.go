@@ -45,6 +45,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux for -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -75,6 +78,8 @@ func run() error {
 		clusterL = flag.String("cluster", "", "run as a cluster node: serve the node wire protocol on this address instead of a proxy collector")
 		nodeName = flag.String("node-name", "", "this node's cluster name (default: hostname; -cluster mode)")
 		join     = flag.String("join", "", "run as the cluster front end routing to these members: comma-separated name=addr pairs")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling of the scoring path (empty disables)")
+		score32  = flag.Bool("score-float32", false, "score windows through float32 fused postings/accumulators: ~half the scoring memory, decisions within the documented float32 bound of exact float64")
 	)
 	flag.Parse()
 	if *clusterL != "" && *join != "" {
@@ -86,9 +91,11 @@ func run() error {
 	switch {
 	case *join != "":
 		// The front end holds no monitor: identification state, eviction
-		// and the threshold all live on the member nodes.
+		// and the threshold all live on the member nodes — and so do the
+		// scoring hot path (-pprof profiles it live) and its precision
+		// mode (-score-float32).
 		if err := rejectMisplacedFlags("the -join front end (set them on the -cluster processes)",
-			"bundle", "k", "shards", "idle-ttl", "state-dir", "node-name"); err != nil {
+			"bundle", "k", "shards", "idle-ttl", "state-dir", "node-name", "pprof", "score-float32"); err != nil {
 			return err
 		}
 	case *clusterL != "":
@@ -108,6 +115,23 @@ func run() error {
 
 	if *join != "" {
 		return runRouter(logger, *join, *listen, *batch, *ingestQ, *maxWire)
+	}
+
+	if *pprofA != "" {
+		// net/http/pprof registers its handlers on the default mux at
+		// import time; serving the default mux on a dedicated listener
+		// exposes /debug/pprof/ without touching the collector or cluster
+		// listeners.
+		ln, err := net.Listen("tcp", *pprofA)
+		if err != nil {
+			return fmt.Errorf("-pprof listen: %w", err)
+		}
+		logger.Printf("pprof serving on http://%s/debug/pprof/", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				logger.Printf("pprof server stopped: %v", err)
+			}
+		}()
 	}
 
 	set, err := webtxprofile.LoadProfilesFile(*bundle)
@@ -132,7 +156,8 @@ func run() error {
 				*stateDir, len(spilled))
 		}
 	}
-	monCfg := webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL, Spill: spillStore(store)}
+	monCfg := webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL, Spill: spillStore(store),
+		Float32Scoring: *score32}
 
 	if *clusterL != "" {
 		return runNode(logger, set, *clusterL, *nodeName, *k, *maxWire, monCfg, store, *stateDir)

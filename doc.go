@@ -32,9 +32,22 @@
 //     models precompute the dense weight vector w = Σᵢ αᵢxᵢ (one O(nnz(x))
 //     dot product per decision), and polynomial/RBF/sigmoid models carry
 //     an inverted support-vector index that yields all SV dot products in
-//     one pass over the window's non-zeros before a scalar kernel loop. A
-//     batch scorer evaluates one window against every profile with
-//     reusable scratch buffers.
+//     one pass over the window's non-zeros before a scalar kernel loop.
+//   - Multi-model scoring fuses the whole population into one shared
+//     inverted index (svm.FusedIndex): the postings of every model's
+//     weight vector and support vectors are merged per feature, so a
+//     single pass over a window's ~20 non-zeros accumulates every
+//     profile's dot products at once instead of U separate index walks.
+//     Layered decision screening (Cauchy–Schwarz norm bounds, then
+//     transcendental-free per-support-vector bounds on the kernel sum)
+//     proves most models cannot accept the window without running their
+//     scalar kernel loops. The index is immutable after construction and
+//     shared read-only across monitor shards; each shard carries only
+//     per-window scratch (svm.Scorer). An optional float32 postings mode
+//     (MonitorConfig.Float32Scoring) halves index memory, with the
+//     float64 divergence certified per decision by
+//     svm.Float32DecisionBound; the default stays exact float64, whose
+//     accept/reject decisions are bit-identical to the per-model engine.
 //   - Per-user grid searches share one Gram matrix across all ν/C cells of
 //     a (user, kernel) row — the kernel matrix depends only on the kernel
 //     and the training windows — cutting the search's kernel evaluations

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+)
+
+// runMonitorAlerts replays txs through a monitor built with cfg and
+// returns the per-device alert signatures (stream fully fed, flushed,
+// closed).
+func runMonitorAlerts(t *testing.T, cfg MonitorConfig, k int) map[string][]string {
+	t.Helper()
+	set, ds := sharedSet(t)
+	txs, _ := deviceStream(ds, 9, 6000)
+	col := newAlertCollector()
+	mon, err := NewMonitorWithConfig(set, k, col.callback, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < len(txs); start += 256 {
+		end := min(start+256, len(txs))
+		if err := mon.FeedBatch(txs[start:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon.Flush()
+	mon.Close()
+	return col.got
+}
+
+// TestMonitorFusedMatchesPreFusedEngine is the PR's Monitor-level
+// acceptance property: with the default exact float64 mode, a monitor
+// scoring through the shared fused index emits per-device alert sequences
+// byte-identical to one scoring through the pre-fused per-model engine
+// (the referenceScoring seam routes every window through
+// svm.Model.Accept, one walk per model, exactly as before the fused
+// index existed).
+func TestMonitorFusedMatchesPreFusedEngine(t *testing.T) {
+	const k = 2
+	ref := runMonitorAlerts(t, MonitorConfig{Shards: 8, referenceScoring: true}, k)
+	fused := runMonitorAlerts(t, MonitorConfig{Shards: 8}, k)
+	comparePerDevice(t, ref, fused)
+}
+
+// TestMonitorFloat32ScoringRuns smokes the float32 mode end to end: the
+// monitor must run the full stream and alert. Alert sequences are only
+// guaranteed to match float64 within svm.Float32DecisionBound of each
+// decision boundary, so this test asserts liveness, not byte equality —
+// the bound itself is asserted in internal/svm.
+func TestMonitorFloat32ScoringRuns(t *testing.T) {
+	got := runMonitorAlerts(t, MonitorConfig{Shards: 8, Float32Scoring: true}, 2)
+	total := 0
+	for _, sigs := range got {
+		total += len(sigs)
+	}
+	if total == 0 {
+		t.Fatal("float32 monitor produced no alerts over the shared stream")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webtxprofile/internal/svm"
 	"webtxprofile/internal/weblog"
 )
 
@@ -109,6 +110,21 @@ type MonitorConfig struct {
 	// Should the store fail on a spill, the monitor falls back to the
 	// lossy eviction path (flush + AlertLost) rather than leak the device.
 	Spill StateStore
+	// Float32Scoring stores the shared fused scoring index's postings —
+	// and runs the per-shard accumulators — in float32, roughly halving
+	// scoring memory and accumulation bandwidth for large populations.
+	// Decisions then match the exact float64 engine only within
+	// svm.Float32DecisionBound, so alert sequences may differ for windows
+	// inside that bound of a profile's decision boundary. Leave it false
+	// (the default, exact float64) when byte-identical equivalence
+	// matters more than memory.
+	Float32Scoring bool
+
+	// referenceScoring routes every shard's window scoring through the
+	// pre-fused per-model decision path instead of the shared fused
+	// index — the reference engine for the fused-equivalence suites.
+	// Test seam only (unexported): always false in production.
+	referenceScoring bool
 }
 
 func (c MonitorConfig) withDefaults() MonitorConfig {
@@ -270,10 +286,24 @@ func NewMonitorWithConfig(set *ProfileSet, consecutiveK int, alerts func(Alert),
 		shards: make([]*monitorShard, cfg.Shards),
 		pump:   newAlertPump(alerts, cfg.AlertBuffer),
 	}
+	// One fused index is built for the whole monitor and shared read-only
+	// across shards; each shard's scorer only adds private accumulator
+	// scratch, so scoring memory stays O(population + shards·scratch)
+	// instead of O(shards × population).
+	users, models, err := setModels(set)
+	if err != nil {
+		return nil, err
+	}
+	var ix *svm.FusedIndex
+	if !cfg.referenceScoring {
+		ix = svm.NewFusedIndex(models, svm.FusedConfig{Float32: cfg.Float32Scoring})
+	}
 	for i := range m.shards {
-		sc, err := newScorer(set)
-		if err != nil {
-			return nil, err
+		var sc *scorer
+		if cfg.referenceScoring {
+			sc = newReferenceScorer(users, models)
+		} else {
+			sc = newSharedScorer(users, ix)
 		}
 		m.shards[i] = &monitorShard{devices: make(map[string]*deviceTrack), sc: sc}
 	}

@@ -1,0 +1,608 @@
+package svm
+
+import (
+	"math"
+
+	"webtxprofile/internal/sparse"
+)
+
+// How each model of a FusedIndex is scored (see NewFusedIndex).
+const (
+	fusedLinear   uint8 = iota // prepared linear model: weight-vector postings
+	fusedSV                    // prepared non-linear model: support-vector postings
+	fusedFallback              // unprepared model: per-model generic decision
+)
+
+// screenSlack is the relative floating-point safety margin of the decision
+// screen: a model is only screened out when its upper bound clears the
+// accept tolerance by this fraction of the bound's magnitude, so the few
+// ulps of rounding between the bound computation and the exact kernel loop
+// can never flip an accept into a screened reject.
+const screenSlack = 1e-9
+
+// FusedConfig selects how a FusedIndex stores and accumulates postings.
+type FusedConfig struct {
+	// Float32 stores the postings values in float32 and runs the
+	// per-window dot-product accumulators in float32 too, roughly halving
+	// the index and scratch memory and the accumulation bandwidth. The
+	// scalar kernel loop still runs in float64 on the converted dots.
+	// Decisions then match the exact float64 path only within
+	// Float32DecisionBound (instead of bit-identically), so accepts may
+	// differ for windows within that bound of a model's boundary. The
+	// zero value — exact float64 — is the default everywhere.
+	Float32 bool
+}
+
+// FusedIndex merges every model's decision structure into one population-
+// wide inverted index, so a single pass over a window's non-zeros
+// accumulates the inputs of *all* models' decision functions at once —
+// instead of re-walking the window once per model as the per-model
+// svIndex/weight-vector path does. Two postings families share the pass:
+//
+//   - Linear postings, feature → (model, weight): each prepared linear
+//     model contributes the non-zeros of its dense weight vector
+//     w = Σᵢ αᵢxᵢ, and the pass accumulates w·x per model directly.
+//   - Support-vector postings, feature → (global SV ordinal, value): each
+//     prepared non-linear model's support vectors occupy a contiguous
+//     range of global ordinals (svBase), and the pass accumulates xᵢ·x
+//     per support vector, exactly as svIndex.dotsInto would — in the same
+//     column-major order, so the accumulated sums are bit-identical.
+//
+// Postings within a column are laid out contiguously and sorted by model
+// (resp. global ordinal), so the accumulation is one linear sweep per
+// matched column. Models that are not prepared (hand-assembled without
+// Validate) take the per-model fallback path.
+//
+// The index also caches, per model, the screening inputs of
+// Scorer.AcceptMask: Σαᵢ and the min/max support-vector norms (every
+// αᵢ > 0 by Validate, which makes Σαᵢ·max k an admissible bound on the
+// kernel sum — see screenReject).
+//
+// A FusedIndex is immutable after build and safe for concurrent readers:
+// Monitor shards share one index and attach per-shard Scorer scratch.
+type FusedIndex struct {
+	models []*Model
+	cfg    FusedConfig
+	kind   []uint8
+
+	// Linear postings: for column c, linModel/linVal[linStarts[c]:linStarts[c+1]].
+	linStarts []int32
+	linModel  []int32
+	linVal    []float64
+	linVal32  []float32
+
+	// SV postings: for column c, svOrd/svVal[svStarts[c]:svStarts[c+1]].
+	svStarts []int32
+	svOrd    []int32
+	svVal    []float64
+	svVal32  []float32
+
+	// Per-model global SV ordinal ranges: model mi owns [svBase[mi],
+	// svBase[mi+1]) (empty for linear/fallback models).
+	svBase []int32
+	// Per global ordinal: owning model, dual coefficient, ‖sv‖².
+	svOwner []int32
+	coef    []float64
+	svNorms []float64
+
+	// Per-model screening caches: Σαᵢ, min/max ‖svᵢ‖ and min ‖svᵢ‖²
+	// (zero for linear and fallback models, which are never screened).
+	sumAlpha []float64
+	minNorm  []float64
+	maxNorm  []float64
+	snMin    []float64
+}
+
+// NewFusedIndex builds the fused population index over models. The models
+// are shared, not copied; prepared models (Train, UnmarshalJSON, Validate)
+// take the fused path, unprepared ones are recorded for per-model fallback.
+func NewFusedIndex(models []*Model, cfg FusedConfig) *FusedIndex {
+	n := len(models)
+	ix := &FusedIndex{
+		models:   models,
+		cfg:      cfg,
+		kind:     make([]uint8, n),
+		svBase:   make([]int32, n+1),
+		sumAlpha: make([]float64, n),
+		minNorm:  make([]float64, n),
+		maxNorm:  make([]float64, n),
+		snMin:    make([]float64, n),
+	}
+
+	// Classify each model and measure both postings families.
+	maxLinCol, maxSVCol := -1, -1
+	totalLin, totalSV, numSVs := 0, 0, 0
+	for mi, m := range models {
+		switch {
+		case m == nil:
+			ix.kind[mi] = fusedFallback // fails at decision time, like the per-model path
+		case m.w != nil && m.Kernel.Kind == KernelLinear:
+			ix.kind[mi] = fusedLinear
+			for c, wv := range m.w {
+				if wv != 0 {
+					totalLin++
+					if c > maxLinCol {
+						maxLinCol = c
+					}
+				}
+			}
+		case m.idx != nil:
+			ix.kind[mi] = fusedSV
+			numSVs += len(m.SVs)
+			for _, sv := range m.SVs {
+				totalSV += len(sv.Idx)
+				if n := len(sv.Idx); n > 0 && int(sv.Idx[n-1]) > maxSVCol {
+					maxSVCol = int(sv.Idx[n-1])
+				}
+			}
+		default:
+			ix.kind[mi] = fusedFallback
+		}
+		ix.svBase[mi+1] = int32(numSVs)
+	}
+
+	// Linear postings: counting sort by column, models in index order, so
+	// postings within a column are sorted by model.
+	ix.linStarts = make([]int32, maxLinCol+2)
+	ix.linModel = make([]int32, totalLin)
+	ix.linVal = make([]float64, totalLin)
+	for mi, m := range models {
+		if ix.kind[mi] != fusedLinear {
+			continue
+		}
+		for c, wv := range m.w {
+			if wv != 0 {
+				ix.linStarts[c+1]++
+			}
+		}
+	}
+	for c := 1; c < len(ix.linStarts); c++ {
+		ix.linStarts[c] += ix.linStarts[c-1]
+	}
+	linFill := make([]int32, maxLinCol+1)
+	copy(linFill, ix.linStarts[:maxLinCol+1])
+	for mi, m := range models {
+		if ix.kind[mi] != fusedLinear {
+			continue
+		}
+		for c, wv := range m.w {
+			if wv == 0 {
+				continue
+			}
+			p := linFill[c]
+			ix.linModel[p] = int32(mi)
+			ix.linVal[p] = wv
+			linFill[c] = p + 1
+		}
+	}
+
+	// SV postings: same counting sort over global ordinals, plus the
+	// per-ordinal caches (owner, coefficient, norm) and the per-model
+	// screening bounds.
+	ix.svStarts = make([]int32, maxSVCol+2)
+	ix.svOrd = make([]int32, totalSV)
+	ix.svVal = make([]float64, totalSV)
+	ix.svOwner = make([]int32, numSVs)
+	ix.coef = make([]float64, numSVs)
+	ix.svNorms = make([]float64, numSVs)
+	for mi, m := range models {
+		if ix.kind[mi] != fusedSV {
+			continue
+		}
+		for _, sv := range m.SVs {
+			for _, c := range sv.Idx {
+				ix.svStarts[c+1]++
+			}
+		}
+	}
+	for c := 1; c < len(ix.svStarts); c++ {
+		ix.svStarts[c] += ix.svStarts[c-1]
+	}
+	svFill := make([]int32, maxSVCol+1)
+	copy(svFill, ix.svStarts[:maxSVCol+1])
+	for mi, m := range models {
+		if ix.kind[mi] != fusedSV {
+			continue
+		}
+		base := ix.svBase[mi]
+		sumA, minN, maxN := 0.0, math.Inf(1), 0.0
+		for si, sv := range m.SVs {
+			g := base + int32(si)
+			ix.svOwner[g] = int32(mi)
+			ix.coef[g] = m.Coef[si]
+			ix.svNorms[g] = m.svNorms[si]
+			sumA += m.Coef[si]
+			if m.svNorms[si] < minN {
+				minN = m.svNorms[si]
+			}
+			if m.svNorms[si] > maxN {
+				maxN = m.svNorms[si]
+			}
+			for k, c := range sv.Idx {
+				p := svFill[c]
+				ix.svOrd[p] = g
+				ix.svVal[p] = sv.Val[k]
+				svFill[c] = p + 1
+			}
+		}
+		ix.sumAlpha[mi] = sumA
+		ix.snMin[mi] = minN
+		ix.minNorm[mi] = math.Sqrt(minN)
+		ix.maxNorm[mi] = math.Sqrt(maxN)
+	}
+
+	if cfg.Float32 {
+		ix.linVal32 = toFloat32(ix.linVal)
+		ix.svVal32 = toFloat32(ix.svVal)
+		ix.linVal, ix.svVal = nil, nil
+	}
+	return ix
+}
+
+func toFloat32(v []float64) []float32 {
+	out := make([]float32, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+// NumModels returns the number of models fused into the index.
+func (ix *FusedIndex) NumModels() int { return len(ix.models) }
+
+// numSVs returns the total support-vector count across fused models.
+func (ix *FusedIndex) numSVs() int { return int(ix.svBase[len(ix.models)]) }
+
+// accumulateFused is the single shared pass of the fused engine: it walks
+// x's non-zeros once, adding into the per-model weight accumulators (wx)
+// and the per-global-ordinal dot accumulators (dots), and stamps the
+// models whose support vectors were touched with the scorer's epoch.
+// Both accumulator families must be zero on entry (clearFused restores
+// that by re-walking the same postings). Returns the postings visited.
+//
+// For T = float64 the accumulation order and arithmetic are identical to
+// svIndex.dotsInto (column-major over x, postings in build order), so the
+// fused dots are bit-identical to the per-model path.
+func accumulateFused[T float32 | float64](ix *FusedIndex, linVal, svVal []T, x sparse.Vector, wx, dots []T, marks []uint64, epoch uint64) int {
+	visited := 0
+	if lim := int32(len(ix.linStarts)) - 1; lim > 0 {
+		for k, c := range x.Idx {
+			if c >= lim {
+				break // x.Idx is sorted: everything after is out of range too
+			}
+			s, e := ix.linStarts[c], ix.linStarts[c+1]
+			if s == e {
+				continue
+			}
+			xv := T(x.Val[k])
+			for p := s; p < e; p++ {
+				wx[ix.linModel[p]] += xv * linVal[p]
+			}
+			visited += int(e - s)
+		}
+	}
+	if lim := int32(len(ix.svStarts)) - 1; lim > 0 {
+		for k, c := range x.Idx {
+			if c >= lim {
+				break
+			}
+			s, e := ix.svStarts[c], ix.svStarts[c+1]
+			if s == e {
+				continue
+			}
+			xv := T(x.Val[k])
+			for p := s; p < e; p++ {
+				g := ix.svOrd[p]
+				dots[g] += xv * svVal[p]
+				marks[ix.svOwner[g]] = epoch
+			}
+			visited += int(e - s)
+		}
+	}
+	return visited
+}
+
+// clearFused re-walks exactly the postings accumulateFused touched for x
+// and zeroes their accumulator cells, leaving the scratch all-zero again
+// in O(matched postings) instead of O(population).
+func clearFused[T float32 | float64](ix *FusedIndex, x sparse.Vector, wx, dots []T) {
+	if lim := int32(len(ix.linStarts)) - 1; lim > 0 {
+		for _, c := range x.Idx {
+			if c >= lim {
+				break
+			}
+			for p := ix.linStarts[c]; p < ix.linStarts[c+1]; p++ {
+				wx[ix.linModel[p]] = 0
+			}
+		}
+	}
+	if lim := int32(len(ix.svStarts)) - 1; lim > 0 {
+		for _, c := range x.Idx {
+			if c >= lim {
+				break
+			}
+			for p := ix.svStarts[c]; p < ix.svStarts[c+1]; p++ {
+				dots[ix.svOrd[p]] = 0
+			}
+		}
+	}
+}
+
+// fusedLinearDecision folds an accumulated weight dot product into the
+// decision value, mirroring the linear branch of Model.decisionScratch.
+func fusedLinearDecision(m *Model, wx, nx float64) float64 {
+	switch m.Algo {
+	case OCSVM:
+		return wx - m.Rho
+	case SVDD:
+		return m.R2 - m.SumAA + 2*wx - nx
+	default:
+		panic("svm: Decision on invalid model")
+	}
+}
+
+// fusedSVDecision evaluates model mi's exact decision value from the
+// accumulated per-SV dot products — the same scalar kernel loop as
+// Model.decisionIndexed, reading the model's contiguous ordinal range.
+// For T = float64 the result is bit-identical to the per-model path.
+func fusedSVDecision[T float32 | float64](ix *FusedIndex, mi int, dots []T, nx float64) float64 {
+	m := ix.models[mi]
+	lo, hi := ix.svBase[mi], ix.svBase[mi+1]
+	sum := fusedKernelSum(m.Kernel, ix.coef[lo:hi], ix.svNorms[lo:hi], dots[lo:hi], nx)
+	switch m.Algo {
+	case OCSVM:
+		return sum - m.Rho
+	case SVDD:
+		return m.R2 - m.SumAA + 2*sum - m.Kernel.evalSelf(nx)
+	default:
+		panic("svm: Decision on invalid model")
+	}
+}
+
+// fusedKernelSum computes Σᵢ αᵢ·k(xᵢ,x) from accumulated dot products,
+// kernel-specialized exactly like Model.decisionIndexed (same operations
+// in the same order, so float64 sums are bit-identical to that path).
+func fusedKernelSum[T float32 | float64](k Kernel, coef, sn []float64, dots []T, nx float64) float64 {
+	var sum float64
+	switch k.Kind {
+	case KernelPoly:
+		g, c0 := k.Gamma, k.Coef0
+		if k.Degree == 3 { // LIBSVM's default degree, worth a closed form
+			for i := range dots {
+				b := g*float64(dots[i]) + c0
+				sum += coef[i] * b * b * b
+			}
+		} else {
+			for i := range dots {
+				sum += coef[i] * ipow(g*float64(dots[i])+c0, k.Degree)
+			}
+		}
+	case KernelRBF:
+		g := k.Gamma
+		for i := range dots {
+			d2 := sn[i] + nx - 2*float64(dots[i])
+			if d2 < 0 {
+				d2 = 0
+			}
+			sum += coef[i] * math.Exp(-g*d2)
+		}
+	case KernelSigmoid:
+		g, c0 := k.Gamma, k.Coef0
+		for i := range dots {
+			sum += coef[i] * math.Tanh(g*float64(dots[i])+c0)
+		}
+	default: // linear models take the weight-vector path; kept for completeness
+		for i := range dots {
+			sum += coef[i] * float64(dots[i])
+		}
+	}
+	return sum
+}
+
+// fusedDotRange returns [dmin, dmax] ∋ 0 covering the accumulated dot
+// products (0 is always included: untouched support vectors hold an
+// exact zero).
+func fusedDotRange[T float32 | float64](dots []T) (dmin, dmax float64) {
+	for i := range dots {
+		d := float64(dots[i])
+		if d < dmin {
+			dmin = d
+		} else if d > dmax {
+			dmax = d
+		}
+	}
+	return dmin, dmax
+}
+
+// kernelMax bounds k(xᵢ,x) from above given that every support-vector dot
+// product lies in [dlo, dhi] and (for RBF) every squared distance is at
+// least d2lo. Admissibility per kernel: polynomial b^d is monotone in b
+// for odd d and convex for even d (max at an interval endpoint either
+// way); RBF exp(−γd²) is decreasing in d²; tanh is increasing.
+func kernelMax(k Kernel, dlo, dhi, d2lo float64) float64 {
+	switch k.Kind {
+	case KernelPoly:
+		hi := ipow(k.Gamma*dhi+k.Coef0, k.Degree)
+		if k.Degree%2 == 0 {
+			if lo := ipow(k.Gamma*dlo+k.Coef0, k.Degree); lo > hi {
+				hi = lo
+			}
+		}
+		return hi
+	case KernelRBF:
+		if d2lo < 0 {
+			d2lo = 0
+		}
+		return math.Exp(-k.Gamma * d2lo)
+	case KernelSigmoid:
+		return math.Tanh(k.Gamma*dhi + k.Coef0)
+	case KernelLinear:
+		return dhi // linear models take the weight path; kept for completeness
+	default:
+		return math.Inf(1)
+	}
+}
+
+// rejectWithSum reports whether a proven upper bound s on the kernel sum
+// Σαᵢk(xᵢ,x), substituted into the decision function, falls below the
+// accept tolerance by more than the floating-point safety margin. A
+// false return says nothing; the exact loop decides.
+func rejectWithSum(m *Model, s, nx, tol float64) bool {
+	var ub float64
+	switch m.Algo {
+	case OCSVM:
+		ub = s - m.Rho
+	case SVDD:
+		ub = m.R2 - m.SumAA + 2*s - m.Kernel.evalSelf(nx)
+	default:
+		return false
+	}
+	return ub < -(tol + screenSlack*(1+math.Abs(s)))
+}
+
+// screenReject reports whether the model provably cannot accept x: the
+// decision value's upper bound — Σαᵢ·max k, admissible because Validate
+// guarantees every αᵢ > 0 — rules the window out.
+func screenReject(m *Model, sumA, dlo, dhi, d2lo, nx, tol float64) bool {
+	return rejectWithSum(m, sumA*kernelMax(m.Kernel, dlo, dhi, d2lo), nx, tol)
+}
+
+// fusedRBFSumBound bounds Σαᵢ·exp(−γ‖xᵢ−x‖²) from above per support
+// vector, transcendental-free: for z ≥ 0 every Taylor term of eᶻ is
+// positive, so eᶻ ≥ Σ_{k≤6} zᵏ/k! and exp(−z) ≤ 1/Σ_{k≤6} zᵏ/k!. Degree
+// 6 keeps the overshoot under ~1.5× across the z range rejected windows
+// actually produce (z ≈ 3–8), where the cubic bound is 4× too loose.
+// Each d2ᵢ uses exactly the exact loop's arithmetic, and negative d2 (a
+// rounding artifact the exact loop clamps to k=1) is bounded by 1. This
+// third screening level is what separates a model with one near-ish
+// support vector from a model that genuinely accepts: the interval bound
+// Σα·exp(−γ·min d²) charges every vector at the closest one's distance,
+// while this sum charges each at its own.
+func fusedRBFSumBound[T float32 | float64](coef, sn []float64, dots []T, gamma, nx float64) float64 {
+	var sum float64
+	for i := range dots {
+		z := gamma * (sn[i] + nx - 2*float64(dots[i]))
+		if z <= 0 {
+			sum += coef[i]
+			continue
+		}
+		p := 1 + z*(1+z*(1.0/2+z*(1.0/6+z*(1.0/24+z*(1.0/120+z*(1.0/720))))))
+		sum += coef[i] / p
+	}
+	return sum
+}
+
+// screenSV runs the layered decision screen for non-linear model mi.
+//
+// Level 1 is O(1): Cauchy–Schwarz bounds every dot product by
+// ‖xᵢ‖·‖x‖ using the cached norm extrema (for RBF, equivalently
+// ‖xᵢ−x‖ ≥ |‖xᵢ‖−‖x‖|) — no accumulated state read at all. Untouched
+// models (no posting matched the window, so every dot is exactly zero)
+// get the tighter dlo = dhi = 0 interval. Level 2 is O(#SVs of mi) but
+// transcendental-free, reading the model's accumulated dots directly:
+// RBF takes the per-support-vector algebraic bound (fusedRBFSumBound) in
+// one pass; polynomial and sigmoid re-apply the interval bound to the
+// dots' actual range. In float32 mode the level-1 norm product does not
+// bound the float32-rounded accumulators, so touched models go straight
+// to level 2, whose bounds are computed from the very values the exact
+// loop would consume.
+func (s *Scorer) screenSV(mi int, touched bool, nx, normX float64) bool {
+	ix := s.ix
+	m := ix.models[mi]
+	sumA := ix.sumAlpha[mi]
+	tol := m.acceptTol()
+	if !touched {
+		return screenReject(m, sumA, 0, 0, ix.snMin[mi]+nx, nx, tol)
+	}
+	if !ix.cfg.Float32 {
+		mn := ix.maxNorm[mi] * normX
+		var gap float64
+		if normX > ix.maxNorm[mi] {
+			gap = normX - ix.maxNorm[mi]
+		} else if normX < ix.minNorm[mi] {
+			gap = ix.minNorm[mi] - normX
+		}
+		if screenReject(m, sumA, -mn, mn, gap*gap, nx, tol) {
+			return true
+		}
+	}
+	lo, hi := ix.svBase[mi], ix.svBase[mi+1]
+	if m.Kernel.Kind == KernelRBF {
+		var sb float64
+		if ix.cfg.Float32 {
+			sb = fusedRBFSumBound(ix.coef[lo:hi], ix.svNorms[lo:hi], s.dots32[lo:hi], m.Kernel.Gamma, nx)
+		} else {
+			sb = fusedRBFSumBound(ix.coef[lo:hi], ix.svNorms[lo:hi], s.dots[lo:hi], m.Kernel.Gamma, nx)
+		}
+		return rejectWithSum(m, sb, nx, tol)
+	}
+	var dlo, dhi float64
+	if ix.cfg.Float32 {
+		dlo, dhi = fusedDotRange(s.dots32[lo:hi])
+	} else {
+		dlo, dhi = fusedDotRange(s.dots[lo:hi])
+	}
+	return screenReject(m, sumA, dlo, dhi, 0, nx, tol)
+}
+
+// Float32DecisionBound returns the documented accuracy contract of the
+// float32 fused mode for model m on window x: the float32-mode decision
+// value differs from the exact float64 value by at most this much. The
+// bound combines the worst-case float32 storage/accumulation error of a
+// dot product (≈ (nnz+2)·2⁻²⁴·‖x‖·max‖svᵢ‖, with generous constant) with
+// the kernel's Lipschitz constant in the dot product (RBF: 2γ since
+// k ≤ 1; sigmoid: γ since tanh' ≤ 1; polynomial: dγ·B^(d−1) on the
+// attainable |γ·d+c₀| ≤ B interval; linear: 1) and Σαᵢ. It is
+// deliberately loose — a cheap certificate, not a tight estimate.
+func Float32DecisionBound(m *Model, x sparse.Vector) float64 {
+	const eps32 = 1.0 / (1 << 24)
+	nnz := float64(len(x.Idx) + 2)
+	nx := x.NormSq()
+	normX := math.Sqrt(nx)
+	floor := 1e-12 * (1 + math.Abs(m.Rho) + math.Abs(m.R2) + math.Abs(m.SumAA))
+
+	if m.Kernel.Kind == KernelLinear && m.w != nil {
+		var nw float64
+		for _, wv := range m.w {
+			nw += wv * wv
+		}
+		err := 8 * nnz * eps32 * (1 + normX*math.Sqrt(nw))
+		if m.Algo == SVDD {
+			err *= 2
+		}
+		return err + floor
+	}
+
+	sn := m.svNorms
+	if sn == nil {
+		sn = norms(m.SVs)
+	}
+	maxSN, sumA := 0.0, 0.0
+	for i := range sn {
+		if sn[i] > maxSN {
+			maxSN = sn[i]
+		}
+		sumA += m.Coef[i]
+	}
+	maxDot := normX * math.Sqrt(maxSN)
+	errDot := 8 * nnz * eps32 * (1 + maxDot)
+
+	var lip float64
+	k := m.Kernel
+	switch k.Kind {
+	case KernelRBF:
+		lip = 2 * k.Gamma
+	case KernelSigmoid:
+		lip = k.Gamma
+	case KernelPoly:
+		b := k.Gamma*maxDot + math.Abs(k.Coef0) + 1
+		lip = float64(k.Degree) * k.Gamma * ipow(b, k.Degree-1)
+	default:
+		lip = 1
+	}
+	err := sumA * lip * errDot
+	if m.Algo == SVDD {
+		err *= 2
+	}
+	return err + floor
+}

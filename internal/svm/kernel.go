@@ -25,6 +25,27 @@
 // dot-product matrix depends only on the data, so all kernel rows of a
 // training set derive their Grams from a single DotProducts
 // (NewGramFromDots) at no extra kernel evaluations.
+//
+// # Fused population index
+//
+// Scoring one window against a whole population of user models repeats
+// the same walk over the window's non-zeros U times. FusedIndex merges
+// every model's postings — linear weight entries and support-vector
+// entries, keyed by feature — into one shared immutable structure, so a
+// single pass accumulates all models' dot products (Scorer.Decisions,
+// Scorer.AcceptMask). On top of the shared accumulation, AcceptMask runs
+// a layered admissible screen: an O(1) Cauchy–Schwarz bound from cached
+// norm extrema, then an O(#SVs) transcendental-free bound on the kernel
+// sum read from the accumulated dots (per support vector for RBF, over
+// the dot-product range for polynomial/sigmoid). A model is skipped only
+// when its decision value provably falls below the accept tolerance, so
+// the mask is identical to calling Model.Accept per model; screening
+// effectiveness is observable via KernelStats (PostingsVisited,
+// ScreenedModels, FusedDecisions). FusedConfig.Float32 stores postings
+// and accumulators in float32 — half the memory and often faster — with
+// the worst-case deviation from the exact float64 decision certified by
+// Float32DecisionBound. A FusedIndex is safe for concurrent use; each
+// goroutine takes its own Scorer for scratch.
 package svm
 
 import (

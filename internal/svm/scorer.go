@@ -1,82 +1,195 @@
 package svm
 
-import "webtxprofile/internal/sparse"
+import (
+	"math"
+
+	"webtxprofile/internal/sparse"
+)
 
 // Scorer evaluates one window against a fixed set of models — the inner
 // loop of streaming identification, where every completed window is scored
-// against every user profile. It owns reusable scratch buffers (including
-// the dot-product accumulator the inverted support-vector index writes
-// into, shared across all models) so the hot path allocates nothing per
-// window, and it computes ‖x‖² once per window instead of once per model.
+// against every user profile. Since PR 7 it runs on the fused population
+// index: one pass over the window's non-zeros accumulates every model's
+// weight dot product and every support vector's dot product at once
+// (FusedIndex), then a per-model epilogue folds the accumulators into
+// decision values. Decisions is exact — bit-identical to the per-model
+// path in float64 mode — while AcceptMask additionally screens: models
+// whose Cauchy–Schwarz upper bound proves they cannot accept skip the
+// scalar kernel loop entirely (the screen is admissible, so the mask is
+// still exact).
 //
-// Each model carries its own prepared decision cache — the linear weight
-// vector or the inverted SV index, both built once at Train/Validate time —
-// so models that appear in many scorers (every Monitor shard references the
-// same profile models) share one index; the scorer only adds the per-window
-// scratch.
+// The index is immutable and shared (every Monitor shard scores through
+// the same FusedIndex); the Scorer only owns the per-window scratch —
+// accumulators, touch marks, and output buffers. Scratch accumulators are
+// cleared by re-walking the window's postings after scoring, so a window
+// costs O(matched postings + models), never O(population's support
+// vectors).
 //
-// A Scorer is not safe for concurrent use; create one per goroutine (they
-// are cheap — the models themselves are shared, read-only).
+// A Scorer is not safe for concurrent use; create one per goroutine with
+// FusedIndex.NewScorer (they are cheap — the index is shared, read-only).
 type Scorer struct {
-	models []*Model
-	dec    []float64
-	acc    []bool
-	dots   []float64 // indexed-path accumulator, sized to the largest model
+	ix *FusedIndex
+
+	dec []float64
+	acc []bool
+
+	// Accumulators, all-zero between windows. wx[mi] collects the linear
+	// models' w·x; dots[g] collects global ordinal g's sv·x. Exactly one
+	// of the float64/float32 pairs is allocated, per FusedConfig.
+	wx     []float64
+	dots   []float64
+	wx32   []float32
+	dots32 []float32
+
+	// marks[mi] == epoch iff a support-vector posting of model mi was
+	// touched by the current window — untouched models hold exact zero
+	// dots and take O(1) decisions and screen bounds.
+	marks []uint64
+	epoch uint64
 }
 
-// NewScorer creates a scorer over the given models. The models are not
-// copied or mutated; prepare them (Train, UnmarshalJSON or Validate all
-// do) to enable the kernel fast paths.
+// NewScorer creates a scorer over the given models with its own private
+// fused index in exact float64 mode. Loops that need many scorers over
+// the same models (one per shard or goroutine) should build one
+// FusedIndex and call its NewScorer method instead, sharing the index.
 func NewScorer(models []*Model) *Scorer {
-	maxSVs := 0
-	for _, m := range models {
-		if m != nil && m.idx != nil && m.idx.nsv > maxSVs {
-			maxSVs = m.idx.nsv
-		}
+	return NewFusedIndex(models, FusedConfig{}).NewScorer()
+}
+
+// NewScorer attaches per-window scratch to the shared index. Scorers are
+// independent: any number may score concurrently against one index.
+func (ix *FusedIndex) NewScorer() *Scorer {
+	n := len(ix.models)
+	s := &Scorer{
+		ix:    ix,
+		dec:   make([]float64, 0, n),
+		acc:   make([]bool, n),
+		marks: make([]uint64, n),
 	}
-	return &Scorer{
-		models: models,
-		dec:    make([]float64, len(models)),
-		acc:    make([]bool, len(models)),
-		dots:   make([]float64, maxSVs),
+	if ix.cfg.Float32 {
+		s.wx32 = make([]float32, n)
+		s.dots32 = make([]float32, ix.numSVs())
+	} else {
+		s.wx = make([]float64, n)
+		s.dots = make([]float64, ix.numSVs())
 	}
+	return s
 }
 
 // Len returns the number of models scored per window.
-func (s *Scorer) Len() int { return len(s.models) }
+func (s *Scorer) Len() int { return len(s.ix.models) }
 
 // Model returns the i-th model, in the order passed to NewScorer.
-func (s *Scorer) Model(i int) *Model { return s.models[i] }
+func (s *Scorer) Model(i int) *Model { return s.ix.models[i] }
 
-// Decisions evaluates every model's decision function on x. The returned
-// slice is scratch owned by the scorer, valid until the next call.
+// accumulate runs the fused pass for x and returns the postings visited.
+func (s *Scorer) accumulate(x sparse.Vector) int {
+	s.epoch++
+	if s.ix.cfg.Float32 {
+		return accumulateFused(s.ix, s.ix.linVal32, s.ix.svVal32, x, s.wx32, s.dots32, s.marks, s.epoch)
+	}
+	return accumulateFused(s.ix, s.ix.linVal, s.ix.svVal, x, s.wx, s.dots, s.marks, s.epoch)
+}
+
+// clear zeroes the accumulator cells x touched, by re-walking its postings.
+func (s *Scorer) clear(x sparse.Vector) {
+	if s.ix.cfg.Float32 {
+		clearFused(s.ix, x, s.wx32, s.dots32)
+	} else {
+		clearFused(s.ix, x, s.wx, s.dots)
+	}
+}
+
+// wxAt returns model mi's accumulated weight dot product as float64.
+func (s *Scorer) wxAt(mi int) float64 {
+	if s.ix.cfg.Float32 {
+		return float64(s.wx32[mi])
+	}
+	return s.wx[mi]
+}
+
+// svDecision returns model mi's exact decision value from the accumulated
+// support-vector dots.
+func (s *Scorer) svDecision(mi int, nx float64) float64 {
+	if s.ix.cfg.Float32 {
+		return fusedSVDecision(s.ix, mi, s.dots32, nx)
+	}
+	return fusedSVDecision(s.ix, mi, s.dots, nx)
+}
+
+// Decisions evaluates every model's decision function on x — exactly; no
+// screening, so the values are bit-identical (in float64 mode) to scoring
+// each model alone. The returned slice is scratch owned by the scorer,
+// valid until the next call.
 func (s *Scorer) Decisions(x sparse.Vector) []float64 {
+	ix := s.ix
 	nx := x.NormSq()
+	visited := s.accumulate(x)
+	fused, fallback := 0, 0
 	s.dec = s.dec[:0]
-	for _, m := range s.models {
+	for mi, m := range ix.models {
 		var d float64
-		d, s.dots = m.decisionScratch(x, nx, s.dots)
+		switch ix.kind[mi] {
+		case fusedLinear:
+			d = fusedLinearDecision(m, s.wxAt(mi), nx)
+			fused++
+		case fusedSV:
+			d = s.svDecision(mi, nx)
+			fused++
+		default:
+			d, _ = m.decisionScratch(x, nx, nil)
+			fallback++
+		}
 		s.dec = append(s.dec, d)
 	}
+	s.clear(x)
+	recordFusedWindow(visited, 0, fused, fallback)
 	return s.dec
 }
 
 // AcceptMask reports, per model, whether x is accepted (the Accept rule,
-// including the boundary tolerance). The returned slice is scratch owned
-// by the scorer, valid until the next call.
+// including the boundary tolerance). This is the screened fused path:
+// models whose decision upper bound (screenSV) proves rejection skip the
+// scalar kernel loop, which is where population-scale scoring spends its
+// time — without ever changing the mask, since the bound is admissible.
+// The returned slice is scratch owned by the scorer, valid until the next
+// call.
 func (s *Scorer) AcceptMask(x sparse.Vector) []bool {
-	dec := s.Decisions(x)
-	for i, m := range s.models {
-		s.acc[i] = m.acceptsValue(dec[i])
+	ix := s.ix
+	nx := x.NormSq()
+	normX := math.Sqrt(nx)
+	visited := s.accumulate(x)
+	screened, fused, fallback := 0, 0, 0
+	for mi, m := range ix.models {
+		switch ix.kind[mi] {
+		case fusedLinear:
+			s.acc[mi] = m.acceptsValue(fusedLinearDecision(m, s.wxAt(mi), nx))
+			fused++
+		case fusedSV:
+			fused++
+			if s.screenSV(mi, s.marks[mi] == s.epoch, nx, normX) {
+				s.acc[mi] = false
+				screened++
+				continue
+			}
+			s.acc[mi] = m.acceptsValue(s.svDecision(mi, nx))
+		default:
+			d, _ := m.decisionScratch(x, nx, nil)
+			s.acc[mi] = m.acceptsValue(d)
+			fallback++
+		}
 	}
+	s.clear(x)
+	recordFusedWindow(visited, screened, fused, fallback)
 	return s.acc
 }
 
 // DecisionBatch evaluates every model's decision function on x, appending
 // to out (which may be nil; pass out[:0] to reuse a buffer across calls).
-// The dot-product accumulator of the indexed path is pooled across calls;
-// loops that score many windows against the same models should prefer a
-// Scorer, which keeps that scratch alive without pool traffic.
+// This is the pre-fused per-model path — each model walks the window
+// through its own index — kept as the reference baseline the fused engine
+// is verified and benchmarked against. Loops that score many windows
+// against the same models should prefer a Scorer.
 func DecisionBatch(models []*Model, x sparse.Vector, out []float64) []float64 {
 	nx := x.NormSq()
 	bufp := dotsPool.Get().(*[]float64)

@@ -12,12 +12,25 @@ import "sync/atomic"
 // attribute work. DotBuilds counts shared dot-product matrix
 // constructions (NewDotProducts), the kernel-independent work several
 // Gram derivations amortize.
+//
+// The fused-scorer counters make the population-scale decision path
+// observable: PostingsVisited is the postings touched by fused
+// accumulation passes, ScreenedModels counts models whose scalar kernel
+// loop was skipped because the decision screen proved rejection
+// (Scorer.AcceptMask), and FusedDecisions/FallbackDecisions split
+// per-window model decisions between the fused index and the per-model
+// fallback of unprepared models.
 type KernelStats struct {
 	KernelEvals uint64
 	CacheHits   uint64
 	CacheMisses uint64
 	GramBuilds  uint64
 	DotBuilds   uint64
+
+	PostingsVisited   uint64
+	ScreenedModels    uint64
+	FusedDecisions    uint64
+	FallbackDecisions uint64
 }
 
 var (
@@ -26,7 +39,30 @@ var (
 	statCacheMisses atomic.Uint64
 	statGramBuilds  atomic.Uint64
 	statDotBuilds   atomic.Uint64
+
+	statPostingsVisited   atomic.Uint64
+	statScreenedModels    atomic.Uint64
+	statFusedDecisions    atomic.Uint64
+	statFallbackDecisions atomic.Uint64
 )
+
+// recordFusedWindow batches the fused scorer's counter updates into at
+// most four atomic adds per scored window (not per model or posting),
+// keeping the accounting invisible next to the scoring work itself.
+func recordFusedWindow(visited, screened, fused, fallback int) {
+	if visited > 0 {
+		statPostingsVisited.Add(uint64(visited))
+	}
+	if screened > 0 {
+		statScreenedModels.Add(uint64(screened))
+	}
+	if fused > 0 {
+		statFusedDecisions.Add(uint64(fused))
+	}
+	if fallback > 0 {
+		statFallbackDecisions.Add(uint64(fallback))
+	}
+}
 
 // ReadKernelStats returns the cumulative counters. Safe for concurrent use
 // with ongoing training; the fields are read independently, so a snapshot
@@ -38,6 +74,11 @@ func ReadKernelStats() KernelStats {
 		CacheMisses: statCacheMisses.Load(),
 		GramBuilds:  statGramBuilds.Load(),
 		DotBuilds:   statDotBuilds.Load(),
+
+		PostingsVisited:   statPostingsVisited.Load(),
+		ScreenedModels:    statScreenedModels.Load(),
+		FusedDecisions:    statFusedDecisions.Load(),
+		FallbackDecisions: statFallbackDecisions.Load(),
 	}
 }
 
@@ -49,6 +90,11 @@ func ResetKernelStats() {
 	statCacheMisses.Store(0)
 	statGramBuilds.Store(0)
 	statDotBuilds.Store(0)
+
+	statPostingsVisited.Store(0)
+	statScreenedModels.Store(0)
+	statFusedDecisions.Store(0)
+	statFallbackDecisions.Store(0)
 }
 
 // Sub returns the per-window delta between two cumulative snapshots.
@@ -59,5 +105,10 @@ func (s KernelStats) Sub(prev KernelStats) KernelStats {
 		CacheMisses: s.CacheMisses - prev.CacheMisses,
 		GramBuilds:  s.GramBuilds - prev.GramBuilds,
 		DotBuilds:   s.DotBuilds - prev.DotBuilds,
+
+		PostingsVisited:   s.PostingsVisited - prev.PostingsVisited,
+		ScreenedModels:    s.ScreenedModels - prev.ScreenedModels,
+		FusedDecisions:    s.FusedDecisions - prev.FusedDecisions,
+		FallbackDecisions: s.FallbackDecisions - prev.FallbackDecisions,
 	}
 }
