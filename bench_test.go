@@ -605,6 +605,19 @@ func BenchmarkPopulationDecisions(b *testing.B) {
 			st := svm.ReadKernelStats().Sub(before)
 			b.ReportMetric(float64(st.ScreenedModels)/float64(b.N), "screened/op")
 		})
+		// The portable engine on the same index layout: the A/B column for
+		// the vectorized kernels (identical decisions; see -score-portable).
+		b.Run(fmt.Sprintf("fused-portable/models=%d", u), func(b *testing.B) {
+			sc := svm.NewFusedIndex(models, svm.FusedConfig{Kernels: svm.KernelsPortable}).NewScorer()
+			before := svm.ReadKernelStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.AcceptMask(probes[i%len(probes)])
+			}
+			rate(b)
+			st := svm.ReadKernelStats().Sub(before)
+			b.ReportMetric(float64(st.ScreenedModels)/float64(b.N), "screened/op")
+		})
 	}
 }
 

@@ -7,6 +7,7 @@
 //
 //	go test -run xxx -bench . -benchmem ./... | benchjson > BENCH.json
 //	go test -run xxx -bench . -benchmem ./... | benchjson -baseline BENCH_PREV.json > BENCH.json
+//	go test -run xxx -bench . -benchmem ./... | benchjson -baseline 'BENCH_*.json' > BENCH.json
 //
 // Every benchmark line becomes one record carrying the iteration count and
 // all reported metrics — the standard ns/op, B/op and allocs/op as well as
@@ -15,9 +16,14 @@
 //
 // With -baseline, benchjson additionally prints a trajectory table to
 // stderr comparing this run's ns/op against the prior report, flagging
-// regressions beyond 10%. The table is warn-only — CI publishes it in the
-// job log but the exit status is unaffected, since one-shot CI runners
-// are far too noisy for a hard perf gate.
+// regressions beyond 10%. -baseline accepts comma-separated paths and
+// globs; when several reports match (the checked-in BENCH_PR<n>.json
+// series), they are ordered by PR number and the table shows the full
+// ns/op history of every benchmark — seed to current run, one column per
+// report — with the delta taken against the newest baseline. The table is
+// warn-only either way — CI publishes it in the job log but the exit
+// status is unaffected, since one-shot CI runners are far too noisy for a
+// hard perf gate.
 package main
 
 import (
@@ -27,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -156,8 +164,118 @@ func trajectory(prev, cur Report, baselineName string) string {
 	return b.String()
 }
 
+// prNumRe extracts the PR number from a checked-in report's file name
+// (BENCH_PR7.json → 7), the series' chronological order.
+var prNumRe = regexp.MustCompile(`(?i)pr(\d+)`)
+
+func prNumber(path string) int {
+	m := prNumRe.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return -1
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// expandBaselines resolves the -baseline argument — comma-separated paths
+// and/or globs — into the matched files ordered oldest first: by embedded
+// PR number where the name carries one (reports without a number sort
+// before the series), then lexically.
+func expandBaselines(arg string) ([]string, error) {
+	var files []string
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.ContainsAny(part, "*?[") {
+			matches, err := filepath.Glob(part)
+			if err != nil {
+				return nil, fmt.Errorf("bad pattern %q: %w", part, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("no files match %q", part)
+			}
+			files = append(files, matches...)
+		} else {
+			files = append(files, part)
+		}
+	}
+	sort.SliceStable(files, func(i, j int) bool {
+		ni, nj := prNumber(files[i]), prNumber(files[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return files[i] < files[j]
+	})
+	return files, nil
+}
+
+// trajectoryAll renders the full warn-only ns/op history across every
+// baseline report (oldest → newest) plus the current run: one column per
+// report, one row per benchmark of the current run. The delta column and
+// the regression flag compare against the newest baseline, exactly like
+// the two-report table.
+func trajectoryAll(prevs []Report, names []string, cur Report) string {
+	cols := make([]map[string]float64, len(prevs))
+	for i, p := range prevs {
+		cols[i] = make(map[string]float64, len(p.Benchmarks))
+		for _, rec := range p.Benchmarks {
+			if ns, ok := rec.Metrics["ns/op"]; ok && ns > 0 {
+				cols[i][rec.Name] = ns
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark ns/op trajectory across %d reports (warn-only; >%d%% vs %s flagged)\n",
+		len(prevs)+1, int(regressionThreshold*100), names[len(names)-1])
+	fmt.Fprintf(&b, "%-72s", "benchmark")
+	for _, name := range names {
+		base := strings.TrimSuffix(filepath.Base(name), ".json")
+		fmt.Fprintf(&b, " %14s", base)
+	}
+	fmt.Fprintf(&b, " %14s %8s\n", "this run", "delta")
+	compared, onlyNew, regressions := 0, 0, 0
+	last := cols[len(cols)-1]
+	for _, rec := range cur.Benchmarks {
+		ns, ok := rec.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-72s", rec.Name)
+		for i := range cols {
+			if old, ok := cols[i][rec.Name]; ok {
+				fmt.Fprintf(&b, " %14.1f", old)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		old, ok := last[rec.Name]
+		if !ok {
+			onlyNew++
+			fmt.Fprintf(&b, " %14.1f %8s\n", ns, "new")
+			continue
+		}
+		compared++
+		delta := (ns - old) / old
+		mark := ""
+		if delta > regressionThreshold {
+			mark = "  !! regression"
+			regressions++
+		}
+		fmt.Fprintf(&b, " %14.1f %+7.1f%%%s\n", ns, delta*100, mark)
+	}
+	fmt.Fprintf(&b, "compared %d benchmarks; %d new (no baseline), %d regressions flagged\n",
+		compared, onlyNew, regressions)
+	return b.String()
+}
+
 func main() {
-	baseline := flag.String("baseline", "", "prior benchmark JSON report to diff against (trajectory table on stderr, warn-only)")
+	baseline := flag.String("baseline", "",
+		"prior benchmark JSON report(s) to diff against: comma-separated paths and globs, e.g. 'BENCH_*.json' (trajectory table on stderr, warn-only)")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
@@ -173,16 +291,27 @@ func main() {
 		os.Exit(1)
 	}
 	if *baseline != "" {
-		data, err := os.ReadFile(*baseline)
+		files, err := expandBaselines(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: -baseline: %v\n", err)
 			os.Exit(1)
 		}
-		var prev Report
-		if err := json.Unmarshal(data, &prev); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: -baseline %s: %v\n", *baseline, err)
-			os.Exit(1)
+		prevs := make([]Report, len(files))
+		for i, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -baseline: %v\n", err)
+				os.Exit(1)
+			}
+			if err := json.Unmarshal(data, &prevs[i]); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -baseline %s: %v\n", f, err)
+				os.Exit(1)
+			}
 		}
-		fmt.Fprint(os.Stderr, trajectory(prev, rep, *baseline))
+		if len(prevs) == 1 {
+			fmt.Fprint(os.Stderr, trajectory(prevs[0], rep, files[0]))
+		} else {
+			fmt.Fprint(os.Stderr, trajectoryAll(prevs, files, rep))
+		}
 	}
 }

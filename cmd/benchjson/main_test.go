@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -87,6 +89,71 @@ func TestTrajectory(t *testing.T) {
 			t.Errorf("improvement flagged as regression: %q", line)
 		case strings.Contains(line, "BenchmarkNew-8"):
 			t.Errorf("baseline-less benchmark appears in the table: %q", line)
+		}
+	}
+}
+
+func TestExpandBaselines(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR10.json", "BENCH_PR7.json", "BENCH_PR9.json", "BENCH_seed.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := expandBaselines(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range files {
+		names = append(names, filepath.Base(f))
+	}
+	// Chronological: the numberless seed report first, then by PR number —
+	// numerically, so PR10 lands after PR9, not between PR1 and PR2.
+	want := []string{"BENCH_seed.json", "BENCH_PR7.json", "BENCH_PR9.json", "BENCH_PR10.json"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("order = %v, want %v", names, want)
+	}
+	if _, err := expandBaselines(filepath.Join(dir, "NOPE_*.json")); err == nil {
+		t.Error("expandBaselines accepted a pattern matching nothing")
+	}
+}
+
+func TestTrajectoryAll(t *testing.T) {
+	pr6 := Report{Benchmarks: []Record{rec("BenchmarkStable-8", 100), rec("BenchmarkRetired-8", 7)}}
+	pr7 := Report{Benchmarks: []Record{rec("BenchmarkStable-8", 90), rec("BenchmarkRegressed-8", 100)}}
+	cur := Report{Benchmarks: []Record{
+		rec("BenchmarkStable-8", 91),
+		rec("BenchmarkRegressed-8", 180),
+		rec("BenchmarkNew-8", 5),
+	}}
+	out := trajectoryAll([]Report{pr6, pr7}, []string{"BENCH_PR6.json", "BENCH_PR7.json"}, cur)
+
+	for _, want := range []string{
+		"BENCH_PR6", "BENCH_PR7", "this run",
+		"compared 2 benchmarks; 1 new (no baseline), 1 regressions flagged",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectoryAll output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "BenchmarkStable-8"):
+			// Full history: both baseline columns populated.
+			if !strings.Contains(line, "100.0") || !strings.Contains(line, "90.0") || !strings.Contains(line, "91.0") {
+				t.Errorf("stable row missing history columns: %q", line)
+			}
+			if strings.Contains(line, "!! regression") {
+				t.Errorf("stable row flagged (delta is vs newest baseline): %q", line)
+			}
+		case strings.Contains(line, "BenchmarkRegressed-8"):
+			// Absent from the oldest report: a placeholder, then the jump.
+			if !strings.Contains(line, "-") || !strings.Contains(line, "!! regression") {
+				t.Errorf("regressed row malformed: %q", line)
+			}
+		case strings.Contains(line, "BenchmarkNew-8") && !strings.Contains(line, "new"):
+			t.Errorf("baseline-less benchmark not marked new: %q", line)
 		}
 	}
 }

@@ -80,6 +80,7 @@ func run() error {
 		join     = flag.String("join", "", "run as the cluster front end routing to these members: comma-separated name=addr pairs")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling of the scoring path (empty disables)")
 		score32  = flag.Bool("score-float32", false, "score windows through float32 fused postings/accumulators: ~half the scoring memory, decisions within the documented float32 bound of exact float64")
+		scoreP   = flag.Bool("score-portable", false, "force the portable per-posting scoring kernels instead of the auto-resolved engine (bit-identical decisions; for debugging and A/B timing)")
 	)
 	flag.Parse()
 	if *clusterL != "" && *join != "" {
@@ -93,9 +94,9 @@ func run() error {
 		// The front end holds no monitor: identification state, eviction
 		// and the threshold all live on the member nodes — and so do the
 		// scoring hot path (-pprof profiles it live) and its precision
-		// mode (-score-float32).
+		// mode (-score-float32) and engine (-score-portable).
 		if err := rejectMisplacedFlags("the -join front end (set them on the -cluster processes)",
-			"bundle", "k", "shards", "idle-ttl", "state-dir", "node-name", "pprof", "score-float32"); err != nil {
+			"bundle", "k", "shards", "idle-ttl", "state-dir", "node-name", "pprof", "score-float32", "score-portable"); err != nil {
 			return err
 		}
 	case *clusterL != "":
@@ -158,6 +159,9 @@ func run() error {
 	}
 	monCfg := webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL, Spill: spillStore(store),
 		Float32Scoring: *score32}
+	if *scoreP {
+		monCfg.ScoringKernels = webtxprofile.KernelsPortable
+	}
 
 	if *clusterL != "" {
 		return runNode(logger, set, *clusterL, *nodeName, *k, *maxWire, monCfg, store, *stateDir)
@@ -184,6 +188,7 @@ func runStandalone(logger *log.Logger, set *webtxprofile.ProfileSet, listen stri
 		return err
 	}
 	defer srv.Close()
+	logger.Printf("scoring engine %s; index %s", mon.ScoringEngine(), mon.ScoringFootprint())
 	logger.Printf("listening on %s with %d profiles (k=%d, %d shards, idle-ttl %v)",
 		srv.Addr(), len(set.Profiles), k, monCfg.Shards, monCfg.IdleTTL)
 
@@ -214,6 +219,7 @@ func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string
 		return err
 	}
 	defer node.Close()
+	logger.Printf("scoring engine %s; index %s", node.Monitor().ScoringEngine(), node.Monitor().ScoringFootprint())
 	logger.Printf("cluster node %s serving on %s with %d profiles (k=%d, %d shards)",
 		name, node.Addr(), len(set.Profiles), k, monCfg.Shards)
 

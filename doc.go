@@ -48,6 +48,16 @@
 //     float64 divergence certified per decision by
 //     svm.Float32DecisionBound; the default stays exact float64, whose
 //     accept/reject decisions are bit-identical to the per-model engine.
+//   - The fused postings are laid out cache-blocked in fixed-width
+//     zero-padded lanes, consumed by interchangeable kernel engines:
+//     packed AVX-512 assembly where the CPU supports it, straight-line Go
+//     lane kernels elsewhere, and portable reference loops on demand
+//     (MonitorConfig.ScoringKernels, profilerd -score-portable). Engine
+//     choice is pure mechanism — decisions are bit-identical across all
+//     of them, in float64 and float32 alike, a property pinned by a
+//     differential fuzz target and a monitor-level alert-equivalence
+//     suite. Daemons log the resolved engine and the index footprint
+//     (svm.FusedIndex.Footprint) at startup.
 //   - Per-user grid searches share one Gram matrix across all ν/C cells of
 //     a (user, kernel) row — the kernel matrix depends only on the kernel
 //     and the training windows — cutting the search's kernel evaluations

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"strings"
 	"testing"
+
+	"webtxprofile/internal/svm"
 )
 
 // runMonitorAlerts replays txs through a monitor built with cfg and
@@ -39,6 +42,51 @@ func TestMonitorFusedMatchesPreFusedEngine(t *testing.T) {
 	ref := runMonitorAlerts(t, MonitorConfig{Shards: 8, referenceScoring: true}, k)
 	fused := runMonitorAlerts(t, MonitorConfig{Shards: 8}, k)
 	comparePerDevice(t, ref, fused)
+}
+
+// TestMonitorKernelEnginesAlertEquivalence extends the byte-identity
+// property across the kernel-engine seam: a monitor forced onto the
+// portable per-posting kernels and one on the auto-resolved engine
+// (the packed AVX-512 kernels where the CPU has them, the Go lane
+// kernels otherwise) must emit identical per-device alert sequences,
+// and both must match the pre-fused per-model reference. Run under
+// -race in CI with the vector engine on.
+func TestMonitorKernelEnginesAlertEquivalence(t *testing.T) {
+	const k = 2
+	ref := runMonitorAlerts(t, MonitorConfig{Shards: 8, referenceScoring: true}, k)
+	auto := runMonitorAlerts(t, MonitorConfig{Shards: 8}, k)
+	portable := runMonitorAlerts(t, MonitorConfig{Shards: 8, ScoringKernels: svm.KernelsPortable}, k)
+	comparePerDevice(t, ref, auto)
+	comparePerDevice(t, ref, portable)
+}
+
+// TestMonitorScoringEngineAccessors pins the observability accessors the
+// daemon logs at startup: a fused monitor reports the resolved engine
+// name and a non-zero index footprint; the portable engine is visible in
+// the name.
+func TestMonitorScoringEngineAccessors(t *testing.T) {
+	set, _ := sharedSet(t)
+	col := newAlertCollector()
+	mon, err := NewMonitorWithConfig(set, 2, col.callback, MonitorConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if eng := mon.ScoringEngine(); !strings.HasPrefix(eng, "block8/float64") {
+		t.Errorf("ScoringEngine() = %q, want block8/float64 prefix", eng)
+	}
+	if fp := mon.ScoringFootprint(); fp.IndexBytes == 0 {
+		t.Errorf("ScoringFootprint() = %+v, want non-zero IndexBytes", fp)
+	}
+	pmon, err := NewMonitorWithConfig(set, 2, col.callback,
+		MonitorConfig{Shards: 2, ScoringKernels: svm.KernelsPortable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pmon.Close()
+	if eng := pmon.ScoringEngine(); !strings.HasPrefix(eng, "portable/") {
+		t.Errorf("portable ScoringEngine() = %q, want portable/ prefix", eng)
+	}
 }
 
 // TestMonitorFloat32ScoringRuns smokes the float32 mode end to end: the

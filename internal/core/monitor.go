@@ -119,6 +119,13 @@ type MonitorConfig struct {
 	// (the default, exact float64) when byte-identical equivalence
 	// matters more than memory.
 	Float32Scoring bool
+	// ScoringKernels selects the fused index's kernel implementations:
+	// svm.KernelsAuto (the zero value) resolves to the fastest engine the
+	// CPU supports, svm.KernelsPortable forces the per-posting reference
+	// loops. Every engine produces bit-identical float64 decisions and
+	// identical accept masks, so this is an escape hatch and an A/B
+	// instrument, not a semantics knob.
+	ScoringKernels svm.KernelMode
 
 	// referenceScoring routes every shard's window scoring through the
 	// pre-fused per-model decision path instead of the shared fused
@@ -155,6 +162,10 @@ type Monitor struct {
 	set *ProfileSet
 	k   int
 	cfg MonitorConfig
+
+	// ix is the monitor-wide fused scoring index (nil only under the
+	// referenceScoring test seam); kept for the engine/footprint accessors.
+	ix *svm.FusedIndex
 
 	seed   maphash.Seed
 	shards []*monitorShard
@@ -296,7 +307,11 @@ func NewMonitorWithConfig(set *ProfileSet, consecutiveK int, alerts func(Alert),
 	}
 	var ix *svm.FusedIndex
 	if !cfg.referenceScoring {
-		ix = svm.NewFusedIndex(models, svm.FusedConfig{Float32: cfg.Float32Scoring})
+		ix = svm.NewFusedIndex(models, svm.FusedConfig{
+			Float32: cfg.Float32Scoring,
+			Kernels: cfg.ScoringKernels,
+		})
+		m.ix = ix
 	}
 	for i := range m.shards {
 		var sc *scorer
@@ -314,6 +329,26 @@ func NewMonitorWithConfig(set *ProfileSet, consecutiveK int, alerts func(Alert),
 	// Monitor keeps it reachable — such callers must Close explicitly.)
 	runtime.AddCleanup(m, func(p *alertPump) { p.halt() }, m.pump)
 	return m, nil
+}
+
+// ScoringEngine names the fused index's resolved kernel engine (e.g.
+// "block8/float64+avx512 (cpu: ...)"), or "per-model" under the reference
+// scoring seam. Daemons log it at startup so deployments can tell which
+// engine a host resolved to.
+func (m *Monitor) ScoringEngine() string {
+	if m.ix == nil {
+		return "per-model"
+	}
+	return m.ix.Engine()
+}
+
+// ScoringFootprint returns the shared fused index's memory accounting
+// (zero under the reference scoring seam).
+func (m *Monitor) ScoringFootprint() svm.IndexFootprint {
+	if m.ix == nil {
+		return svm.IndexFootprint{}
+	}
+	return m.ix.Footprint()
 }
 
 // shardIndex is the single device→shard routing rule; Feed, FeedBatch and

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package svm
+
+// detectCPUFeatures reports no SIMD capabilities off amd64; the lane
+// kernels are portable Go and run everywhere regardless.
+func detectCPUFeatures() []string { return nil }

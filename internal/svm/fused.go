@@ -1,7 +1,9 @@
 package svm
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
 	"webtxprofile/internal/sparse"
 )
@@ -20,6 +22,31 @@ const (
 // can never flip an accept into a screened reject.
 const screenSlack = 1e-9
 
+// critSlack deflates the precomputed screening thresholds (sCrit, d2Crit)
+// by a hair, so the handful of roundings in the threshold algebra itself —
+// a division, a log — can never over-screen. It is three orders of
+// magnitude above those roundings and three below screenSlack, so the
+// screen loses no measurable power.
+const critSlack = 1e-12
+
+// KernelMode selects which scoring kernels a FusedIndex runs.
+type KernelMode uint8
+
+const (
+	// KernelsAuto resolves to the lane-blocked kernels (block8/block16):
+	// straight-line unrolled multiply-add over full lanes. This is the
+	// default and is portable Go — the lane shapes exist so the work maps
+	// 1:1 onto packed FMA registers (and a future build-tagged asm kernel
+	// can consume the same layout directly).
+	KernelsAuto KernelMode = iota
+	// KernelsPortable runs simple per-posting reference loops over the
+	// same blocked layout. Float64 results are bit-identical to the lane
+	// kernels (per-accumulator term order is the same); it exists as the
+	// plain-code baseline for differential testing, benchmarking the lane
+	// shapes' win, and as an escape hatch.
+	KernelsPortable
+)
+
 // FusedConfig selects how a FusedIndex stores and accumulates postings.
 type FusedConfig struct {
 	// Float32 stores the postings values in float32 and runs the
@@ -31,6 +58,168 @@ type FusedConfig struct {
 	// differ for windows within that bound of a model's boundary. The
 	// zero value — exact float64 — is the default everywhere.
 	Float32 bool
+
+	// Kernels picks the scoring kernels (lane-blocked vs portable); both
+	// run over the same blocked postings layout and produce bit-identical
+	// accumulators. The zero value (KernelsAuto) is the lane kernels.
+	Kernels KernelMode
+}
+
+// Lane widths of the blocked postings layout: one lane of values is one
+// 64-byte cache line (8×float64 or 16×float32), and every (block, column)
+// postings group is zero-padded to a whole number of lanes so the
+// accumulate kernels are pure straight-line lane loops with no remainder
+// handling.
+const (
+	laneWidth64 = 8
+	laneWidth32 = 16
+)
+
+// maxBlockGroups bounds the dense per-(block, column) offset table of a
+// postings family. When accumulators × columns would exceed it, the block
+// span doubles until it fits — huge populations degrade gracefully to
+// larger blocks instead of blowing up the table.
+const maxBlockGroups = 4 << 20
+
+// minGroupPostings is the target average (block, column) group size.
+// Blocking trades the column-contiguous layout's long sequential postings
+// runs for write locality, and the trade only pays if the runs stay long
+// enough for the hardware prefetcher — a few KiB, not a few cache lines.
+// The block span grows until groups average at least this many postings
+// (measured, not guessed: the builder knows the family's density), so a
+// dense population gets small L2-resident accumulator spans with ~3 KiB
+// runs, and a sparse one degrades smoothly toward the unblocked layout
+// where scattered writes are rare anyway.
+const minGroupPostings = 512
+
+// blockedPostings is one postings family of a FusedIndex (linear weights
+// or support vectors) in the feature-blocked, lane-padded layout.
+//
+// Accumulator ordinals are split into fixed power-of-two blocks
+// (block(g) = g >> shift, sized so a block's accumulator span stays
+// L1-resident), and postings are grouped by (block, column): group
+// (b, c) occupies ord/val[starts[b*ncols+c] : starts[b*ncols+c+1]],
+// zero-padded to full lanes with postings that target the spare ordinal
+// (val 0, so they accumulate exact zeros into a cell nobody reads).
+// Within a group, postings keep ascending ordinal order.
+//
+// The accumulate kernels walk blocks in the outer loop and the window's
+// columns in the inner loop, so all scattered writes of a block land in
+// one small accumulator span. Bit-identity with the unblocked column-major
+// walk holds because blocks partition ordinals exactly: every term of a
+// given accumulator lives in exactly one block and is therefore still
+// received in window-column order, and per (column, accumulator) there is
+// at most one posting — so each accumulator's term order is unchanged.
+type blockedPostings struct {
+	ncols   int32   // column span (max posting column + 1)
+	nblocks int32   // ordinal blocks
+	shift   uint    // accumulator ordinal → block index
+	starts  []int32 // len nblocks*ncols+1: lane-padded group offsets
+	ord     []int32 // accumulator ordinal per posting (spare for pads)
+	val     []float64
+	val32   []float32
+	real    int // postings before padding
+	pad     int // zero-filled lane-padding postings
+}
+
+// pickBlockShift returns the ordinal→block shift: starting from a 16 KiB
+// accumulator span (2048 float64 / 4096 float32), the block doubles until
+// the group table fits maxBlockGroups and the family's npostings average
+// at least minGroupPostings per group.
+func pickBlockShift(nacc, ncols, npostings, elemSize int) uint {
+	shift := uint(11)
+	if elemSize == 4 {
+		shift = 12
+	}
+	for {
+		nblocks := (nacc + (1 << shift) - 1) >> shift
+		if nblocks <= 1 {
+			return shift
+		}
+		if nblocks*ncols <= maxBlockGroups && npostings >= minGroupPostings*nblocks*ncols {
+			return shift
+		}
+		shift++
+	}
+}
+
+// buildBlocked converts raw column-sorted postings (column c holds
+// rawOrd/rawVal[rawStarts[c]:rawStarts[c+1]], ordinals ascending within a
+// column) into the blocked, lane-padded layout over nacc accumulators
+// (the last one being the spare pad target).
+func buildBlocked(rawStarts, rawOrd []int32, rawVal []float64, nacc int, f32 bool) blockedPostings {
+	ncols := len(rawStarts) - 1
+	if ncols <= 0 || len(rawOrd) == 0 {
+		return blockedPostings{}
+	}
+	lane, elem := laneWidth64, 8
+	if f32 {
+		lane, elem = laneWidth32, 4
+	}
+	shift := pickBlockShift(nacc, ncols, len(rawOrd), elem)
+	nblocks := (nacc + (1 << shift) - 1) >> shift
+	ngroups := nblocks * ncols
+
+	starts := make([]int32, ngroups+1)
+	for c := 0; c < ncols; c++ {
+		for p := rawStarts[c]; p < rawStarts[c+1]; p++ {
+			b := int(rawOrd[p]) >> shift
+			starts[b*ncols+c+1]++
+		}
+	}
+	pad := 0
+	for g := 0; g < ngroups; g++ {
+		cnt := starts[g+1]
+		if rem := cnt % int32(lane); rem != 0 {
+			pad += lane - int(rem)
+			cnt += int32(lane) - rem
+		}
+		starts[g+1] = starts[g] + cnt
+	}
+
+	pb := blockedPostings{
+		ncols:   int32(ncols),
+		nblocks: int32(nblocks),
+		shift:   shift,
+		starts:  starts,
+		ord:     make([]int32, starts[ngroups]),
+		real:    len(rawOrd),
+		pad:     pad,
+	}
+	if f32 {
+		pb.val32 = make([]float32, starts[ngroups])
+	} else {
+		pb.val = make([]float64, starts[ngroups])
+	}
+	fill := make([]int32, ngroups)
+	copy(fill, starts[:ngroups])
+	for c := 0; c < ncols; c++ {
+		for p := rawStarts[c]; p < rawStarts[c+1]; p++ {
+			b := int(rawOrd[p]) >> shift
+			g := b*ncols + c
+			pos := fill[g]
+			pb.ord[pos] = rawOrd[p]
+			if f32 {
+				pb.val32[pos] = float32(rawVal[p])
+			} else {
+				pb.val[pos] = rawVal[p]
+			}
+			fill[g] = pos + 1
+		}
+	}
+	spare := int32(nacc - 1)
+	for g := 0; g < ngroups; g++ {
+		for pos := fill[g]; pos < starts[g+1]; pos++ {
+			pb.ord[pos] = spare // values are already zero
+		}
+	}
+	return pb
+}
+
+// bytes returns the resident size of the family's slices.
+func (pb *blockedPostings) bytes() int64 {
+	return int64(len(pb.starts))*4 + int64(len(pb.ord))*4 +
+		int64(len(pb.val))*8 + int64(len(pb.val32))*4
 }
 
 // FusedIndex merges every model's decision structure into one population-
@@ -45,45 +234,52 @@ type FusedConfig struct {
 //   - Support-vector postings, feature → (global SV ordinal, value): each
 //     prepared non-linear model's support vectors occupy a contiguous
 //     range of global ordinals (svBase), and the pass accumulates xᵢ·x
-//     per support vector, exactly as svIndex.dotsInto would — in the same
-//     column-major order, so the accumulated sums are bit-identical.
+//     per support vector.
 //
-// Postings within a column are laid out contiguously and sorted by model
-// (resp. global ordinal), so the accumulation is one linear sweep per
-// matched column. Models that are not prepared (hand-assembled without
-// Validate) take the per-model fallback path.
+// Both families use the feature-blocked, lane-padded layout of
+// blockedPostings, and the float64 accumulators stay bit-identical to the
+// unblocked per-model svIndex.dotsInto pass: every accumulator still
+// receives its terms in window-column order (see blockedPostings). Models
+// that are not prepared (hand-assembled without Validate) take the
+// per-model fallback path.
 //
-// The index also caches, per model, the screening inputs of
-// Scorer.AcceptMask: Σαᵢ and the min/max support-vector norms (every
-// αᵢ > 0 by Validate, which makes Σαᵢ·max k an admissible bound on the
-// kernel sum — see screenReject).
+// The index also caches, per model, the decision-screen inputs of
+// Scorer.AcceptMask: Σαᵢ, the min/max support-vector norms (every αᵢ > 0
+// by Validate, which makes Σαᵢ·max k an admissible bound on the kernel
+// sum — see screenReject), and for RBF models the precomputed screen
+// thresholds sCrit/d2Crit that make the first screening levels entirely
+// transcendental-free.
 //
 // A FusedIndex is immutable after build and safe for concurrent readers:
 // Monitor shards share one index and attach per-shard Scorer scratch.
 type FusedIndex struct {
-	models []*Model
-	cfg    FusedConfig
-	kind   []uint8
+	models   []*Model
+	cfg      FusedConfig
+	portable bool
+	vector   bool // KernelsAuto resolved to the AVX-512 packed kernels
+	kind     []uint8
 
-	// Linear postings: for column c, linModel/linVal[linStarts[c]:linStarts[c+1]].
-	linStarts []int32
-	linModel  []int32
-	linVal    []float64
-	linVal32  []float32
+	lin blockedPostings // linear-weight postings
+	sv  blockedPostings // support-vector postings
 
-	// SV postings: for column c, svOrd/svVal[svStarts[c]:svStarts[c+1]].
-	svStarts []int32
-	svOrd    []int32
-	svVal    []float64
-	svVal32  []float32
+	// Column → owning models with at least one SV posting in that column
+	// (deduped, ascending): ownIDs[ownStarts[c]:ownStarts[c+1]]. This is
+	// the touch-marking pass, decoupled from accumulation so the lane
+	// kernels stay pure multiply-add.
+	ownStarts []int32
+	ownIDs    []int32
 
 	// Per-model global SV ordinal ranges: model mi owns [svBase[mi],
 	// svBase[mi+1]) (empty for linear/fallback models).
 	svBase []int32
-	// Per global ordinal: owning model, dual coefficient, ‖sv‖².
-	svOwner []int32
-	coef    []float64
-	svNorms []float64
+	// Per global ordinal: dual coefficient, ‖sv‖², and — for RBF models —
+	// γ·‖sv‖²/h, the precomputed table-index contribution of the support
+	// vector to the screening bound (see fusedRBFSumBound64: folding γ and
+	// the table scale into the operand array at build time leaves one fused
+	// multiply-add per support vector in the bound's inner loop).
+	coef     []float64
+	svNorms  []float64
+	snGammaH []float64
 
 	// Per-model screening caches: Σαᵢ, min/max ‖svᵢ‖ and min ‖svᵢ‖²
 	// (zero for linear and fallback models, which are never screened).
@@ -91,7 +287,78 @@ type FusedIndex struct {
 	minNorm  []float64
 	maxNorm  []float64
 	snMin    []float64
+
+	// Per-model precomputed RBF screen thresholds (see rbfScreenCrit):
+	// a kernel-sum upper bound below sCrit, or a squared-distance lower
+	// bound above d2Crit, proves rejection. Zero/±Inf for non-RBF models.
+	sCrit  []float64
+	d2Crit []float64
+	// gammaH[mi] is γ/h for RBF models and 0 otherwise — both the screen's
+	// RBF discriminant and its table-index scale, kept dense so the hot
+	// screening path never dereferences the Model itself (ten thousand
+	// pointer chases per window would out-cost the bounds they gate).
+	gammaH []float64
+
+	footprint IndexFootprint
 }
+
+// IndexFootprint is the memory accounting of a built FusedIndex: what the
+// blocked layout costs and how much of it is lane padding.
+type IndexFootprint struct {
+	Models       int
+	SVs          int
+	Postings     int   // real postings stored (linear weights + SV entries)
+	LanePadWaste int   // zero-filled pad slots added to fill out lanes
+	IndexBytes   int64 // resident bytes: postings, offsets, per-model caches
+}
+
+// String renders the footprint for startup logs.
+func (f IndexFootprint) String() string {
+	padPct := 0.0
+	if n := f.Postings + f.LanePadWaste; n > 0 {
+		padPct = 100 * float64(f.LanePadWaste) / float64(n)
+	}
+	return fmt.Sprintf("models=%d svs=%d postings=%d pad=%d (%.1f%%) bytes=%d",
+		f.Models, f.SVs, f.Postings, f.LanePadWaste, padPct, f.IndexBytes)
+}
+
+// Footprint returns the index's memory accounting.
+func (ix *FusedIndex) Footprint() IndexFootprint { return ix.footprint }
+
+// Engine describes the resolved scoring kernels, e.g.
+// "block8/float64+avx512 (cpu: avx2,avx512f,fma,sse2)" or
+// "portable/float32".
+func (ix *FusedIndex) Engine() string {
+	var b strings.Builder
+	switch {
+	case ix.portable:
+		b.WriteString("portable")
+	case ix.cfg.Float32:
+		b.WriteString("block16")
+	default:
+		b.WriteString("block8")
+	}
+	if ix.cfg.Float32 {
+		b.WriteString("/float32")
+	} else {
+		b.WriteString("/float64")
+	}
+	if ix.vector {
+		b.WriteString("+avx512")
+	}
+	if !ix.portable && len(cpuFeatureList) > 0 {
+		b.WriteString(" (cpu: ")
+		b.WriteString(strings.Join(cpuFeatureList, ","))
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// cpuFeatureList holds the detected SIMD capabilities of this CPU
+// (detectCPUFeatures; empty off amd64). It is both observability and the
+// dispatch input: KernelsAuto resolves to the AVX-512 packed kernels when
+// "avx512f" is present, and to the portable-Go lane kernels otherwise.
+var cpuFeatureList = detectCPUFeatures()
 
 // NewFusedIndex builds the fused population index over models. The models
 // are shared, not copied; prepared models (Train, UnmarshalJSON, Validate)
@@ -101,12 +368,17 @@ func NewFusedIndex(models []*Model, cfg FusedConfig) *FusedIndex {
 	ix := &FusedIndex{
 		models:   models,
 		cfg:      cfg,
+		portable: cfg.Kernels == KernelsPortable,
+		vector:   cfg.Kernels == KernelsAuto && !disablePackedKernels && asmKernelsSupported(),
 		kind:     make([]uint8, n),
 		svBase:   make([]int32, n+1),
 		sumAlpha: make([]float64, n),
 		minNorm:  make([]float64, n),
 		maxNorm:  make([]float64, n),
 		snMin:    make([]float64, n),
+		sCrit:    make([]float64, n),
+		d2Crit:   make([]float64, n),
+		gammaH:   make([]float64, n),
 	}
 
 	// Classify each model and measure both postings families.
@@ -143,24 +415,24 @@ func NewFusedIndex(models []*Model, cfg FusedConfig) *FusedIndex {
 
 	// Linear postings: counting sort by column, models in index order, so
 	// postings within a column are sorted by model.
-	ix.linStarts = make([]int32, maxLinCol+2)
-	ix.linModel = make([]int32, totalLin)
-	ix.linVal = make([]float64, totalLin)
+	linStarts := make([]int32, maxLinCol+2)
+	linOrd := make([]int32, totalLin)
+	linVal := make([]float64, totalLin)
 	for mi, m := range models {
 		if ix.kind[mi] != fusedLinear {
 			continue
 		}
 		for c, wv := range m.w {
 			if wv != 0 {
-				ix.linStarts[c+1]++
+				linStarts[c+1]++
 			}
 		}
 	}
-	for c := 1; c < len(ix.linStarts); c++ {
-		ix.linStarts[c] += ix.linStarts[c-1]
+	for c := 1; c < len(linStarts); c++ {
+		linStarts[c] += linStarts[c-1]
 	}
 	linFill := make([]int32, maxLinCol+1)
-	copy(linFill, ix.linStarts[:maxLinCol+1])
+	copy(linFill, linStarts[:maxLinCol+1])
 	for mi, m := range models {
 		if ix.kind[mi] != fusedLinear {
 			continue
@@ -170,8 +442,8 @@ func NewFusedIndex(models []*Model, cfg FusedConfig) *FusedIndex {
 				continue
 			}
 			p := linFill[c]
-			ix.linModel[p] = int32(mi)
-			ix.linVal[p] = wv
+			linOrd[p] = int32(mi)
+			linVal[p] = wv
 			linFill[c] = p + 1
 		}
 	}
@@ -179,27 +451,28 @@ func NewFusedIndex(models []*Model, cfg FusedConfig) *FusedIndex {
 	// SV postings: same counting sort over global ordinals, plus the
 	// per-ordinal caches (owner, coefficient, norm) and the per-model
 	// screening bounds.
-	ix.svStarts = make([]int32, maxSVCol+2)
-	ix.svOrd = make([]int32, totalSV)
-	ix.svVal = make([]float64, totalSV)
-	ix.svOwner = make([]int32, numSVs)
+	svStarts := make([]int32, maxSVCol+2)
+	svOrd := make([]int32, totalSV)
+	svVal := make([]float64, totalSV)
+	svOwner := make([]int32, numSVs)
 	ix.coef = make([]float64, numSVs)
 	ix.svNorms = make([]float64, numSVs)
+	ix.snGammaH = make([]float64, numSVs)
 	for mi, m := range models {
 		if ix.kind[mi] != fusedSV {
 			continue
 		}
 		for _, sv := range m.SVs {
 			for _, c := range sv.Idx {
-				ix.svStarts[c+1]++
+				svStarts[c+1]++
 			}
 		}
 	}
-	for c := 1; c < len(ix.svStarts); c++ {
-		ix.svStarts[c] += ix.svStarts[c-1]
+	for c := 1; c < len(svStarts); c++ {
+		svStarts[c] += svStarts[c-1]
 	}
 	svFill := make([]int32, maxSVCol+1)
-	copy(svFill, ix.svStarts[:maxSVCol+1])
+	copy(svFill, svStarts[:maxSVCol+1])
 	for mi, m := range models {
 		if ix.kind[mi] != fusedSV {
 			continue
@@ -208,7 +481,7 @@ func NewFusedIndex(models []*Model, cfg FusedConfig) *FusedIndex {
 		sumA, minN, maxN := 0.0, math.Inf(1), 0.0
 		for si, sv := range m.SVs {
 			g := base + int32(si)
-			ix.svOwner[g] = int32(mi)
+			svOwner[g] = int32(mi)
 			ix.coef[g] = m.Coef[si]
 			ix.svNorms[g] = m.svNorms[si]
 			sumA += m.Coef[si]
@@ -220,8 +493,8 @@ func NewFusedIndex(models []*Model, cfg FusedConfig) *FusedIndex {
 			}
 			for k, c := range sv.Idx {
 				p := svFill[c]
-				ix.svOrd[p] = g
-				ix.svVal[p] = sv.Val[k]
+				svOrd[p] = g
+				svVal[p] = sv.Val[k]
 				svFill[c] = p + 1
 			}
 		}
@@ -229,22 +502,90 @@ func NewFusedIndex(models []*Model, cfg FusedConfig) *FusedIndex {
 		ix.snMin[mi] = minN
 		ix.minNorm[mi] = math.Sqrt(minN)
 		ix.maxNorm[mi] = math.Sqrt(maxN)
+		if m.Kernel.Kind == KernelRBF {
+			ix.sCrit[mi], ix.d2Crit[mi] = rbfScreenCrit(m, sumA)
+			gh := m.Kernel.Gamma * rbfExpInvH
+			ix.gammaH[mi] = gh
+			for si := range m.SVs {
+				g := base + int32(si)
+				ix.snGammaH[g] = gh * ix.svNorms[g]
+			}
+		}
 	}
 
-	if cfg.Float32 {
-		ix.linVal32 = toFloat32(ix.linVal)
-		ix.svVal32 = toFloat32(ix.svVal)
-		ix.linVal, ix.svVal = nil, nil
+	// Column → owning models, deduped: within a column the raw postings
+	// are in ascending global-ordinal order, so owners are non-decreasing
+	// and dedup is a run-length pass.
+	if maxSVCol >= 0 {
+		ix.ownStarts = make([]int32, maxSVCol+2)
+		var ids []int32
+		for c := 0; c <= maxSVCol; c++ {
+			last := int32(-1)
+			for p := svStarts[c]; p < svStarts[c+1]; p++ {
+				if w := svOwner[svOrd[p]]; w != last {
+					ids = append(ids, w)
+					last = w
+				}
+			}
+			ix.ownStarts[c+1] = int32(len(ids))
+		}
+		ix.ownIDs = ids
 	}
+
+	// Convert both families to the blocked, lane-padded layout. The
+	// accumulator counts include one spare slot (ordinal n / numSVs) that
+	// the pad postings target.
+	ix.lin = buildBlocked(linStarts, linOrd, linVal, n+1, cfg.Float32)
+	ix.sv = buildBlocked(svStarts, svOrd, svVal, numSVs+1, cfg.Float32)
+
+	ix.footprint = IndexFootprint{
+		Models:       n,
+		SVs:          numSVs,
+		Postings:     ix.lin.real + ix.sv.real,
+		LanePadWaste: ix.lin.pad + ix.sv.pad,
+		IndexBytes: ix.lin.bytes() + ix.sv.bytes() +
+			int64(len(ix.ownStarts))*4 + int64(len(ix.ownIDs))*4 +
+			int64(len(ix.kind)) + int64(len(ix.svBase))*4 +
+			int64(len(ix.coef)+len(ix.svNorms)+len(ix.snGammaH))*8 +
+			int64(len(ix.sumAlpha)+len(ix.minNorm)+len(ix.maxNorm)+len(ix.snMin)+len(ix.sCrit)+len(ix.d2Crit)+len(ix.gammaH))*8,
+	}
+	recordIndexBuild(ix.footprint)
 	return ix
 }
 
-func toFloat32(v []float64) []float32 {
-	out := make([]float32, len(v))
-	for i, x := range v {
-		out[i] = float32(x)
+// rbfScreenCrit precomputes the RBF decision screen's thresholds for one
+// model, so the screening levels compare against constants instead of
+// re-deriving the bound per window.
+//
+// sCrit inverts rejectWithSum: for RBF, any upper bound s on the kernel
+// sum satisfies s ≥ 0 (k ∈ (0,1], αᵢ > 0) and evalSelf is the constant 1,
+// so "ub < −(tol + screenSlack·(1+s))" is, algebraically, "s < sCrit"
+// with sCrit = (ρ − tol − slack)/(1 + slack) for OC-SVM and
+// (1 + SumAA − R² − tol − slack)/(2 + slack) for SVDD. d2Crit then inverts
+// the true kernel bound Σα·exp(−γd²) < sCrit: whenever every squared
+// distance provably exceeds d2Crit = ln(Σα/sCrit)/γ, the model cannot
+// accept — without evaluating a single exp at scoring time.
+//
+// Admissibility under rounding: sCrit is deflated and d2Crit inflated by
+// critSlack, three orders of magnitude beyond the ulp-level rounding of
+// this algebra (and of math.Exp/math.Log), while the screenSlack margin
+// baked into sCrit already dwarfs the exact loop's own rounding. A
+// non-positive sCrit can never screen (bounds are ≥ 0), so d2Crit is +Inf.
+func rbfScreenCrit(m *Model, sumA float64) (sCrit, d2Crit float64) {
+	tol := m.acceptTol()
+	switch m.Algo {
+	case OCSVM:
+		sCrit = (m.Rho - tol - screenSlack) / (1 + screenSlack)
+	case SVDD:
+		sCrit = (1 + m.SumAA - m.R2 - tol - screenSlack) / (2 + screenSlack)
 	}
-	return out
+	if sCrit <= 0 {
+		return sCrit, math.Inf(1)
+	}
+	sCrit *= 1 - critSlack
+	d2Crit = math.Log(sumA/sCrit) / m.Kernel.Gamma
+	d2Crit += critSlack * (1 + math.Abs(d2Crit))
+	return sCrit, d2Crit
 }
 
 // NumModels returns the number of models fused into the index.
@@ -253,77 +594,22 @@ func (ix *FusedIndex) NumModels() int { return len(ix.models) }
 // numSVs returns the total support-vector count across fused models.
 func (ix *FusedIndex) numSVs() int { return int(ix.svBase[len(ix.models)]) }
 
-// accumulateFused is the single shared pass of the fused engine: it walks
-// x's non-zeros once, adding into the per-model weight accumulators (wx)
-// and the per-global-ordinal dot accumulators (dots), and stamps the
-// models whose support vectors were touched with the scorer's epoch.
-// Both accumulator families must be zero on entry (clearFused restores
-// that by re-walking the same postings). Returns the postings visited.
-//
-// For T = float64 the accumulation order and arithmetic are identical to
-// svIndex.dotsInto (column-major over x, postings in build order), so the
-// fused dots are bit-identical to the per-model path.
-func accumulateFused[T float32 | float64](ix *FusedIndex, linVal, svVal []T, x sparse.Vector, wx, dots []T, marks []uint64, epoch uint64) int {
-	visited := 0
-	if lim := int32(len(ix.linStarts)) - 1; lim > 0 {
-		for k, c := range x.Idx {
-			if c >= lim {
-				break // x.Idx is sorted: everything after is out of range too
-			}
-			s, e := ix.linStarts[c], ix.linStarts[c+1]
-			if s == e {
-				continue
-			}
-			xv := T(x.Val[k])
-			for p := s; p < e; p++ {
-				wx[ix.linModel[p]] += xv * linVal[p]
-			}
-			visited += int(e - s)
-		}
+// markOwners stamps every model owning at least one support-vector posting
+// in one of x's columns with the scorer's epoch — the same touch condition
+// the accumulate pass used to establish inline, decoupled so the lane
+// kernels stay pure multiply-add. Columns carry deduped owner lists, so
+// this visits ~postings/nnz-per-(model,column) entries, not every posting.
+func (ix *FusedIndex) markOwners(x sparse.Vector, marks []uint64, epoch uint64) {
+	lim := int32(len(ix.ownStarts)) - 1
+	if lim <= 0 {
+		return
 	}
-	if lim := int32(len(ix.svStarts)) - 1; lim > 0 {
-		for k, c := range x.Idx {
-			if c >= lim {
-				break
-			}
-			s, e := ix.svStarts[c], ix.svStarts[c+1]
-			if s == e {
-				continue
-			}
-			xv := T(x.Val[k])
-			for p := s; p < e; p++ {
-				g := ix.svOrd[p]
-				dots[g] += xv * svVal[p]
-				marks[ix.svOwner[g]] = epoch
-			}
-			visited += int(e - s)
+	for _, c := range x.Idx {
+		if c >= lim {
+			break // x.Idx is sorted: everything after is out of range too
 		}
-	}
-	return visited
-}
-
-// clearFused re-walks exactly the postings accumulateFused touched for x
-// and zeroes their accumulator cells, leaving the scratch all-zero again
-// in O(matched postings) instead of O(population).
-func clearFused[T float32 | float64](ix *FusedIndex, x sparse.Vector, wx, dots []T) {
-	if lim := int32(len(ix.linStarts)) - 1; lim > 0 {
-		for _, c := range x.Idx {
-			if c >= lim {
-				break
-			}
-			for p := ix.linStarts[c]; p < ix.linStarts[c+1]; p++ {
-				wx[ix.linModel[p]] = 0
-			}
-		}
-	}
-	if lim := int32(len(ix.svStarts)) - 1; lim > 0 {
-		for _, c := range x.Idx {
-			if c >= lim {
-				break
-			}
-			for p := ix.svStarts[c]; p < ix.svStarts[c+1]; p++ {
-				dots[ix.svOrd[p]] = 0
-			}
+		for p := ix.ownStarts[c]; p < ix.ownStarts[c+1]; p++ {
+			marks[ix.ownIDs[p]] = epoch
 		}
 	}
 }
@@ -357,61 +643,6 @@ func fusedSVDecision[T float32 | float64](ix *FusedIndex, mi int, dots []T, nx f
 	default:
 		panic("svm: Decision on invalid model")
 	}
-}
-
-// fusedKernelSum computes Σᵢ αᵢ·k(xᵢ,x) from accumulated dot products,
-// kernel-specialized exactly like Model.decisionIndexed (same operations
-// in the same order, so float64 sums are bit-identical to that path).
-func fusedKernelSum[T float32 | float64](k Kernel, coef, sn []float64, dots []T, nx float64) float64 {
-	var sum float64
-	switch k.Kind {
-	case KernelPoly:
-		g, c0 := k.Gamma, k.Coef0
-		if k.Degree == 3 { // LIBSVM's default degree, worth a closed form
-			for i := range dots {
-				b := g*float64(dots[i]) + c0
-				sum += coef[i] * b * b * b
-			}
-		} else {
-			for i := range dots {
-				sum += coef[i] * ipow(g*float64(dots[i])+c0, k.Degree)
-			}
-		}
-	case KernelRBF:
-		g := k.Gamma
-		for i := range dots {
-			d2 := sn[i] + nx - 2*float64(dots[i])
-			if d2 < 0 {
-				d2 = 0
-			}
-			sum += coef[i] * math.Exp(-g*d2)
-		}
-	case KernelSigmoid:
-		g, c0 := k.Gamma, k.Coef0
-		for i := range dots {
-			sum += coef[i] * math.Tanh(g*float64(dots[i])+c0)
-		}
-	default: // linear models take the weight-vector path; kept for completeness
-		for i := range dots {
-			sum += coef[i] * float64(dots[i])
-		}
-	}
-	return sum
-}
-
-// fusedDotRange returns [dmin, dmax] ∋ 0 covering the accumulated dot
-// products (0 is always included: untouched support vectors hold an
-// exact zero).
-func fusedDotRange[T float32 | float64](dots []T) (dmin, dmax float64) {
-	for i := range dots {
-		d := float64(dots[i])
-		if d < dmin {
-			dmin = d
-		} else if d > dmax {
-			dmax = d
-		}
-	}
-	return dmin, dmax
 }
 
 // kernelMax bounds k(xᵢ,x) from above given that every support-vector dot
@@ -467,47 +698,66 @@ func screenReject(m *Model, sumA, dlo, dhi, d2lo, nx, tol float64) bool {
 	return rejectWithSum(m, sumA*kernelMax(m.Kernel, dlo, dhi, d2lo), nx, tol)
 }
 
-// fusedRBFSumBound bounds Σαᵢ·exp(−γ‖xᵢ−x‖²) from above per support
-// vector, transcendental-free: for z ≥ 0 every Taylor term of eᶻ is
-// positive, so eᶻ ≥ Σ_{k≤6} zᵏ/k! and exp(−z) ≤ 1/Σ_{k≤6} zᵏ/k!. Degree
-// 6 keeps the overshoot under ~1.5× across the z range rejected windows
-// actually produce (z ≈ 3–8), where the cubic bound is 4× too loose.
-// Each d2ᵢ uses exactly the exact loop's arithmetic, and negative d2 (a
-// rounding artifact the exact loop clamps to k=1) is bounded by 1. This
-// third screening level is what separates a model with one near-ish
-// support vector from a model that genuinely accepts: the interval bound
-// Σα·exp(−γ·min d²) charges every vector at the closest one's distance,
-// while this sum charges each at its own.
-func fusedRBFSumBound[T float32 | float64](coef, sn []float64, dots []T, gamma, nx float64) float64 {
-	var sum float64
-	for i := range dots {
-		z := gamma * (sn[i] + nx - 2*float64(dots[i]))
-		if z <= 0 {
-			sum += coef[i]
-			continue
-		}
-		p := 1 + z*(1+z*(1.0/2+z*(1.0/6+z*(1.0/24+z*(1.0/120+z*(1.0/720))))))
-		sum += coef[i] / p
-	}
-	return sum
-}
-
 // screenSV runs the layered decision screen for non-linear model mi.
 //
-// Level 1 is O(1): Cauchy–Schwarz bounds every dot product by
-// ‖xᵢ‖·‖x‖ using the cached norm extrema (for RBF, equivalently
-// ‖xᵢ−x‖ ≥ |‖xᵢ‖−‖x‖|) — no accumulated state read at all. Untouched
-// models (no posting matched the window, so every dot is exactly zero)
-// get the tighter dlo = dhi = 0 interval. Level 2 is O(#SVs of mi) but
-// transcendental-free, reading the model's accumulated dots directly:
-// RBF takes the per-support-vector algebraic bound (fusedRBFSumBound) in
-// one pass; polynomial and sigmoid re-apply the interval bound to the
-// dots' actual range. In float32 mode the level-1 norm product does not
-// bound the float32-rounded accumulators, so touched models go straight
-// to level 2, whose bounds are computed from the very values the exact
-// loop would consume.
+// RBF models compare squared-distance lower bounds against the
+// precomputed d2Crit, transcendental-free at every level:
+//
+//	Level 0 (untouched): every dot is an exact zero, so d² ≥ snMin + nx.
+//	Level 1 (O(1)): ‖xᵢ−x‖ ≥ |‖xᵢ‖−‖x‖| via the cached norm extrema —
+//	  no accumulated state read at all.
+//	Level 2 (O(#SVs), division-free): the per-support-vector tabulated
+//	  exp upper bound on the kernel sum (fusedRBFSumBound) against
+//	  sCrit — this is what separates a model with one near-ish support
+//	  vector from a model that genuinely accepts: an interval bound
+//	  would charge every vector at the closest one's distance, while
+//	  this sum charges each at its own.
+//
+// Polynomial and sigmoid models keep the generic interval-bound layers
+// (their SVDD self-term depends on nx, so no threshold precompute): the
+// O(1) Cauchy–Schwarz dot interval, then the accumulated dots' actual
+// range. In float32 mode the level-1 norm product does not bound the
+// float32-rounded accumulators, so touched models go straight to the
+// dots-reading levels, whose bounds are computed from the very values the
+// exact loop would consume.
 func (s *Scorer) screenSV(mi int, touched bool, nx, normX float64) bool {
 	ix := s.ix
+	if gh := ix.gammaH[mi]; gh > 0 { // RBF, without touching the Model
+		d2Crit := ix.d2Crit[mi]
+		if !touched {
+			return ix.snMin[mi]+nx > d2Crit
+		}
+		if !ix.cfg.Float32 {
+			var gap float64
+			if normX > ix.maxNorm[mi] {
+				gap = normX - ix.maxNorm[mi]
+			} else if normX < ix.minNorm[mi] {
+				gap = ix.minNorm[mi] - normX
+			}
+			if gap*gap > d2Crit {
+				return true
+			}
+		}
+		lo, hi := ix.svBase[mi], ix.svBase[mi+1]
+		b0, slope := gh*nx, 2*gh
+		var sb float64
+		switch {
+		case ix.cfg.Float32 && s.portable:
+			sb = fusedRBFSumBoundPortable(ix.coef[lo:hi], ix.snGammaH[lo:hi], s.dots32[lo:hi], b0, slope)
+		case ix.cfg.Float32 && s.vector:
+			sb = fusedRBFSumBoundVec32(ix.coef[lo:hi], ix.snGammaH[lo:hi], s.dots32[lo:hi], b0, slope)
+		case ix.cfg.Float32:
+			sb = fusedRBFSumBound32(ix.coef[lo:hi], ix.snGammaH[lo:hi], s.dots32[lo:hi], b0, slope)
+		case s.portable:
+			sb = fusedRBFSumBoundPortable(ix.coef[lo:hi], ix.snGammaH[lo:hi], s.dots[lo:hi], b0, slope)
+		case s.vector:
+			sb = fusedRBFSumBoundVec64(ix.coef[lo:hi], ix.snGammaH[lo:hi], s.dots[lo:hi], b0, slope)
+		default:
+			sb = fusedRBFSumBound64(ix.coef[lo:hi], ix.snGammaH[lo:hi], s.dots[lo:hi], b0, slope)
+		}
+		return sb < ix.sCrit[mi]
+	}
+
 	m := ix.models[mi]
 	sumA := ix.sumAlpha[mi]
 	tol := m.acceptTol()
@@ -516,26 +766,11 @@ func (s *Scorer) screenSV(mi int, touched bool, nx, normX float64) bool {
 	}
 	if !ix.cfg.Float32 {
 		mn := ix.maxNorm[mi] * normX
-		var gap float64
-		if normX > ix.maxNorm[mi] {
-			gap = normX - ix.maxNorm[mi]
-		} else if normX < ix.minNorm[mi] {
-			gap = ix.minNorm[mi] - normX
-		}
-		if screenReject(m, sumA, -mn, mn, gap*gap, nx, tol) {
+		if screenReject(m, sumA, -mn, mn, 0, nx, tol) {
 			return true
 		}
 	}
 	lo, hi := ix.svBase[mi], ix.svBase[mi+1]
-	if m.Kernel.Kind == KernelRBF {
-		var sb float64
-		if ix.cfg.Float32 {
-			sb = fusedRBFSumBound(ix.coef[lo:hi], ix.svNorms[lo:hi], s.dots32[lo:hi], m.Kernel.Gamma, nx)
-		} else {
-			sb = fusedRBFSumBound(ix.coef[lo:hi], ix.svNorms[lo:hi], s.dots[lo:hi], m.Kernel.Gamma, nx)
-		}
-		return rejectWithSum(m, sb, nx, tol)
-	}
 	var dlo, dhi float64
 	if ix.cfg.Float32 {
 		dlo, dhi = fusedDotRange(s.dots32[lo:hi])

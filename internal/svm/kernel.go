@@ -46,6 +46,32 @@
 // the worst-case deviation from the exact float64 decision certified by
 // Float32DecisionBound. A FusedIndex is safe for concurrent use; each
 // goroutine takes its own Scorer for scratch.
+//
+// # Blocked postings layout and kernel engines
+//
+// The fused postings are stored cache-blocked and lane-padded: ordinals
+// are partitioned into power-of-two accumulator blocks (sized adaptively
+// so per-group posting runs stay long enough to keep the hardware
+// prefetcher fed — see pickBlockShift), postings are grouped by
+// (block, column), and every group is zero-padded to whole fixed-width
+// lanes (8 float64 or 16 float32 values — one 64-byte line each). Pads
+// target a dedicated spare accumulator cell, so kernels process whole
+// lanes with no remainder handling and the scatter of a lane never
+// aliases a real ordinal. Three interchangeable engines consume this one
+// layout (FusedConfig.Kernels): packed AVX-512 assembly
+// (gather–multiply–add–scatter per lane, plus a packed table-driven RBF
+// screening-bound reduction), straight-line Go lane kernels, and portable
+// per-posting reference loops. Engine selection never changes results:
+// blocks partition ordinals, each (column, accumulator) pair carries at
+// most one posting, and all engines visit groups in one fixed order with
+// separately rounded multiply and add (the assembly deliberately avoids
+// FMA), so float64 — and float32 — decisions are bit-identical across
+// engines, per-model paths, and CPUs; only screening *effort* may differ,
+// never a mask. The per-model epilogue passes over contiguous SV ranges
+// (kernel sums, screen bounds, dot ranges) live in fusedkernels.go, which
+// CI keeps free of bounds checks in inner loops; index build cost and
+// lane-padding overhead are observable via KernelStats
+// (IndexBuild*, LanePadWaste, IndexBytes) and FusedIndex.Footprint.
 package svm
 
 import (

@@ -11,39 +11,44 @@ import (
 // against every user profile. Since PR 7 it runs on the fused population
 // index: one pass over the window's non-zeros accumulates every model's
 // weight dot product and every support vector's dot product at once
-// (FusedIndex), then a per-model epilogue folds the accumulators into
-// decision values. Decisions is exact — bit-identical to the per-model
-// path in float64 mode — while AcceptMask additionally screens: models
-// whose Cauchy–Schwarz upper bound proves they cannot accept skip the
-// scalar kernel loop entirely (the screen is admissible, so the mask is
-// still exact).
+// (FusedIndex, now in the feature-blocked lane layout), then a per-model
+// epilogue folds the accumulators into decision values. Decisions is
+// exact — bit-identical to the per-model path in float64 mode — while
+// AcceptMask additionally screens: models whose decision upper bound
+// proves they cannot accept skip the scalar kernel loop entirely (the
+// screen is admissible, so the mask is still exact).
 //
 // The index is immutable and shared (every Monitor shard scores through
 // the same FusedIndex); the Scorer only owns the per-window scratch —
 // accumulators, touch marks, and output buffers. Scratch accumulators are
 // cleared by re-walking the window's postings after scoring, so a window
 // costs O(matched postings + models), never O(population's support
-// vectors).
+// vectors). The accumulators carry one spare trailing cell that the
+// layout's lane-padding postings target (they add exact zeros there).
 //
 // A Scorer is not safe for concurrent use; create one per goroutine with
 // FusedIndex.NewScorer (they are cheap — the index is shared, read-only).
 type Scorer struct {
-	ix *FusedIndex
+	ix       *FusedIndex
+	portable bool
+	vector   bool
 
 	dec []float64
 	acc []bool
 
 	// Accumulators, all-zero between windows. wx[mi] collects the linear
-	// models' w·x; dots[g] collects global ordinal g's sv·x. Exactly one
-	// of the float64/float32 pairs is allocated, per FusedConfig.
+	// models' w·x; dots[g] collects global ordinal g's sv·x; the last cell
+	// of each is the pad postings' spare target. Exactly one of the
+	// float64/float32 pairs is allocated, per FusedConfig.
 	wx     []float64
 	dots   []float64
 	wx32   []float32
 	dots32 []float32
 
-	// marks[mi] == epoch iff a support-vector posting of model mi was
-	// touched by the current window — untouched models hold exact zero
-	// dots and take O(1) decisions and screen bounds.
+	// marks[mi] == epoch iff a support-vector posting of model mi shares
+	// a column with the current window (FusedIndex.markOwners) — untouched
+	// models hold exact zero dots and take O(1) decisions and screen
+	// bounds.
 	marks []uint64
 	epoch uint64
 }
@@ -61,17 +66,19 @@ func NewScorer(models []*Model) *Scorer {
 func (ix *FusedIndex) NewScorer() *Scorer {
 	n := len(ix.models)
 	s := &Scorer{
-		ix:    ix,
-		dec:   make([]float64, 0, n),
-		acc:   make([]bool, n),
-		marks: make([]uint64, n),
+		ix:       ix,
+		portable: ix.portable,
+		vector:   ix.vector,
+		dec:      make([]float64, 0, n),
+		acc:      make([]bool, n),
+		marks:    make([]uint64, n),
 	}
 	if ix.cfg.Float32 {
-		s.wx32 = make([]float32, n)
-		s.dots32 = make([]float32, ix.numSVs())
+		s.wx32 = make([]float32, n+1)
+		s.dots32 = make([]float32, ix.numSVs()+1)
 	} else {
-		s.wx = make([]float64, n)
-		s.dots = make([]float64, ix.numSVs())
+		s.wx = make([]float64, n+1)
+		s.dots = make([]float64, ix.numSVs()+1)
 	}
 	return s
 }
@@ -82,21 +89,69 @@ func (s *Scorer) Len() int { return len(s.ix.models) }
 // Model returns the i-th model, in the order passed to NewScorer.
 func (s *Scorer) Model(i int) *Model { return s.ix.models[i] }
 
-// accumulate runs the fused pass for x and returns the postings visited.
+// accumulate runs the fused pass for x through the resolved engine and
+// returns the postings visited (lane-pad slots included).
 func (s *Scorer) accumulate(x sparse.Vector) int {
 	s.epoch++
-	if s.ix.cfg.Float32 {
-		return accumulateFused(s.ix, s.ix.linVal32, s.ix.svVal32, x, s.wx32, s.dots32, s.marks, s.epoch)
+	ix := s.ix
+	switch {
+	case ix.cfg.Float32 && s.portable:
+		return ix.lin.accumulatePortable32(x, s.wx32) + ix.sv.accumulatePortable32(x, s.dots32)
+	case ix.cfg.Float32 && s.vector:
+		return ix.lin.accumulateVector32(x, s.wx32) + ix.sv.accumulateVector32(x, s.dots32)
+	case ix.cfg.Float32:
+		return ix.lin.accumulate32(x, s.wx32) + ix.sv.accumulate32(x, s.dots32)
+	case s.portable:
+		return ix.lin.accumulatePortable64(x, s.wx) + ix.sv.accumulatePortable64(x, s.dots)
+	case s.vector:
+		return ix.lin.accumulateVector64(x, s.wx) + ix.sv.accumulateVector64(x, s.dots)
+	default:
+		return ix.lin.accumulate64(x, s.wx) + ix.sv.accumulate64(x, s.dots)
 	}
-	return accumulateFused(s.ix, s.ix.linVal, s.ix.svVal, x, s.wx, s.dots, s.marks, s.epoch)
 }
 
-// clear zeroes the accumulator cells x touched, by re-walking its postings.
-func (s *Scorer) clear(x sparse.Vector) {
-	if s.ix.cfg.Float32 {
-		clearFused(s.ix, x, s.wx32, s.dots32)
+// clear zeroes the accumulator cells x touched. Sparse windows re-walk
+// their postings (O(matched), never O(population)); a window whose
+// postings cover at least a quarter of the accumulator cells takes one
+// bulk zeroing pass instead — sequential stores beat the walk's scattered
+// ones well before the crossover, and since the bulk path only fires when
+// cells ≤ 4·visited, clearing stays O(matched postings) either way.
+func (s *Scorer) clear(x sparse.Vector, visited int) {
+	ix := s.ix
+	if ix.cfg.Float32 {
+		if visited*4 >= len(s.wx32)+len(s.dots32) {
+			for i := range s.wx32 {
+				s.wx32[i] = 0
+			}
+			for i := range s.dots32 {
+				s.dots32[i] = 0
+			}
+			return
+		}
+		if s.portable {
+			ix.lin.clearPortable32(x, s.wx32)
+			ix.sv.clearPortable32(x, s.dots32)
+		} else {
+			ix.lin.clear32(x, s.wx32)
+			ix.sv.clear32(x, s.dots32)
+		}
+		return
+	}
+	if visited*4 >= len(s.wx)+len(s.dots) {
+		for i := range s.wx {
+			s.wx[i] = 0
+		}
+		for i := range s.dots {
+			s.dots[i] = 0
+		}
+		return
+	}
+	if s.portable {
+		ix.lin.clearPortable64(x, s.wx)
+		ix.sv.clearPortable64(x, s.dots)
 	} else {
-		clearFused(s.ix, x, s.wx, s.dots)
+		ix.lin.clear64(x, s.wx)
+		ix.sv.clear64(x, s.dots)
 	}
 }
 
@@ -142,7 +197,7 @@ func (s *Scorer) Decisions(x sparse.Vector) []float64 {
 		}
 		s.dec = append(s.dec, d)
 	}
-	s.clear(x)
+	s.clear(x, visited)
 	recordFusedWindow(visited, 0, fused, fallback)
 	return s.dec
 }
@@ -159,6 +214,7 @@ func (s *Scorer) AcceptMask(x sparse.Vector) []bool {
 	nx := x.NormSq()
 	normX := math.Sqrt(nx)
 	visited := s.accumulate(x)
+	ix.markOwners(x, s.marks, s.epoch)
 	screened, fused, fallback := 0, 0, 0
 	for mi, m := range ix.models {
 		switch ix.kind[mi] {
@@ -179,7 +235,7 @@ func (s *Scorer) AcceptMask(x sparse.Vector) []bool {
 			fallback++
 		}
 	}
-	s.clear(x)
+	s.clear(x, visited)
 	recordFusedWindow(visited, screened, fused, fallback)
 	return s.acc
 }

@@ -19,7 +19,14 @@ import "sync/atomic"
 // loop was skipped because the decision screen proved rejection
 // (Scorer.AcceptMask), and FusedDecisions/FallbackDecisions split
 // per-window model decisions between the fused index and the per-model
-// fallback of unprepared models.
+// fallback of unprepared models. PostingsVisited includes the blocked
+// layout's lane-pad slots (they ride in the same lanes as real postings).
+//
+// LanePadWaste and IndexBytes are gauges, not counters: they reflect the
+// most recently built FusedIndex's memory footprint (pad postings added
+// to fill out lanes, and total resident index bytes — see
+// FusedIndex.Footprint for the per-index view), so long-running processes
+// can observe index memory without holding the index.
 type KernelStats struct {
 	KernelEvals uint64
 	CacheHits   uint64
@@ -31,6 +38,9 @@ type KernelStats struct {
 	ScreenedModels    uint64
 	FusedDecisions    uint64
 	FallbackDecisions uint64
+
+	LanePadWaste uint64
+	IndexBytes   uint64
 }
 
 var (
@@ -44,7 +54,16 @@ var (
 	statScreenedModels    atomic.Uint64
 	statFusedDecisions    atomic.Uint64
 	statFallbackDecisions atomic.Uint64
+
+	statLanePadWaste atomic.Uint64
+	statIndexBytes   atomic.Uint64
 )
+
+// recordIndexBuild stores the footprint gauges of the index just built.
+func recordIndexBuild(f IndexFootprint) {
+	statLanePadWaste.Store(uint64(f.LanePadWaste))
+	statIndexBytes.Store(uint64(f.IndexBytes))
+}
 
 // recordFusedWindow batches the fused scorer's counter updates into at
 // most four atomic adds per scored window (not per model or posting),
@@ -79,6 +98,9 @@ func ReadKernelStats() KernelStats {
 		ScreenedModels:    statScreenedModels.Load(),
 		FusedDecisions:    statFusedDecisions.Load(),
 		FallbackDecisions: statFallbackDecisions.Load(),
+
+		LanePadWaste: statLanePadWaste.Load(),
+		IndexBytes:   statIndexBytes.Load(),
 	}
 }
 
@@ -95,9 +117,14 @@ func ResetKernelStats() {
 	statScreenedModels.Store(0)
 	statFusedDecisions.Store(0)
 	statFallbackDecisions.Store(0)
+
+	statLanePadWaste.Store(0)
+	statIndexBytes.Store(0)
 }
 
-// Sub returns the per-window delta between two cumulative snapshots.
+// Sub returns the per-window delta between two cumulative snapshots. The
+// footprint gauges (LanePadWaste, IndexBytes) are not deltas; the newer
+// snapshot's values carry through unchanged.
 func (s KernelStats) Sub(prev KernelStats) KernelStats {
 	return KernelStats{
 		KernelEvals: s.KernelEvals - prev.KernelEvals,
@@ -110,5 +137,8 @@ func (s KernelStats) Sub(prev KernelStats) KernelStats {
 		ScreenedModels:    s.ScreenedModels - prev.ScreenedModels,
 		FusedDecisions:    s.FusedDecisions - prev.FusedDecisions,
 		FallbackDecisions: s.FallbackDecisions - prev.FallbackDecisions,
+
+		LanePadWaste: s.LanePadWaste,
+		IndexBytes:   s.IndexBytes,
 	}
 }
