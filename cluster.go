@@ -32,6 +32,13 @@ type (
 	// ClusterNodeClient is a low-level client for one node's wire
 	// protocol (the router manages these internally; exposed for tools).
 	ClusterNodeClient = cluster.NodeClient
+	// ClusterGossipServer accepts gossip exchanges from replica routers:
+	// each inbound exchange reconciles membership views and placement
+	// overrides in both directions.
+	ClusterGossipServer = cluster.GossipServer
+	// ClusterGossipState is one router's shareable state — the versioned
+	// membership view and the override table replicas converge on.
+	ClusterGossipState = cluster.GossipState
 )
 
 // ListenClusterNode starts a cluster node on addr over a trained profile
@@ -51,4 +58,13 @@ func NewClusterRouter(alerts func(NodeAlert), cfg ClusterRouterConfig) *ClusterR
 // router does this internally; exposed for diagnostics and tools).
 func DialClusterNode(addr string, onAlert func(NodeAlert)) (*ClusterNodeClient, error) {
 	return cluster.DialNode(addr, onAlert)
+}
+
+// ServeClusterGossip starts a gossip listener for a router so replica
+// routers (ClusterRouter.GossipWith) can reconcile state with it. Any
+// number of replicas can front the same nodes; gossip carries the two
+// things placement cannot re-derive — the versioned membership view and
+// the routing overrides.
+func ServeClusterGossip(r *ClusterRouter, addr string) (*ClusterGossipServer, error) {
+	return cluster.ServeGossip(r, addr)
 }

@@ -78,6 +78,8 @@ func run() error {
 		clusterL = flag.String("cluster", "", "run as a cluster node: serve the node wire protocol on this address instead of a proxy collector")
 		nodeName = flag.String("node-name", "", "this node's cluster name (default: hostname; -cluster mode)")
 		join     = flag.String("join", "", "run as the cluster front end routing to these members: comma-separated name=addr pairs")
+		gossipL  = flag.String("gossip", "", "serve router gossip on this address so replica front ends can reconcile membership and placement overrides (-join mode)")
+		peers    = flag.String("peers", "", "comma-separated gossip addresses of replica front ends to exchange state with periodically (-join mode)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling of the scoring path (empty disables)")
 		score32  = flag.Bool("score-float32", false, "score windows through float32 fused postings/accumulators: ~half the scoring memory, decisions within the documented float32 bound of exact float64")
 		scoreP   = flag.Bool("score-portable", false, "force the portable per-posting scoring kernels instead of the auto-resolved engine (bit-identical decisions; for debugging and A/B timing)")
@@ -101,21 +103,22 @@ func run() error {
 		}
 	case *clusterL != "":
 		// A member node serves the cluster protocol only; the proxy-facing
-		// collector (and its batching) lives on the front end.
+		// collector (and its batching) lives on the front end, as does
+		// router replication.
 		if err := rejectMisplacedFlags("a -cluster member node (set them on the -join front end)",
-			"listen", "batch", "ingest-queue"); err != nil {
+			"listen", "batch", "ingest-queue", "gossip", "peers"); err != nil {
 			return err
 		}
 	default:
-		if err := rejectMisplacedFlags("a standalone daemon (-node-name names a -cluster member, -max-wire the cluster protocol)",
-			"node-name", "max-wire"); err != nil {
+		if err := rejectMisplacedFlags("a standalone daemon (-node-name names a -cluster member, -max-wire the cluster protocol, -gossip/-peers replicate the front end)",
+			"node-name", "max-wire", "gossip", "peers"); err != nil {
 			return err
 		}
 	}
 	logger := log.New(os.Stdout, "profilerd: ", log.LstdFlags)
 
 	if *join != "" {
-		return runRouter(logger, *join, *listen, *batch, *ingestQ, *maxWire)
+		return runRouter(logger, *join, *listen, *batch, *ingestQ, *maxWire, *gossipL, *peers)
 	}
 
 	if *pprofA != "" {
@@ -234,7 +237,11 @@ func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string
 
 // runRouter is the front end: proxy log lines in, rendezvous-routed
 // transactions out to the member nodes, origin-tagged alerts logged.
-func runRouter(logger *log.Logger, join, listen string, batch, ingestQ, maxWire int) error {
+// With -gossip/-peers the front end is replicated: replicas reconcile
+// membership and placement overrides by periodic anti-entropy exchanges,
+// and each one routes independently (placement is deterministic, alerts
+// deduplicate downstream on their node sequence numbers).
+func runRouter(logger *log.Logger, join, listen string, batch, ingestQ, maxWire int, gossipAddr, peers string) error {
 	members, err := parseMembers(join)
 	if err != nil {
 		return err
@@ -248,6 +255,44 @@ func runRouter(logger *log.Logger, join, listen string, batch, ingestQ, maxWire 
 			return fmt.Errorf("joining %s at %s: %w", m.Name, m.Addr, err)
 		}
 		logger.Printf("joined node %s at %s", m.Name, m.Addr)
+	}
+
+	if gossipAddr != "" {
+		gs, err := webtxprofile.ServeClusterGossip(router, gossipAddr)
+		if err != nil {
+			return fmt.Errorf("-gossip listen: %w", err)
+		}
+		defer gs.Close()
+		logger.Printf("gossip serving on %s", gs.Addr())
+	}
+	if peers != "" {
+		var list []string
+		for _, p := range strings.Split(peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			// One failed peer must not silence the others: exchanges are
+			// independent, and a peer that was down converges on its next
+			// successful round.
+			t := time.NewTicker(5 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					for _, p := range list {
+						if err := router.GossipWith(p); err != nil {
+							logger.Printf("gossip %s: %v", p, err)
+						}
+					}
+				}
+			}
+		}()
 	}
 
 	srv, err := webtxprofile.ListenCollectorBatch(listen, func(txs []webtxprofile.Transaction) {

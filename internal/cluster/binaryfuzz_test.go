@@ -33,15 +33,30 @@ func binaryCorpusSeeds(t testing.TB) [][]byte {
 	tx := binarySeedTx()
 	valid := []Frame{
 		{Type: FrameHello, Seq: 1, Node: "router-1", Subscribe: true, Wire: WireV2},
+		{Type: FrameHello, Seq: 1, Node: "router-1", Subscribe: true, Wire: WireV2, Client: "router-1/ab12", Resume: true, Cursor: 42},
 		{Type: FrameFeed, Seq: 2, Txs: []weblog.Transaction{tx, tx}},
 		{Type: FrameFeed, Seq: 3, Lines: []string{tx.MarshalLine()}},
-		{Type: FrameExport, Seq: 4, Devices: []string{"10.0.0.1", "10.0.0.2"}},
-		{Type: FrameImport, Seq: 5, Blob: []byte{0x1f, 0x8b, 0x08, 0x00, 0x00}},
-		{Type: FrameFlush, Seq: 6},
-		{Type: FrameStats, Seq: 7},
-		{Type: FrameOK, Seq: 8, Count: 3, Blob: []byte("blob")},
-		{Type: FrameOK, Seq: 9, Count: -1},
-		{Type: FrameError, Seq: 10, Error: "refused"},
+		{Type: FrameFeed, Seq: 4, Replay: true, Txs: []weblog.Transaction{tx}},
+		{Type: FrameExport, Seq: 5, Devices: []string{"10.0.0.1", "10.0.0.2"}},
+		{Type: FrameExport, Seq: 6, Devices: []string{"10.0.0.1"}, Handoff: "ab12/1"},
+		{Type: FrameImport, Seq: 7, Blob: []byte{0x1f, 0x8b, 0x08, 0x00, 0x00}},
+		{Type: FrameImport, Seq: 8, Blob: []byte{0x1f, 0x8b, 0x08, 0x00, 0x00}, Handoff: "ab12/1"},
+		{Type: FrameCommit, Seq: 9, Handoff: "ab12/1"},
+		{Type: FrameAbort, Seq: 10, Handoff: "ab12/1"},
+		{Type: FrameList, Seq: 11},
+		{Type: FrameGossip, Seq: 12, Gossip: &GossipState{
+			Membership: Membership{Version: 3, Members: []Member{{Name: "n1", Addr: "10.1.0.1:7100"}}},
+			Overrides:  []Override{{Device: "10.0.0.1", Node: "n1", Ver: 5}, {Device: "10.0.0.2", Ver: 6}},
+		}},
+		{Type: FrameFlush, Seq: 13},
+		{Type: FrameStats, Seq: 14},
+		{Type: FrameOK, Seq: 15, Count: 3, Blob: []byte("blob")},
+		{Type: FrameOK, Seq: 16, Count: -1},
+		{Type: FrameOK, Seq: 17, Devices: []string{"10.0.0.1"}, Cursor: 9},
+		{Type: FrameError, Seq: 18, Error: "refused"},
+		{Type: FrameAlert, Seq: 19, Alert: &NodeAlert{Node: "n1", Seq: 19, Alert: core.Alert{
+			Device: "10.0.0.1", Kind: core.AlertLost, User: "user_2", Previous: "user_2",
+		}}},
 		{Type: FrameAlert, Alert: &NodeAlert{Node: "n1", Alert: core.Alert{
 			Device: "10.0.0.1", Kind: core.AlertLost, User: "user_2", Previous: "user_2",
 		}}},

@@ -36,6 +36,11 @@ func runFlakyJoin(t *testing.T, mode clustertest.FlakyMode) {
 	if !strings.Contains(err.Error(), "kept on") {
 		t.Errorf("AddNode error does not describe the fallback: %v", err)
 	}
+	// The two-phase handoff aborts and re-adopts on its own: a failed
+	// drain must not tell the operator to clean up a stale copy.
+	if strings.Contains(err.Error(), "stale") {
+		t.Errorf("failed drain warns about a stale copy — abort re-adopts automatically: %v", err)
+	}
 	if flaky.Imports() == 0 {
 		t.Fatal("no import ever reached the flaky node — the drain path was not exercised")
 	}

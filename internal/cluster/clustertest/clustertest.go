@@ -101,23 +101,48 @@ func Sig(a core.Alert) string {
 
 // Recorder gathers per-device alert signatures from a cluster run, plus
 // which node each alert originated on. Safe for concurrent use.
+//
+// Alerts carrying a node sequence number are deduplicated on
+// (node, seq), so one Recorder can be shared by several router replicas
+// subscribed to the same nodes: each node's stream arrives in sequence
+// order on every subscription, so first-delivery-wins keeps per-device
+// order intact while collapsing the copies.
 type Recorder struct {
 	mu      sync.Mutex
 	sigs    map[string][]string
 	origins map[string]int // alerts per origin node
+	seen    map[string]bool
+	dups    int
 }
 
 // NewRecorder returns an empty alert recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{sigs: make(map[string][]string), origins: make(map[string]int)}
+	return &Recorder{sigs: make(map[string][]string), origins: make(map[string]int), seen: make(map[string]bool)}
 }
 
 // Record is the Router fan-in callback.
 func (r *Recorder) Record(a cluster.NodeAlert) {
 	r.mu.Lock()
+	if a.Seq != 0 {
+		key := fmt.Sprintf("%s#%d", a.Node, a.Seq)
+		if r.seen[key] {
+			r.dups++
+			r.mu.Unlock()
+			return
+		}
+		r.seen[key] = true
+	}
 	r.sigs[a.Alert.Device] = append(r.sigs[a.Alert.Device], Sig(a.Alert))
 	r.origins[a.Node]++
 	r.mu.Unlock()
+}
+
+// Dups reports how many duplicate alert deliveries were collapsed —
+// nonzero proves a replicated subscription actually overlapped.
+func (r *Recorder) Dups() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dups
 }
 
 // Sigs returns a copy of the per-device alert signature sequences.
@@ -204,8 +229,9 @@ type Harness struct {
 	Router *cluster.Router
 	Alerts *Recorder
 
-	mu    sync.Mutex
-	nodes map[string]*cluster.Node
+	mu      sync.Mutex
+	nodes   map[string]*cluster.Node
+	nodeCfg cluster.NodeConfig
 }
 
 // NewHarness starts one node per name, a router, and joins the nodes in
@@ -224,14 +250,37 @@ func NewHarness(tb testing.TB, set *core.ProfileSet, k int, names ...string) *Ha
 // both encodings.
 func NewHarnessWire(tb testing.TB, set *core.ProfileSet, k int, wire int, names ...string) *Harness {
 	tb.Helper()
+	return NewHarnessConfig(tb, set, k, HarnessConfig{Wire: wire}, names...)
+}
+
+// HarnessConfig customizes a harness beyond the defaults — the chaos
+// suites use it to shorten the reconnect schedule and enable the staged
+// and idle sweeps.
+type HarnessConfig struct {
+	// Wire caps the cluster's wire version (0 = highest); it overrides
+	// Router.MaxWire and Node.MaxWire.
+	Wire int
+	// Router seeds the router's config.
+	Router cluster.RouterConfig
+	// Node seeds every node's config; Name, K and MaxWire are set per
+	// node by the harness.
+	Node cluster.NodeConfig
+}
+
+// NewHarnessConfig is NewHarness with full configuration.
+func NewHarnessConfig(tb testing.TB, set *core.ProfileSet, k int, cfg HarnessConfig, names ...string) *Harness {
+	tb.Helper()
 	h := &Harness{
-		Set:    set,
-		K:      k,
-		Wire:   wire,
-		Alerts: NewRecorder(),
-		nodes:  make(map[string]*cluster.Node),
+		Set:     set,
+		K:       k,
+		Wire:    cfg.Wire,
+		Alerts:  NewRecorder(),
+		nodes:   make(map[string]*cluster.Node),
+		nodeCfg: cfg.Node,
 	}
-	h.Router = cluster.NewRouter(h.Alerts.Record, cluster.RouterConfig{MaxWire: wire})
+	rcfg := cfg.Router
+	rcfg.MaxWire = cfg.Wire
+	h.Router = cluster.NewRouter(h.Alerts.Record, rcfg)
 	for _, name := range names {
 		h.Join(tb, name)
 	}
@@ -243,7 +292,9 @@ func NewHarnessWire(tb testing.TB, set *core.ProfileSet, k int, wire int, names 
 // AddNode), registering it for teardown.
 func (h *Harness) StartNode(tb testing.TB, name string) *cluster.Node {
 	tb.Helper()
-	n, err := cluster.ListenNode("127.0.0.1:0", h.Set, cluster.NodeConfig{Name: name, K: h.K, MaxWire: h.Wire})
+	cfg := h.nodeCfg
+	cfg.Name, cfg.K, cfg.MaxWire = name, h.K, h.Wire
+	n, err := cluster.ListenNode("127.0.0.1:0", h.Set, cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}

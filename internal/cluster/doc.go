@@ -11,11 +11,13 @@
 //
 // Nodes are passive shards: each runs a sharded core.Monitor over the
 // same trained profile set and speaks the length-prefixed frame protocol
-// (see wire.go) — feed, export, import, flush — plus an unsolicited
-// alert push stream. All placement intelligence lives in the Router;
-// nodes never talk to each other, and a shard handoff is always
-// router-mediated: ExportDevices on the old owner, ImportShard on the
-// new, transactions buffered in between.
+// (see wire.go) — feed, export, import, commit, abort, list, flush —
+// plus an unsolicited alert push stream. All placement intelligence
+// lives in the Router; nodes never talk to each other, and a shard
+// handoff is always router-mediated: a staged export on the old owner, a
+// staged import on the new, commits on both, transactions buffered in
+// between. Routers are replicated (see Replication below); nodes accept
+// any number of them.
 //
 // # Wire versions
 //
@@ -69,17 +71,85 @@
 //     before any later RPC reply, so the old owner's alerts for a device
 //     are observed before the new owner's first.
 //
-// Failure handling favors state over placement: if an import is refused
-// or the importer dies, the blob is re-imported into the old owner and
-// the devices stay routed there — the rendezvous hash says where devices
-// should live, but the routing table says where they do.
+// Failure handling favors state over placement: if any step of a drain
+// fails, the devices stay routed to (and identifying on) their old owner
+// — the rendezvous hash says where devices should live, but the routing
+// table says where they do.
 //
-// One known at-most-once gap remains: if the importer applied the blob
-// but its ok reply was lost (connection death in the reply window), the
-// router cannot distinguish that from a never-applied import and falls
-// back to the old owner, leaving the importer with a stale copy. The
-// drain error says so explicitly (it distinguishes a definite
-// ErrNodeRefused from transport loss) and the remedy is to clear that
-// node before it rejoins; an acknowledged two-phase handoff is a future
-// step (see ROADMAP).
+// # Two-phase handoff
+//
+// A drain moves state through four idempotent steps, each named by a
+// handoff id ("<routerID>/<n>") that is unique across router replicas:
+//
+//	ExportHandoff(src) → ImportHandoff(dst) → Commit(dst) → Commit(src)
+//
+// The export holds the moving devices on src (revocable, no longer fed);
+// the import stages the blob on dst (invisible, not identified against).
+// Ownership flips at exactly one step — the commit on dst — and the
+// final commit merely releases src's held copy. Because every step is
+// idempotent per id, any step can be retried across reconnects, and any
+// failure unwinds by aborting both sides: Abort on src re-adopts the
+// held state automatically, so a failed drain never needs operator
+// cleanup and can never leave two live copies. A lost commit
+// acknowledgement is resolved by asking dst to abort — a "handoff
+// already committed" refusal is proof the commit landed. Stagings whose
+// router died before resolving them are invisible until the node's
+// StagedTTL sweep reclaims them.
+//
+// # Reconnection
+//
+// A NodeClient survives connection loss: feeds are queued in a bounded
+// replay buffer (ReconnectConfig.ReplayDepth) and re-sent after the
+// client redials with exponential backoff; the node deduplicates
+// re-sent frames per client session, so delivery is exactly-once.
+// While connected, a full buffer applies backpressure; while down, it
+// fails fast with ErrReplayOverflow so callers can shed load.
+// Subscriptions resume from a cursor into the node's alert ring, so no
+// alert is lost or duplicated across a reconnect. MaxAttempts
+// consecutive dial failures declare the node down (ErrNodeDown).
+//
+// # Replication
+//
+// Any number of router replicas can front the same nodes, because a
+// router holds almost no authoritative state: placement is derivable
+// from the membership view by rendezvous hashing, and current holdings
+// are discoverable from the nodes themselves (list). The two things
+// replicas must agree on travel by gossip (GossipState, ServeGossip,
+// GossipWith): the versioned membership view (higher version adopted
+// wholesale, never triggering a drain — rebalancing belongs to the
+// router that ran the membership change) and the override table, a
+// last-writer-wins register per device recording placements that
+// disagree with the pure hash. Override merges are commutative,
+// associative and idempotent, so replicas converge under any exchange
+// order. Alerts are fanned to every replica's subscription; each alert
+// carries its node's sequence number, so downstream consumers collapse
+// duplicates on (node, seq) without disturbing per-device order.
+//
+// The routing table itself is bounded: a device idle past
+// RouterConfig.RouteIdleTTL (in stream time, mirroring the monitor's
+// IdleTTL) has its route swept and re-derived on its next transaction.
+//
+// # Failure modes
+//
+// What each failure leaves behind, as proven by the chaos suites
+// (chaos_test.go, ha_test.go — deterministic fault injection through
+// clustertest.ChaosProxy, replayable from the logged WTP_CHAOS_SEED):
+//
+//	failure                      outcome
+//	-------                      -------
+//	connection dies mid-feed     client redials, replays unacked frames;
+//	                             node dedups; exactly-once delivery
+//	node down > MaxAttempts      ErrNodeDown; queued feeds surface via
+//	                             OnDrop; RPCs fail fast
+//	replay buffer full (down)    ErrReplayOverflow (typed), caller sheds
+//	import refused or dies       abort both sides; src re-adopts; devices
+//	                             stay on old owner; nothing to clean up
+//	import ack lost + partition  staging invisible on dst until StagedTTL
+//	                             sweep; devices stay on old owner
+//	commit ack lost              abort probe: "already committed" refusal
+//	                             confirms the flip; handoff completes
+//	router replica crashes       surviving replicas keep routing; alerts
+//	                             deduped on (node, seq); no alert lost
+//	gossiped view unreachable    adoption is all-or-nothing; old view
+//	                             stands, error surfaces in-band
 package cluster

@@ -17,14 +17,26 @@ import (
 func corpusSeeds(t testing.TB) [][]byte {
 	valid := []Frame{
 		{Type: FrameHello, Seq: 1, Node: "router-1", Subscribe: true},
+		{Type: FrameHello, Seq: 1, Node: "router-1", Subscribe: true, Client: "router-1/ab12", Resume: true, Cursor: 42},
 		{Type: FrameFeed, Seq: 2, Lines: []string{"2015-01-05 09:00:00.000, svc.example.com, http, GET, user_1, 10.0.0.1, Games, text/html, app, minimal-risk, public"}},
+		{Type: FrameFeed, Seq: 2, Replay: true, Lines: []string{"2015-01-05 09:00:00.000, svc.example.com, http, GET, user_1, 10.0.0.1, Games, text/html, app, minimal-risk, public"}},
 		{Type: FrameExport, Seq: 3, Devices: []string{"10.0.0.1", "10.0.0.2"}},
+		{Type: FrameExport, Seq: 3, Devices: []string{"10.0.0.1"}, Handoff: "ab12/1"},
 		{Type: FrameImport, Seq: 4, Blob: []byte{0x1f, 0x8b, 0x08, 0x00, 0x00}},
-		{Type: FrameFlush, Seq: 5},
-		{Type: FrameStats, Seq: 6},
-		{Type: FrameOK, Seq: 7, Count: 3, Blob: []byte("blob")},
-		{Type: FrameError, Seq: 8, Error: "refused"},
-		{Type: FrameAlert, Alert: &NodeAlert{Node: "n1", Alert: core.Alert{
+		{Type: FrameImport, Seq: 4, Blob: []byte{0x1f, 0x8b, 0x08, 0x00, 0x00}, Handoff: "ab12/1"},
+		{Type: FrameCommit, Seq: 5, Handoff: "ab12/1"},
+		{Type: FrameAbort, Seq: 6, Handoff: "ab12/1"},
+		{Type: FrameList, Seq: 7},
+		{Type: FrameGossip, Seq: 8, Gossip: &GossipState{
+			Membership: Membership{Version: 3, Members: []Member{{Name: "n1", Addr: "10.1.0.1:7100"}}},
+			Overrides:  []Override{{Device: "10.0.0.1", Node: "n1", Ver: 5}, {Device: "10.0.0.2", Ver: 6}},
+		}},
+		{Type: FrameFlush, Seq: 9},
+		{Type: FrameStats, Seq: 10},
+		{Type: FrameOK, Seq: 11, Count: 3, Blob: []byte("blob")},
+		{Type: FrameOK, Seq: 12, Devices: []string{"10.0.0.1"}, Cursor: 9},
+		{Type: FrameError, Seq: 13, Error: "refused"},
+		{Type: FrameAlert, Seq: 14, Alert: &NodeAlert{Node: "n1", Seq: 14, Alert: core.Alert{
 			Device: "10.0.0.1", Kind: core.AlertLost, User: "user_2", Previous: "user_2",
 		}}},
 	}

@@ -1,0 +1,416 @@
+package cluster_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/cluster"
+	"webtxprofile/internal/cluster/clustertest"
+	"webtxprofile/internal/weblog"
+)
+
+// High-availability suite: every fault here is injected at an exact
+// protocol step through clustertest.ChaosProxy, so the runs are
+// deterministic (probabilistic choices replay from the logged
+// WTP_CHAOS_SEED) and the invariant under test is always the same one —
+// per-device alert sequences byte-identical to a single never-resharded
+// monitor, no matter which connection died when.
+
+// fastReconnect keeps chaos runs quick: the production defaults back off
+// over seconds, which is right for operators and wrong for tests.
+func fastReconnect() cluster.ReconnectConfig {
+	return cluster.ReconnectConfig{MaxAttempts: 20, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+}
+
+// TestChaosReconnectStorm kills the connection under a bounded random
+// sample of feed frames to one node. The client must reconnect, replay
+// its unacknowledged queue, and the node's dedup window must collapse the
+// re-sends — proven end to end by alert-sequence equivalence, which fails
+// on any lost or double-fed transaction.
+func TestChaosReconnectStorm(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, _ := clustertest.Workload(t, ds, 6, 4000)
+	want := clustertest.ReferenceSigs(t, set, equivK, txs)
+
+	rng := rand.New(rand.NewSource(clustertest.ChaosSeed(t)))
+	var mu sync.Mutex
+	kills := 0
+	// Only feed frames are killed: handshakes always succeed, so every
+	// kill is a mid-stream loss, never a dial failure counting toward the
+	// node-down verdict.
+	plan := func(ev clustertest.FaultEvent) clustertest.FaultAction {
+		if ev.Dir != clustertest.ToNode || ev.Frame.Type != cluster.FrameFeed {
+			return clustertest.Pass
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if kills < 6 && rng.Intn(4) == 0 {
+			kills++
+			return clustertest.Kill
+		}
+		return clustertest.Pass
+	}
+
+	h := clustertest.NewHarnessConfig(t, set, equivK, clustertest.HarnessConfig{
+		Router: cluster.RouterConfig{Client: cluster.ClientConfig{Reconnect: fastReconnect()}},
+	}, "n1")
+	n2 := h.StartNode(t, "n2")
+	proxy := clustertest.StartChaosProxy(t, n2.Addr().String(), plan)
+	if err := h.Router.AddNode(cluster.Member{Name: "n2", Addr: proxy.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed in small batches so the stream to n2 spans many frames — each
+	// one a kill candidate.
+	for i := 0; i < len(txs); i += 50 {
+		end := min(i+50, len(txs))
+		if err := h.Router.FeedBatch(txs[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Feeding is asynchronous — the frames cross the proxy (and meet the
+	// storm) during this barrier. Sync is idempotent, so it retries until
+	// the kill budget runs out and a pass gets through.
+	for attempt := 0; ; attempt++ {
+		err := h.Router.Sync()
+		if err == nil {
+			break
+		}
+		if attempt >= 10 {
+			t.Fatalf("sync never survived the storm: %v", err)
+		}
+	}
+	proxy.SetPlan(nil)
+	if err := h.Router.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if proxy.Kills() == 0 {
+		t.Fatal("no connection was ever killed — the storm tested nothing")
+	}
+	t.Logf("survived %d mid-stream connection kills", proxy.Kills())
+	clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+}
+
+// TestReplayOverflowTyped partitions the node and feeds past the replay
+// queue's depth: the overflow must surface as the typed ErrReplayOverflow
+// (callers shed load on it), and after the partition heals the queued
+// entries must still deliver.
+func TestReplayOverflowTyped(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, devices := clustertest.Workload(t, ds, 3, 60)
+	h := clustertest.NewHarness(t, set, equivK) // nodes only, no router members
+	n := h.StartNode(t, "solo")
+	proxy := clustertest.StartChaosProxy(t, n.Addr().String(), nil)
+
+	const depth = 4
+	rc := fastReconnect()
+	rc.MaxAttempts = 500 // survive the partition; the test heals it
+	rc.ReplayDepth = depth
+	c, err := cluster.DialNodeConfig(proxy.Addr(), nil, cluster.ClientConfig{Reconnect: rc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	i := 0
+	for ; i < 10; i++ {
+		if err := c.FeedSync(txs[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proxy.Partition()
+
+	// The next feeds buffer (the queue has room even before the client
+	// notices the dead socket); once the queue is full the call blocks
+	// until the failure is detected, then fails typed.
+	var overflow error
+	for i < len(txs) {
+		err := c.Feed(txs[i : i+1])
+		if err != nil {
+			overflow = err
+			break
+		}
+		i++
+	}
+	if overflow == nil {
+		t.Fatal("the replay queue never overflowed across a partition")
+	}
+	if !errors.Is(overflow, cluster.ErrReplayOverflow) {
+		t.Fatalf("overflow error is not ErrReplayOverflow: %v", overflow)
+	}
+	if i >= len(txs)-1 {
+		t.Fatalf("only %d of %d transactions left to deliver after overflow — workload too small to prove recovery", len(txs)-i, len(txs))
+	}
+
+	proxy.Heal()
+	// The overflowed transaction was never queued: delivery resumes from
+	// it, retrying while the backlog drains.
+	deadline := time.Now().Add(10 * time.Second)
+	for ; i < len(txs); i++ {
+		for {
+			err := c.FeedSync(txs[i : i+1])
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, cluster.ErrReplayOverflow) || time.Now().After(deadline) {
+				t.Fatalf("tx %d after heal: %v", i, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if devs, err := c.Devices(); err != nil || devs != len(devices) {
+		t.Fatalf("Devices = %d, %v; want %d — the healed queue did not deliver", devs, err, len(devices))
+	}
+}
+
+// TestRouterReplicationKillMidStream runs two router replicas over the
+// same nodes: B adopts A's membership by gossip, A feeds the first
+// segment and crashes, B feeds the rest. The shared recorder must see
+// every alert exactly once (replica subscriptions overlap, so nonzero
+// dedup proves B really was live the whole time) and the merged sequence
+// must match the reference.
+func TestRouterReplicationKillMidStream(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, _ := clustertest.Workload(t, ds, 6, 4000)
+	want := clustertest.ReferenceSigs(t, set, equivK, txs)
+	h := clustertest.NewHarness(t, set, equivK, "n1", "n2")
+
+	rB := cluster.NewRouter(h.Alerts.Record, cluster.RouterConfig{})
+	defer rB.Close()
+	if _, err := rB.MergeGossip(h.Router.Gossip()); err != nil {
+		t.Fatal(err)
+	}
+	if got, wantView := rB.View(), h.Router.View(); !reflect.DeepEqual(got, wantView) {
+		t.Fatalf("replica view %+v after gossip, want %+v", got, wantView)
+	}
+
+	cut := len(txs) * 3 / 5
+	if err := h.Router.FeedBatch(txs[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	// Sync, not Flush: the nodes must have processed A's queued feeds
+	// before B takes over the stream, but no window may complete early.
+	if err := h.Router.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Router.Close(); err != nil { // replica A crashes
+		t.Fatal(err)
+	}
+	if err := rB.FeedBatch(txs[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rB.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Alerts.Dups() == 0 {
+		t.Error("no duplicate alert delivery was collapsed — the replica subscriptions never overlapped")
+	}
+	clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+}
+
+// TestChaosPartitionMidDrain stages an import on the joining node, kills
+// the connection carrying its acknowledgement, and partitions the node
+// away. The two-phase handoff must resolve this worst case — staging
+// landed, router cannot know — with zero live copies on the new node:
+// the devices stay on their old owners, the orphaned staging is invisible
+// (held for the TTL sweep, never identified against), and the operator
+// gets a fallback report, not a stale-copy warning.
+func TestChaosPartitionMidDrain(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, devices := clustertest.Workload(t, ds, 7, 4000)
+	want := clustertest.ReferenceSigs(t, set, equivK, txs)
+
+	rc := fastReconnect()
+	rc.MaxAttempts = 2 // fail over quickly once the partition hits
+	h := clustertest.NewHarnessConfig(t, set, equivK, clustertest.HarnessConfig{
+		Router: cluster.RouterConfig{Client: cluster.ClientConfig{Reconnect: rc}},
+	}, "n1", "n2")
+
+	half := len(txs) / 2
+	if err := h.Router.FeedBatch(txs[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	n3 := h.StartNode(t, "n3")
+	var mu sync.Mutex
+	var impConn int
+	var impSeq uint64
+	dead := false
+	plan := func(ev clustertest.FaultEvent) clustertest.FaultAction {
+		mu.Lock()
+		defer mu.Unlock()
+		if dead {
+			return clustertest.Kill
+		}
+		if ev.Dir == clustertest.ToNode && ev.Frame.Type == cluster.FrameImport {
+			impConn, impSeq = ev.Conn, ev.Frame.Seq
+			return clustertest.Pass // the staging reaches the node…
+		}
+		if ev.Dir == clustertest.ToClient && impSeq != 0 && ev.Conn == impConn && ev.Frame.Seq == impSeq {
+			dead = true // …but its ack is lost, and the node partitions away
+			return clustertest.Kill
+		}
+		return clustertest.Pass
+	}
+	proxy := clustertest.StartChaosProxy(t, n3.Addr().String(), plan)
+
+	err := h.Router.AddNode(cluster.Member{Name: "n3", Addr: proxy.Addr()})
+	if err == nil {
+		t.Fatal("AddNode reported success though the importer partitioned mid-drain")
+	}
+	if !strings.Contains(err.Error(), "kept on") {
+		t.Errorf("AddNode error does not describe the fallback: %v", err)
+	}
+	if strings.Contains(err.Error(), "stale") {
+		t.Errorf("failed drain warns about a stale copy — abort re-adopts automatically, nothing is stale: %v", err)
+	}
+	// The lost ack left exactly one orphaned staging on n3 — invisible:
+	// no device on the node identifies against it.
+	if p := n3.Monitor().PendingHandoffs(); p != 1 {
+		t.Errorf("n3 pending handoffs = %d, want 1 (the staging whose ack was lost)", p)
+	}
+	if d := n3.Monitor().Devices(); d != 0 {
+		t.Errorf("n3 tracks %d devices — the uncommitted staging leaked into live state", d)
+	}
+	for _, d := range devices {
+		owner, ok := h.Router.Owner(d)
+		if !ok {
+			t.Fatalf("device %s lost its route", d)
+		}
+		if owner == "n3" {
+			t.Errorf("device %s routed to the partitioned importer", d)
+		}
+	}
+	if err := h.Router.RemoveNode("n3"); err != nil {
+		t.Errorf("RemoveNode(n3): %v", err)
+	}
+	if err := h.Router.FeedBatch(txs[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Router.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+}
+
+// TestRouterRouteSweep bounds the routing table: a device idle past
+// RouteIdleTTL in stream time loses its route, and a late transaction
+// re-derives the same placement — so sweeping is invisible to
+// correctness, which the equivalence check confirms.
+func TestRouterRouteSweep(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	all, devices := clustertest.Workload(t, ds, 5, 4000)
+	idle := devices[0]
+	cutoff := all[len(all)/2].Timestamp
+
+	// The idle device goes quiet at the cutoff; exactly one of its late
+	// transactions is held back and fed after everything else.
+	var early, late []weblog.Transaction
+	var held weblog.Transaction
+	haveHeld := false
+	for _, tx := range all {
+		if tx.SourceIP == idle && !tx.Timestamp.Before(cutoff) {
+			if !haveHeld {
+				held, haveHeld = tx, true
+			}
+			continue
+		}
+		if tx.Timestamp.Before(cutoff) {
+			early = append(early, tx)
+		} else {
+			late = append(late, tx)
+		}
+	}
+	if !haveHeld {
+		t.Fatal("workload has no late transaction for the idle device")
+	}
+	stream := make([]weblog.Transaction, 0, len(early)+len(late)+1)
+	stream = append(append(append(stream, early...), late...), held)
+	want := clustertest.ReferenceSigs(t, set, equivK, stream)
+
+	ttl := all[len(all)-1].Timestamp.Sub(cutoff) / 4
+	if ttl <= 0 {
+		t.Fatalf("workload spans no stream time past the cutoff")
+	}
+	h := clustertest.NewHarnessConfig(t, set, equivK, clustertest.HarnessConfig{
+		Router: cluster.RouterConfig{RouteIdleTTL: ttl},
+	}, "n1", "n2")
+
+	if err := h.Router.FeedBatch(early); err != nil {
+		t.Fatal(err)
+	}
+	ownerBefore, ok := h.Router.Owner(idle)
+	if !ok {
+		t.Fatalf("device %s has no route while actively feeding", idle)
+	}
+	if err := h.Router.FeedBatch(late); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Router.Owner(idle); ok {
+		t.Errorf("device %s still routed after %v of stream idleness", idle, ttl)
+	}
+	if n := h.Router.Devices(); n >= len(devices) {
+		t.Errorf("routing table holds %d routes, want under %d — the sweep is not bounding it", n, len(devices))
+	}
+	if err := h.Router.FeedBatch([]weblog.Transaction{held}); err != nil {
+		t.Fatal(err)
+	}
+	ownerAfter, ok := h.Router.Owner(idle)
+	if !ok {
+		t.Fatalf("device %s has no route after its late transaction", idle)
+	}
+	if ownerAfter != ownerBefore {
+		t.Errorf("device %s re-placed on %s after the sweep, was on %s — placement must be derivable", idle, ownerAfter, ownerBefore)
+	}
+	if err := h.Router.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+}
+
+// TestGossipWireExchange runs one gossip exchange over the wire and
+// requires full convergence: the fresh replica adopts the serving
+// router's membership and override table, byte for byte, and a repeat
+// exchange changes nothing.
+func TestGossipWireExchange(t *testing.T) {
+	set, _ := clustertest.TrainedSet(t)
+	h := clustertest.NewHarness(t, set, equivK, "n1", "n2")
+
+	// Seed a nonempty override table — one live pin, one tombstone — the
+	// way a peer's gossip would.
+	var tbl cluster.OverrideTable
+	tbl.Set(cluster.Override{Device: "10.9.0.1", Node: "n1", Ver: 7})
+	tbl.Set(cluster.Override{Device: "10.9.0.2", Ver: 3})
+	if _, err := h.Router.MergeGossip(cluster.GossipState{Overrides: tbl.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := cluster.ServeGossip(h.Router, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rB := cluster.NewRouter(nil, cluster.RouterConfig{})
+	defer rB.Close()
+	for round := 1; round <= 2; round++ {
+		if err := rB.GossipWith(srv.Addr().String()); err != nil {
+			t.Fatalf("exchange %d: %v", round, err)
+		}
+		a, b := h.Router.Gossip(), rB.Gossip()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("exchange %d did not converge:\n a: %+v\n b: %+v", round, a, b)
+		}
+	}
+	if v := rB.View(); len(v.Members) != 2 {
+		t.Fatalf("replica adopted %d members, want 2", len(v.Members))
+	}
+}

@@ -94,7 +94,12 @@ func TestWireMixedClientsOneNode(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Flush both connections: each flush is the delivery barrier for the
+	// feeds queued on its own connection.
 	if err := v1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	if got, err := v1.Devices(); err != nil || got != len(devices) {
@@ -121,11 +126,11 @@ func TestWireFeedRejectsInvalidRecord(t *testing.T) {
 
 	bad := txs[0]
 	bad.UserID = ""
-	if err := c.Feed([]weblog.Transaction{txs[1], bad}); err == nil {
+	if err := c.FeedSync([]weblog.Transaction{txs[1], bad}); err == nil {
 		t.Fatal("feed with an invalid record succeeded, want error reply")
 	}
 	// The connection must survive a refused frame.
-	if err := c.Feed(txs[:1]); err != nil {
+	if err := c.FeedSync(txs[:1]); err != nil {
 		t.Fatalf("feed after refused frame: %v", err)
 	}
 }

@@ -37,11 +37,26 @@ type NodeConfig struct {
 	// WriteTimeout bounds every frame write to a connection (default
 	// 30s). It is what keeps a stalled peer from wedging the node: a
 	// full TCP buffer blocks, it does not error, so without a deadline
-	// one subscriber that stops reading would stall the alert delivery
-	// goroutine — and with it every feeder — forever. On timeout the
-	// write errors, the connection is dropped, and (for subscribers) the
-	// alert stream moves on.
+	// one subscriber that stops reading would stall its outbox goroutine
+	// forever. On timeout the write errors, the connection is dropped,
+	// and the alert stream moves on.
 	WriteTimeout time.Duration
+	// AlertRing is how many recent alerts the node retains for cursor
+	// resubscription (default 8192). Every alert is pushed with the
+	// node's alert sequence number; a client that reconnects sends the
+	// last sequence it saw and the node replays the ring entries past it,
+	// so a silently dying connection loses no alerts as long as the
+	// client returns within the ring's horizon. It also bounds each
+	// subscriber's outbox: a subscriber that falls a full ring behind is
+	// dropped (its reconnect replays from the ring).
+	AlertRing int
+	// DedupWindow is how many recently applied feed sequence numbers the
+	// node remembers per named client (default 8192). A reconnecting
+	// client replays its unacknowledged feed frames; any whose (client,
+	// seq) is already in the window is acknowledged without feeding the
+	// monitor twice — the node-side half of exactly-once replay. Size it
+	// at least as large as the clients' replay queues.
+	DedupWindow int
 	// ErrorLog receives connection-level diagnostics; nil discards them.
 	ErrorLog *log.Logger
 }
@@ -59,16 +74,36 @@ type Node struct {
 	tap          func(core.Alert)
 	writeTimeout time.Duration
 	maxWire      int
+	ringCap      int
+	dedupWindow  int
 	elog         *log.Logger
 
 	mu      sync.Mutex
 	conns   map[net.Conn]*frameWriter
-	subs    map[net.Conn]*frameWriter
+	clients map[net.Conn]string // hello Client id per connection
 	stopped bool
 	closed  bool
 
+	// amu guards the alert ring and the subscriber set together, so
+	// registering a subscriber (snapshot the cursor, seed the backlog)
+	// is atomic against the fanout appending new alerts — no alert can
+	// fall between a subscriber's backlog and its live feed.
+	amu  sync.Mutex
+	ring alertRing
+	subs map[net.Conn]*subscriber
+
+	// smu guards the per-client feed dedup sessions.
+	smu      sync.Mutex
+	sessions map[string]*dedupWindow
+	sessFIFO []string
+
 	wg sync.WaitGroup
 }
+
+// maxClientSessions bounds the dedup-session map: a node keeps replay
+// dedup state for this many distinct named clients (routers), evicting
+// the oldest beyond it. Far above any realistic router-replica count.
+const maxClientSessions = 64
 
 // ListenNode starts a cluster node on addr over a trained profile set.
 // The node owns its monitor; use Monitor for lifecycle operations the
@@ -82,9 +117,13 @@ func ListenNode(addr string, set *core.ProfileSet, cfg NodeConfig) (*Node, error
 		tap:          cfg.OnAlert,
 		writeTimeout: cfg.WriteTimeout,
 		maxWire:      cfg.MaxWire,
+		ringCap:      cfg.AlertRing,
+		dedupWindow:  cfg.DedupWindow,
 		elog:         cfg.ErrorLog,
 		conns:        make(map[net.Conn]*frameWriter),
-		subs:         make(map[net.Conn]*frameWriter),
+		clients:      make(map[net.Conn]string),
+		subs:         make(map[net.Conn]*subscriber),
+		sessions:     make(map[string]*dedupWindow),
 	}
 	if n.writeTimeout <= 0 {
 		n.writeTimeout = 30 * time.Second
@@ -92,6 +131,13 @@ func ListenNode(addr string, set *core.ProfileSet, cfg NodeConfig) (*Node, error
 	if n.maxWire <= 0 || n.maxWire > MaxWireVersion {
 		n.maxWire = MaxWireVersion
 	}
+	if n.ringCap <= 0 {
+		n.ringCap = 8192
+	}
+	if n.dedupWindow <= 0 {
+		n.dedupWindow = 8192
+	}
+	n.ring.entries = make([]ringAlert, n.ringCap)
 	if n.elog == nil {
 		n.elog = log.New(io.Discard, "", 0)
 	}
@@ -137,6 +183,11 @@ func (n *Node) Stop() error {
 		c.Close()
 	}
 	n.mu.Unlock()
+	n.amu.Lock()
+	for _, sub := range n.subs {
+		sub.close()
+	}
+	n.amu.Unlock()
 	n.wg.Wait()
 	return err
 }
@@ -159,34 +210,262 @@ func (n *Node) Close() error {
 	return err
 }
 
-// fanout is the monitor's alert callback: push to every subscribed
-// connection (tagged with this node's name), and the local tap if any.
-// Runs on the monitor's single delivery goroutine, so pushes preserve
-// per-device alert order on each connection. A connection whose write
-// fails is dropped — a subscriber that stopped reading must not stall
-// identification for everyone else.
+// fanout is the monitor's alert callback: stamp the alert with the
+// node's next alert sequence number, retain it in the ring for cursor
+// resubscription, and enqueue it to every subscriber's outbox (tagged
+// with this node's name), plus the local tap if any. Runs on the
+// monitor's single delivery goroutine, so ring order is per-device alert
+// order; each outbox writes in queue order, so every subscriber sees
+// that order too. The actual socket writes happen on the outbox
+// goroutines — a slow subscriber backs up its own outbox (and is dropped
+// when it falls a full ring behind), never the monitor.
 func (n *Node) fanout(a core.Alert) {
 	if n.tap != nil {
 		n.tap(a)
 	}
-	f := Frame{Type: FrameAlert, Alert: &NodeAlert{Node: n.name, Alert: a}}
-	n.mu.Lock()
-	writers := make([]*frameWriter, 0, len(n.subs))
-	conns := make([]net.Conn, 0, len(n.subs))
-	for c, w := range n.subs {
-		writers = append(writers, w)
-		conns = append(conns, c)
+	na := &NodeAlert{Node: n.name, Alert: a}
+	n.amu.Lock()
+	seq := n.ring.push(*na)
+	na.Seq = seq
+	subs := make([]*subscriber, 0, len(n.subs))
+	for _, sub := range n.subs {
+		subs = append(subs, sub)
 	}
-	n.mu.Unlock()
-	for i, w := range writers {
-		if err := w.write(f); err != nil {
-			n.elog.Printf("cluster node %s: dropping alert subscriber %s: %v", n.name, conns[i].RemoteAddr(), err)
-			n.mu.Lock()
-			delete(n.subs, conns[i])
-			n.mu.Unlock()
-			conns[i].Close()
+	n.amu.Unlock()
+	f := Frame{Type: FrameAlert, Seq: seq, Alert: na}
+	for _, sub := range subs {
+		if !sub.enqueue(f, n.ringCap) {
+			n.elog.Printf("cluster node %s: dropping alert subscriber %s: outbox full (%d frames behind)", n.name, sub.conn.RemoteAddr(), n.ringCap)
+			n.dropSubscriber(sub.conn)
 		}
 	}
+}
+
+// dropSubscriber deregisters and closes one subscriber connection. The
+// client's reconnect resumes from its cursor against the ring, so the
+// drop costs a round trip, not alerts.
+func (n *Node) dropSubscriber(conn net.Conn) {
+	n.amu.Lock()
+	sub := n.subs[conn]
+	delete(n.subs, conn)
+	n.amu.Unlock()
+	if sub != nil {
+		sub.close()
+		conn.Close()
+	}
+}
+
+// syncSubscriber blocks until conn's outbox (if it is a subscriber) has
+// written everything enqueued so far — the per-connection half of the
+// alert ordering barrier: Monitor.Sync guarantees the alerts reached the
+// outbox, this guarantees they reached the wire, so an export or flush
+// reply written afterwards is strictly later than every prior alert on
+// that connection.
+func (n *Node) syncSubscriber(conn net.Conn) {
+	n.amu.Lock()
+	sub := n.subs[conn]
+	n.amu.Unlock()
+	if sub != nil {
+		sub.drainWait()
+	}
+}
+
+// ringAlert is one retained alert: the push sequence and the frame body.
+type ringAlert struct {
+	seq   uint64
+	alert NodeAlert
+}
+
+// alertRing retains the last cap alerts by sequence number. Guarded by
+// Node.amu.
+type alertRing struct {
+	entries []ringAlert
+	seq     uint64 // sequence of the newest entry (0 = none yet)
+}
+
+func (r *alertRing) push(a NodeAlert) uint64 {
+	r.seq++
+	a.Seq = r.seq // (node, seq) names this alert instance cluster-wide
+	r.entries[int(r.seq)%len(r.entries)] = ringAlert{seq: r.seq, alert: a}
+	return r.seq
+}
+
+// at returns the retained entry for seq; valid only while the entry is
+// within the ring's horizon (the caller just pushed or checked it).
+func (r *alertRing) at(seq uint64) *ringAlert {
+	return &r.entries[int(seq)%len(r.entries)]
+}
+
+// after collects the retained alerts with sequence > cursor, in order,
+// and reports whether the ring still covers that span (false means
+// alerts older than the ring's horizon are gone — the client was away
+// too long).
+func (r *alertRing) after(cursor uint64) (frames []Frame, complete bool) {
+	if cursor >= r.seq {
+		return nil, true
+	}
+	oldest := uint64(1)
+	if r.seq > uint64(len(r.entries)) {
+		oldest = r.seq - uint64(len(r.entries)) + 1
+	}
+	complete = cursor+1 >= oldest
+	start := cursor + 1
+	if start < oldest {
+		start = oldest
+	}
+	frames = make([]Frame, 0, r.seq-start+1)
+	for s := start; s <= r.seq; s++ {
+		// Copy out of the ring: the frame outlives amu, and a later push
+		// may recycle the slot while the outbox is still writing.
+		a := r.at(s).alert
+		frames = append(frames, Frame{Type: FrameAlert, Seq: s, Alert: &a})
+	}
+	return frames, complete
+}
+
+// subscriber is one alert-subscribed connection's outbox: a bounded
+// frame queue drained by a dedicated goroutine through the connection's
+// shared frameWriter. It starts paused so the hello reply (with the
+// cursor) reaches the wire before any backlog.
+type subscriber struct {
+	conn net.Conn
+	w    *frameWriter
+
+	mu      sync.Mutex
+	cond    sync.Cond
+	queue   []Frame
+	paused  bool
+	writing bool
+	closed  bool
+}
+
+func newSubscriber(conn net.Conn, w *frameWriter, backlog []Frame) *subscriber {
+	s := &subscriber{conn: conn, w: w, queue: backlog, paused: true}
+	s.cond.L = &s.mu
+	return s
+}
+
+// enqueue appends one frame, failing if the outbox is max frames behind.
+func (s *subscriber) enqueue(f Frame, max int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return true // dying anyway; not an overflow
+	}
+	if len(s.queue) >= max {
+		return false
+	}
+	s.queue = append(s.queue, f)
+	s.cond.Broadcast()
+	return true
+}
+
+func (s *subscriber) unpause() {
+	s.mu.Lock()
+	s.paused = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *subscriber) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// drainWait blocks until everything enqueued so far is on the wire (or
+// the subscriber died).
+func (s *subscriber) drainWait() {
+	s.mu.Lock()
+	for !s.closed && (s.paused || s.writing || len(s.queue) > 0) {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// run writes queued frames in order until closed. A write failure closes
+// the subscriber; the caller's deferred cleanup deregisters it.
+func (s *subscriber) run(onError func(error)) {
+	for {
+		s.mu.Lock()
+		for !s.closed && (s.paused || len(s.queue) == 0) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		f := s.queue[0]
+		s.queue = s.queue[1:]
+		s.writing = true
+		s.mu.Unlock()
+		err := s.w.write(f)
+		s.mu.Lock()
+		s.writing = false
+		if err != nil {
+			s.closed = true
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if err != nil {
+			onError(err)
+			return
+		}
+	}
+}
+
+// dedupWindow remembers the last cap applied feed sequence numbers of
+// one named client, so replayed feeds after a reconnect apply exactly
+// once.
+type dedupWindow struct {
+	mu      sync.Mutex
+	applied map[uint64]struct{}
+	order   []uint64
+	cap     int
+}
+
+// seen reports whether seq is in the applied window.
+func (d *dedupWindow) seen(seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.applied[seq]
+	return ok
+}
+
+// admit records seq as applied and reports whether it was new. Replayed
+// duplicates return false.
+func (d *dedupWindow) admit(seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.applied[seq]; dup {
+		return false
+	}
+	d.applied[seq] = struct{}{}
+	d.order = append(d.order, seq)
+	if len(d.order) > d.cap {
+		delete(d.applied, d.order[0])
+		d.order = d.order[1:]
+	}
+	return true
+}
+
+// session returns (creating if needed) the dedup window for a named
+// client, evicting the oldest session beyond maxClientSessions.
+func (n *Node) session(client string) *dedupWindow {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	if d, ok := n.sessions[client]; ok {
+		return d
+	}
+	d := &dedupWindow{applied: make(map[uint64]struct{}), cap: n.dedupWindow}
+	n.sessions[client] = d
+	n.sessFIFO = append(n.sessFIFO, client)
+	if len(n.sessFIFO) > maxClientSessions {
+		delete(n.sessions, n.sessFIFO[0])
+		n.sessFIFO = n.sessFIFO[1:]
+	}
+	return d
 }
 
 func (n *Node) acceptLoop() {
@@ -216,10 +495,10 @@ func (n *Node) acceptLoop() {
 func (n *Node) serveConn(conn net.Conn, w *frameWriter) {
 	defer n.wg.Done()
 	defer func() {
-		conn.Close()
+		n.dropSubscriber(conn)
 		n.mu.Lock()
 		delete(n.conns, conn)
-		delete(n.subs, conn)
+		delete(n.clients, conn)
 		n.mu.Unlock()
 	}()
 	br := bufio.NewReader(conn)
@@ -242,8 +521,16 @@ func (n *Node) serveConn(conn net.Conn, w *frameWriter) {
 		if f.Type == FrameHello && reply.Type == FrameOK {
 			// The negotiated version takes effect after the hello reply:
 			// the reply itself is always JSON (a v1 peer must be able to
-			// read it), everything later uses what was agreed.
+			// read it), everything later uses what was agreed. Only then
+			// does the outbox start — the subscription backlog must land
+			// on the wire after the reply that carries its cursor.
 			w.setWire(reply.Wire)
+			n.amu.Lock()
+			sub := n.subs[conn]
+			n.amu.Unlock()
+			if sub != nil {
+				sub.unpause()
+			}
 		}
 	}
 }
@@ -257,13 +544,56 @@ func (n *Node) serveConn(conn net.Conn, w *frameWriter) {
 func (n *Node) handle(conn net.Conn, f Frame) (reply Frame, undo func()) {
 	switch f.Type {
 	case FrameHello:
-		if f.Subscribe {
+		reply = Frame{Type: FrameOK, Seq: f.Seq, Node: n.name, Wire: negotiateWire(f.Wire, n.maxWire)}
+		if f.Client != "" {
 			n.mu.Lock()
-			n.subs[conn] = n.conns[conn]
+			n.clients[conn] = f.Client
 			n.mu.Unlock()
 		}
-		return Frame{Type: FrameOK, Seq: f.Seq, Node: n.name, Wire: negotiateWire(f.Wire, n.maxWire)}, nil
+		if f.Subscribe {
+			n.mu.Lock()
+			w := n.conns[conn]
+			n.mu.Unlock()
+			n.amu.Lock()
+			if old := n.subs[conn]; old != nil {
+				old.close() // a re-hello on the same connection replaces the outbox
+			}
+			var backlog []Frame
+			if f.Resume {
+				var complete bool
+				backlog, complete = n.ring.after(f.Cursor)
+				if !complete {
+					n.elog.Printf("cluster node %s: %s resumes from alert %d but the ring starts later — older alerts are lost", n.name, conn.RemoteAddr(), f.Cursor)
+				}
+			}
+			sub := newSubscriber(conn, w, backlog)
+			n.subs[conn] = sub
+			// The cursor in the reply is where the client will stand once
+			// its backlog (queued atomically with this snapshot) drains.
+			reply.Cursor = n.ring.seq
+			n.amu.Unlock()
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				sub.run(func(err error) {
+					n.elog.Printf("cluster node %s: dropping alert subscriber %s: %v", n.name, conn.RemoteAddr(), err)
+					conn.Close()
+				})
+			}()
+		}
+		return reply, nil
 	case FrameFeed:
+		n.mu.Lock()
+		client := n.clients[conn]
+		n.mu.Unlock()
+		var sess *dedupWindow
+		if client != "" && f.Seq != 0 {
+			sess = n.session(client)
+			if f.Replay && sess.seen(f.Seq) {
+				// Applied before the reconnect; the ack was what got lost.
+				return Frame{Type: FrameOK, Seq: f.Seq, Count: len(f.Txs) + len(f.Lines)}, nil
+			}
+		}
 		txs := f.Txs
 		if txs == nil {
 			txs = make([]weblog.Transaction, len(f.Lines))
@@ -290,8 +620,23 @@ func (n *Node) handle(conn net.Conn, f Frame) (reply Frame, undo func()) {
 		if err := n.mon.FeedBatch(txs); err != nil {
 			return errorFrame(f.Seq, err), nil
 		}
+		if sess != nil {
+			sess.admit(f.Seq)
+		}
 		return Frame{Type: FrameOK, Seq: f.Seq, Count: len(txs)}, nil
 	case FrameExport:
+		if f.Handoff != "" {
+			// Staged export: the states are held under the handoff id, so
+			// no undo is needed — a lost reply is retried (idempotent) and
+			// a failed move is aborted, both by the router.
+			blob, count, err := n.mon.ExportStaged(f.Handoff, f.Devices)
+			if err != nil {
+				return errorFrame(f.Seq, err), nil
+			}
+			n.mon.Sync()
+			n.syncSubscriber(conn)
+			return Frame{Type: FrameOK, Seq: f.Seq, Blob: blob, Count: count}, nil
+		}
 		blob, count, err := n.mon.ExportDevices(f.Devices)
 		if err != nil {
 			// Partial export failure: put the exported states straight
@@ -308,6 +653,7 @@ func (n *Node) handle(conn net.Conn, f Frame) (reply Frame, undo func()) {
 		// on the wire before the reply, so the importer's alerts are
 		// strictly later at the router.
 		n.mon.Sync()
+		n.syncSubscriber(conn)
 		// If the reply cannot be written (peer gone, or the blob blows
 		// the frame limit), re-adopt the devices: the router will treat
 		// the export as failed and keep them placed here.
@@ -318,13 +664,39 @@ func (n *Node) handle(conn net.Conn, f Frame) (reply Frame, undo func()) {
 		}
 		return Frame{Type: FrameOK, Seq: f.Seq, Blob: blob, Count: count}, undo
 	case FrameImport:
+		if f.Handoff != "" {
+			count, err := n.mon.StageImport(f.Handoff, f.Blob)
+			if err != nil {
+				return errorFrame(f.Seq, err), nil
+			}
+			return Frame{Type: FrameOK, Seq: f.Seq, Count: count}, nil
+		}
 		count, err := n.mon.ImportShard(f.Blob)
 		if err != nil {
 			return errorFrame(f.Seq, err), nil
 		}
 		return Frame{Type: FrameOK, Seq: f.Seq, Count: count}, nil
+	case FrameCommit:
+		count, err := n.mon.CommitHandoff(f.Handoff)
+		if err != nil {
+			return errorFrame(f.Seq, err), nil
+		}
+		return Frame{Type: FrameOK, Seq: f.Seq, Count: count}, nil
+	case FrameAbort:
+		count, err := n.mon.AbortHandoff(f.Handoff)
+		if err != nil {
+			return errorFrame(f.Seq, err), nil
+		}
+		return Frame{Type: FrameOK, Seq: f.Seq, Count: count}, nil
+	case FrameList:
+		names, err := n.mon.TrackedDevices()
+		if err != nil {
+			return errorFrame(f.Seq, err), nil
+		}
+		return Frame{Type: FrameOK, Seq: f.Seq, Devices: names, Count: len(names)}, nil
 	case FrameFlush:
 		n.mon.Flush()
+		n.syncSubscriber(conn)
 		return Frame{Type: FrameOK, Seq: f.Seq}, nil
 	case FrameStats:
 		return Frame{Type: FrameOK, Seq: f.Seq, Count: n.mon.Devices()}, nil

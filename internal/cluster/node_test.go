@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"net"
 	"testing"
+	"time"
 
 	"webtxprofile/internal/cluster"
 	"webtxprofile/internal/cluster/clustertest"
@@ -80,11 +81,15 @@ func TestNodeStopLeavesMonitorUsable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := cluster.DialNode(n.Addr().String(), nil)
+	// A short reconnect schedule: the point below is that RPCs against a
+	// stopped node fail, not how long the default schedule retries.
+	c, err := cluster.DialNodeConfig(n.Addr().String(), nil, cluster.ClientConfig{
+		Reconnect: cluster.ReconnectConfig{MaxAttempts: 2, BaseDelay: 2 * time.Millisecond},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Feed(txs); err != nil {
+	if err := c.FeedSync(txs); err != nil {
 		t.Fatal(err)
 	}
 	if err := n.Stop(); err != nil {

@@ -1,0 +1,116 @@
+package cluster
+
+import "sort"
+
+// Replicated routers share no coordinator: placement is deterministic
+// rendezvous hashing, so the only state two routers can disagree on is
+// the set of routing-table overrides — devices pinned somewhere other
+// than their hash owner after a failed or refused drain. Overrides are
+// reconciled as a last-writer-wins register per device: each carries a
+// version drawn from a per-router monotonic counter, merge keeps the
+// higher version, and ties break on the lexicographically smaller node
+// name so any two replicas converge on identical tables regardless of
+// exchange order (TestOverrideTableConvergence).
+
+// Override pins one device to a node in defiance of its rendezvous
+// placement. An empty Node is a tombstone: the pin was lifted and the
+// hash owner is authoritative again. Tombstones travel through gossip
+// like live pins, so a lifted pin cannot resurrect from a stale peer.
+type Override struct {
+	Device string `json:"device"`
+	Node   string `json:"node,omitempty"`
+	// Ver orders writes to the same device's register. Routers stamp
+	// overrides from a counter kept strictly above every version they
+	// have merged, so a router's own new writes always dominate state it
+	// has already seen.
+	Ver uint64 `json:"ver"`
+}
+
+// OverrideTable is the LWW-register map of device overrides. Zero value
+// is ready to use. Not safe for concurrent use; the Router guards its
+// table with its balance mutex.
+type OverrideTable struct {
+	m map[string]Override
+}
+
+// Get returns the live pin for device, if any. Tombstoned and absent
+// devices both report ok == false.
+func (t *OverrideTable) Get(device string) (node string, ok bool) {
+	o, ok := t.m[device]
+	if !ok || o.Node == "" {
+		return "", false
+	}
+	return o.Node, true
+}
+
+// Set records an override written locally at version ver. It applies the
+// same merge rule as Merge, so a local write racing a newer gossiped one
+// loses cleanly.
+func (t *OverrideTable) Set(o Override) bool {
+	if t.m == nil {
+		t.m = make(map[string]Override)
+	}
+	cur, ok := t.m[o.Device]
+	if ok && !supersedes(o, cur) {
+		return false
+	}
+	t.m[o.Device] = o
+	return true
+}
+
+// Merge folds every entry of the snapshot into the table, returning the
+// devices whose register changed. Merge is commutative, associative and
+// idempotent — the CRDT property the convergence test asserts.
+func (t *OverrideTable) Merge(entries []Override) (changed []string) {
+	for _, o := range entries {
+		if t.Set(o) {
+			changed = append(changed, o.Device)
+		}
+	}
+	return changed
+}
+
+// Snapshot returns every register (live pins and tombstones), sorted by
+// device for deterministic wire payloads.
+func (t *OverrideTable) Snapshot() []Override {
+	if len(t.m) == 0 {
+		return nil
+	}
+	out := make([]Override, 0, len(t.m))
+	for _, o := range t.m {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// MaxVer returns the highest version in the table; a router seeds its
+// write counter above this after every merge.
+func (t *OverrideTable) MaxVer() uint64 {
+	var max uint64
+	for _, o := range t.m {
+		if o.Ver > max {
+			max = o.Ver
+		}
+	}
+	return max
+}
+
+// supersedes reports whether register write a beats current register b.
+// Higher version wins; equal versions break on the smaller node name, so
+// two replicas that somehow stamp the same version still converge.
+func supersedes(a, b Override) bool {
+	if a.Ver != b.Ver {
+		return a.Ver > b.Ver
+	}
+	return a.Node < b.Node
+}
+
+// GossipState is one router's shareable view: its membership and every
+// override register. A gossip exchange is symmetric anti-entropy — the
+// request carries the caller's state, the ok reply the responder's, and
+// both sides merge what they received.
+type GossipState struct {
+	Membership Membership `json:"membership"`
+	Overrides  []Override `json:"overrides,omitempty"`
+}

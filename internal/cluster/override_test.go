@@ -1,0 +1,95 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"webtxprofile/internal/cluster"
+	"webtxprofile/internal/cluster/clustertest"
+)
+
+// TestOverrideTableConvergence is the CRDT property test the override
+// merge rule promises (see override.go): for a random set of register
+// writes delivered to three replicas in independent random interleavings
+// — with duplicates — a round of pairwise exchanges leaves all three
+// tables identical. Versions are drawn from a tiny range on purpose, so
+// ties (resolved by node name) occur constantly.
+func TestOverrideTableConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(clustertest.ChaosSeed(t)))
+	for round := 0; round < 100; round++ {
+		nDev := 1 + rng.Intn(6)
+		writes := make([]cluster.Override, 12)
+		for i := range writes {
+			writes[i] = cluster.Override{
+				Device: fmt.Sprintf("d%d", rng.Intn(nDev)),
+				Ver:    uint64(1 + rng.Intn(4)),
+			}
+			if rng.Intn(3) > 0 { // a third of the writes are tombstones
+				writes[i].Node = fmt.Sprintf("n%d", rng.Intn(4))
+			}
+		}
+
+		var tables [3]cluster.OverrideTable
+		for i := range tables {
+			for _, j := range rng.Perm(len(writes)) {
+				tables[i].Merge(writes[j : j+1])
+			}
+			// Redeliver a random prefix: merges must be idempotent.
+			tables[i].Merge(writes[:rng.Intn(len(writes)+1)])
+		}
+
+		// Two passes of randomized pairwise anti-entropy reach every
+		// replica from every other, whatever the order.
+		for pass := 0; pass < 2; pass++ {
+			for _, i := range rng.Perm(len(tables)) {
+				snap := tables[i].Snapshot()
+				for j := range tables {
+					if j != i {
+						tables[j].Merge(snap)
+					}
+				}
+			}
+		}
+
+		s0 := tables[0].Snapshot()
+		for i := 1; i < len(tables); i++ {
+			if si := tables[i].Snapshot(); !reflect.DeepEqual(s0, si) {
+				t.Fatalf("round %d: replicas diverged\n table0: %+v\n table%d: %+v", round, s0, i, si)
+			}
+		}
+		if len(s0) == 0 {
+			t.Fatalf("round %d: converged on an empty table — the writes never landed", round)
+		}
+	}
+}
+
+// TestOverrideTombstoneWins: a tombstone at a higher version must lift a
+// pin and survive re-merging the stale pin afterwards — a lifted pin may
+// never resurrect from a lagging peer.
+func TestOverrideTombstoneWins(t *testing.T) {
+	pin := cluster.Override{Device: "d", Node: "n1", Ver: 1}
+	tomb := cluster.Override{Device: "d", Ver: 2}
+
+	var tbl cluster.OverrideTable
+	tbl.Set(pin)
+	if node, ok := tbl.Get("d"); !ok || node != "n1" {
+		t.Fatalf("Get after pin = %q, %v; want n1, true", node, ok)
+	}
+	tbl.Set(tomb)
+	if _, ok := tbl.Get("d"); ok {
+		t.Fatal("pin survived a newer tombstone")
+	}
+	if changed := tbl.Merge([]cluster.Override{pin}); changed != nil {
+		t.Fatalf("stale pin re-merge changed %v — tombstone must win", changed)
+	}
+	if _, ok := tbl.Get("d"); ok {
+		t.Fatal("stale pin resurrected through merge")
+	}
+	// The tombstone still travels in snapshots, or a peer that never saw
+	// it would keep gossiping the pin back.
+	if snap := tbl.Snapshot(); len(snap) != 1 || snap[0] != tomb {
+		t.Fatalf("snapshot = %+v, want the tombstone", snap)
+	}
+}

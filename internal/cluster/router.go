@@ -1,12 +1,17 @@
 package cluster
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
+	"webtxprofile/internal/core"
 	"webtxprofile/internal/weblog"
 )
 
@@ -38,6 +43,16 @@ type RouterConfig struct {
 	// what its node speaks, so a mixed-version cluster works either way;
 	// setting 1 forces JSON frames everywhere.
 	MaxWire int
+	// RouteIdleTTL bounds the routing table: a device idle for longer (in
+	// stream time, mirroring the monitor's IdleTTL) has its route swept.
+	// Sweeping is safe because a route never disagrees with the device's
+	// effective owner once settled — overrides, which do carry placement
+	// memory, are kept separately and survive the sweep. 0 disables.
+	RouteIdleTTL time.Duration
+	// Client configures the per-node connections (reconnect schedule,
+	// replay depth, client identity prefix). Client.MaxWire is overridden
+	// by MaxWire above.
+	Client ClientConfig
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -47,6 +62,7 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.MaxWire <= 0 || c.MaxWire > MaxWireVersion {
 		c.MaxWire = MaxWireVersion
 	}
+	c.Client.MaxWire = c.MaxWire
 	return c
 }
 
@@ -97,11 +113,20 @@ type Router struct {
 	// mu guards the fields below. Lock order: a node handle's mu, when
 	// held together with mu, is always acquired first — nothing waits for
 	// a handle while holding mu.
-	mu      sync.Mutex
-	version int
-	nodes   map[string]*nodeHandle
-	routes  map[string]*route
-	closed  bool
+	mu        sync.Mutex
+	version   int
+	nodes     map[string]*nodeHandle
+	routes    map[string]*route
+	overrides OverrideTable
+	clock     int64 // router-wide stream clock: max tx timestamp routed, unix nanos
+	lastSweep int64 // stream-clock stamp of the last idle-route sweep
+	closed    bool
+
+	// id and handoffN (guarded by balMu, like all rebalance state) name
+	// two-phase handoffs: "<routerID>/<n>" never collides across router
+	// replicas, so a node can hold stagings from several routers at once.
+	id       string
+	handoffN int
 }
 
 // nodeHandle is the router's connection to one member. Its mu serializes
@@ -121,6 +146,7 @@ type route struct {
 	node     string
 	draining bool
 	buf      []weblog.Transaction
+	lastTs   int64 // stream-clock stamp of the device's last routed transaction
 }
 
 // NewRouter creates a router with no members. alerts receives every
@@ -131,11 +157,14 @@ func NewRouter(alerts func(NodeAlert), cfg RouterConfig) *Router {
 	if alerts == nil {
 		alerts = func(NodeAlert) {}
 	}
+	var b [6]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
 	return &Router{
 		alerts: alerts,
 		cfg:    cfg.withDefaults(),
 		nodes:  make(map[string]*nodeHandle),
 		routes: make(map[string]*route),
+		id:     hex.EncodeToString(b[:]),
 	}
 }
 
@@ -143,14 +172,7 @@ func NewRouter(alerts func(NodeAlert), cfg RouterConfig) *Router {
 func (r *Router) View() Membership {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	m := Membership{Version: r.version}
-	for _, h := range r.nodes {
-		if !h.leaving {
-			m.Members = append(m.Members, h.member)
-		}
-	}
-	sort.Slice(m.Members, func(i, j int) bool { return m.Members[i].Name < m.Members[j].Name })
-	return m
+	return r.viewLocked()
 }
 
 // Owner reports which node a device is currently routed to (ok=false for
@@ -218,6 +240,32 @@ func (r *Router) Flush() error {
 	return errors.Join(errs...)
 }
 
+// Sync blocks until every transaction routed so far has been processed
+// by its owner node, without completing any window (unlike Flush, which
+// is end-of-stream). This is the barrier a replica handoff needs: after
+// Sync, a second router can take over the stream knowing none of this
+// router's queued feeds will land later and reorder a device's window.
+// It rides the stats RPC — its reply is ordered after every feed frame
+// already sent on each node connection.
+func (r *Router) Sync() error {
+	r.mu.Lock()
+	handles := make([]*nodeHandle, 0, len(r.nodes))
+	for _, h := range r.nodes {
+		handles = append(handles, h)
+	}
+	r.mu.Unlock()
+	var errs []error
+	for _, h := range handles {
+		h.mu.Lock()
+		_, err := h.client.Devices()
+		h.mu.Unlock()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("cluster: syncing node %s: %w", h.member.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // hrwScore is the rendezvous weight of placing device on node: FNV-1a
 // over device then node (NUL-separated) pushed through a splitmix64
 // finalizer. The finalizer matters: raw FNV-1a diffuses so weakly that
@@ -255,8 +303,26 @@ func (r *Router) ownerLocked(device string) string {
 	return best
 }
 
-// routeLocked returns the device's route, placing it by rendezvous hash
-// on first sight. Returns nil when the cluster has no usable members.
+// effectiveOwnerLocked is ownerLocked with the override table applied:
+// an override pinning the device to a live, non-leaving member wins over
+// the hash. Overrides are the only placement state router replicas
+// share, so this — not ownerLocked — is what placement decisions use;
+// pure hash owners matter only as drain *targets*.
+func (r *Router) effectiveOwnerLocked(device string) string {
+	if pin, ok := r.overrides.Get(device); ok {
+		if h := r.nodes[pin]; h != nil && !h.leaving {
+			return pin
+		}
+	}
+	return r.ownerLocked(device)
+}
+
+// routeLocked returns the device's route, placing it by effective owner
+// (override-aware rendezvous hash) on first sight — or re-placing it
+// after an idle sweep, which lands on the same node: settle() pins every
+// route that disagrees with the pure hash as an override before the
+// route can be swept. Returns nil when the cluster has no usable
+// members.
 func (r *Router) routeLocked(device string) *route {
 	if rt, ok := r.routes[device]; ok {
 		if rt.draining || r.nodes[rt.node] != nil {
@@ -266,13 +332,38 @@ func (r *Router) routeLocked(device string) *route {
 		// that then disappeared): re-place the device fresh.
 		delete(r.routes, device)
 	}
-	owner := r.ownerLocked(device)
+	owner := r.effectiveOwnerLocked(device)
 	if owner == "" {
 		return nil
 	}
-	rt := &route{node: owner}
+	rt := &route{node: owner, lastTs: r.clock}
 	r.routes[device] = rt
 	return rt
+}
+
+// maybeSweepRoutesLocked drops routes idle past RouteIdleTTL, amortized
+// to one pass per TTL of stream time. Only settled, empty routes go;
+// draining routes and buffered backlogs are live rebalance state. The
+// override table is untouched: it is the placement memory that makes
+// re-placing a swept route deterministic.
+func (r *Router) maybeSweepRoutesLocked() {
+	ttl := int64(r.cfg.RouteIdleTTL)
+	if ttl <= 0 || r.clock == 0 {
+		return
+	}
+	if r.lastSweep == 0 {
+		r.lastSweep = r.clock
+		return
+	}
+	if r.clock-r.lastSweep < ttl {
+		return
+	}
+	r.lastSweep = r.clock
+	for device, rt := range r.routes {
+		if !rt.draining && len(rt.buf) == 0 && r.clock-rt.lastTs > ttl {
+			delete(r.routes, device)
+		}
+	}
 }
 
 // errNoMembers reports feeding an empty cluster.
@@ -317,12 +408,19 @@ func (r *Router) FeedBatch(txs []weblog.Transaction) error {
 				r.mu.Unlock()
 				return errors.Join(append(errs, errNoMembers)...)
 			}
+			if ts := tx.Timestamp.UnixNano(); ts > r.clock {
+				r.clock = ts
+			}
+			if r.clock > rt.lastTs {
+				rt.lastTs = r.clock
+			}
 			if rt.draining {
 				rt.buf = append(rt.buf, tx)
 				continue
 			}
 			groups[rt.node] = append(groups[rt.node], tx)
 		}
+		r.maybeSweepRoutesLocked()
 		r.mu.Unlock()
 		pending = nil
 		// Deterministic node order keeps joined errors stable.
@@ -397,23 +495,40 @@ func (r *Router) AddNode(m Member) error {
 	}
 	r.mu.Unlock()
 
-	client, err := DialNodeWire(m.Addr, r.tagged(m.Name), r.cfg.MaxWire)
+	client, err := r.dialMember(m)
 	if err != nil {
 		return err
 	}
 	h := &nodeHandle{member: m, client: client}
 
+	// Discover where every device lives before the view changes: the
+	// routing table plus what each node reports holding (List). The union
+	// is what makes a fresh router replica — whose routing table is empty
+	// — drain correctly: placement lives on the nodes, not in this
+	// process.
+	placement := r.discoverPlacement()
+
 	r.mu.Lock()
 	r.nodes[m.Name] = h
 	r.version++
-	// Devices whose top rendezvous score moved to the new node drain
-	// from their current owners. balMu guarantees none is mid-drain.
+	// Devices whose effective placement moved to the new node drain from
+	// their current owners. Overridden devices are pinned and stay put;
+	// balMu guarantees none is mid-drain.
 	moves := make(map[string][]string)
-	for device, rt := range r.routes {
-		if rt.node != m.Name && r.ownerLocked(device) == m.Name {
-			rt.draining = true
-			moves[rt.node] = append(moves[rt.node], device)
+	for device, cur := range placement {
+		if rt, ok := r.routes[device]; ok {
+			cur = rt.node // the routing table is authoritative over List
 		}
+		if cur == m.Name || r.effectiveOwnerLocked(device) != m.Name {
+			continue
+		}
+		rt, ok := r.routes[device]
+		if !ok {
+			rt = &route{node: cur, lastTs: r.clock}
+			r.routes[device] = rt
+		}
+		rt.draining = true
+		moves[cur] = append(moves[cur], device)
 	}
 	r.mu.Unlock()
 
@@ -424,6 +539,56 @@ func (r *Router) AddNode(m Member) error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// dialMember opens the router's connection to one member, with the
+// router's client config and alert fan-in.
+func (r *Router) dialMember(m Member) (*NodeClient, error) {
+	cfg := r.cfg.Client
+	if cfg.ClientID != "" {
+		// Distinct per-node dedup identities under one configured prefix.
+		cfg.ClientID = cfg.ClientID + "/" + m.Name
+	}
+	return DialNodeConfig(m.Addr, r.tagged(m.Name), cfg)
+}
+
+// discoverPlacement maps every known device to the node currently
+// holding it: each live member's List report, first-seen wins in sorted
+// node order, then the routing table on top (routes are authoritative —
+// a mid-settle device may be listed by two nodes for an instant). A
+// member that cannot answer contributes nothing: its devices stay where
+// they are anyway.
+func (r *Router) discoverPlacement() map[string]string {
+	r.mu.Lock()
+	handles := make([]*nodeHandle, 0, len(r.nodes))
+	for _, h := range r.nodes {
+		if !h.leaving {
+			handles = append(handles, h)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(handles, func(i, j int) bool { return handles[i].member.Name < handles[j].member.Name })
+
+	placement := make(map[string]string)
+	for _, h := range handles {
+		h.mu.Lock()
+		names, err := h.client.List()
+		h.mu.Unlock()
+		if err != nil {
+			continue
+		}
+		for _, d := range names {
+			if _, ok := placement[d]; !ok {
+				placement[d] = h.member.Name
+			}
+		}
+	}
+	r.mu.Lock()
+	for device, rt := range r.routes {
+		placement[device] = rt.node
+	}
+	r.mu.Unlock()
+	return placement
 }
 
 // RemoveNode drains every device off a member (each to its rendezvous
@@ -457,12 +622,31 @@ func (r *Router) RemoveNode(name string) error {
 		return fmt.Errorf("cluster: cannot remove %s: it is the last member", name)
 	}
 	h.leaving = true // new devices stop placing here
+	r.mu.Unlock()
+
+	// The leaving node's full holdings, not just what this router has
+	// routed: swept routes and devices fed through a replica still live
+	// there and must drain. Unreachable node → empty report → the routes
+	// are all we know (and its state is unreachable regardless).
+	h.mu.Lock()
+	listed, listErr := h.client.List()
+	h.mu.Unlock()
+	if listErr != nil {
+		listed = nil
+	}
+
+	r.mu.Lock()
 	moves := make(map[string][]string)
+	for _, device := range listed {
+		if _, ok := r.routes[device]; !ok {
+			r.routes[device] = &route{node: name, lastTs: r.clock}
+		}
+	}
 	for device, rt := range r.routes {
 		if rt.node != name {
 			continue
 		}
-		dst := r.ownerLocked(device)
+		dst := r.effectiveOwnerLocked(device) // leaving members never win
 		rt.draining = true
 		moves[dst] = append(moves[dst], device)
 	}
@@ -497,20 +681,33 @@ func (r *Router) RemoveNode(name string) error {
 }
 
 // drain moves the named devices (already marked draining by the caller)
-// from src to dst: export, import, then replay of the transactions
-// buffered meanwhile. On import failure the state blob is put back on src
-// and the devices settle there (fellBack=true). On export failure with
-// leavingSrc the devices settle on dst fresh — their state is lost with
-// the failing source, which is exactly the node being removed — otherwise
-// they settle back on src.
+// from src to dst as a two-phase handoff:
+//
+//	ExportStaged(src) → ImportStaged(dst) → Commit(dst) → Commit(src)
+//
+// Until the destination commits, the moving copy is invisible on both
+// sides (held on src, staged on dst) and every step is idempotent per
+// handoff id, so any step can be retried across reconnects and any
+// failure can be unwound by aborting both sides — Abort on the source
+// re-adopts the held state automatically, which is why a failed drain
+// needs no operator intervention and can never leave two *live* copies.
+// A lost commit acknowledgement is resolved by asking the destination to
+// abort: a "handoff already committed" refusal is the proof the commit
+// landed.
+//
+// On failure the devices settle back on src (fellBack=true), except on
+// export failure with leavingSrc, where they settle on dst fresh — their
+// state is unreachable on the node being removed either way.
 func (r *Router) drain(src, dst string, devices []string, leavingSrc bool) (fellBack bool, err error) {
 	sort.Strings(devices)
+	r.handoffN++
+	id := fmt.Sprintf("%s/%d", r.id, r.handoffN)
 	r.mu.Lock()
 	hs, hd := r.nodes[src], r.nodes[dst]
 	r.mu.Unlock()
 
 	hs.mu.Lock()
-	blob, exported, exportErr := hs.client.Export(devices)
+	blob, exported, exportErr := hs.client.ExportHandoff(id, devices)
 	hs.mu.Unlock()
 	if exportErr != nil {
 		if leavingSrc {
@@ -520,34 +717,77 @@ func (r *Router) drain(src, dst string, devices []string, leavingSrc bool) (fell
 			serr := r.settle(devices, dst)
 			return false, errors.Join(fmt.Errorf("cluster: exporting %d devices from leaving %s (state lost): %w", len(devices), src, exportErr), serr)
 		}
+		// If the staging landed but its acknowledgement didn't, Abort
+		// re-adopts it; against a truly dead node it fails like the
+		// export did, and the staging stays invisible until then.
+		hs.mu.Lock()
+		_, abortErr := hs.client.Abort(id)
+		hs.mu.Unlock()
 		serr := r.settle(devices, src)
-		return true, errors.Join(fmt.Errorf("cluster: exporting %d devices from %s: %w", len(devices), src, exportErr), serr)
+		return true, errors.Join(fmt.Errorf("cluster: exporting %d devices from %s: %w", len(devices), src, exportErr), abortErr, serr)
 	}
 
 	hd.mu.Lock()
-	_, importErr := hd.client.Import(blob)
+	_, importErr := hd.client.ImportHandoff(id, blob)
 	hd.mu.Unlock()
 	if importErr != nil {
-		// The importer refused or died mid-import. The blob is still in
-		// hand: put the devices back on their old owner so nothing is
-		// lost. Re-import into src cannot collide — src stopped tracking
-		// these devices when it exported them.
+		// The importer refused or died before staging. Nothing on dst is
+		// visible either way; abort both sides — on src that re-adopts
+		// the held state, so the devices keep identifying where they were
+		// with nothing lost and nothing for an operator to clean up.
+		hd.mu.Lock()
+		hd.client.Abort(id) // best-effort: clears a staging whose ack was lost
+		hd.mu.Unlock()
 		hs.mu.Lock()
-		_, restoreErr := hs.client.Import(blob)
+		_, restoreErr := hs.client.Abort(id)
 		hs.mu.Unlock()
 		serr := r.settle(devices, src)
-		err := fmt.Errorf("cluster: importing %d devices into %s, kept on %s: %w", exported, dst, src, importErr)
-		if !errors.Is(importErr, ErrNodeRefused) {
-			// A transport failure, not a refusal: the import may have
-			// been applied before the reply was lost, in which case dst
-			// now holds a copy that will diverge. Surface it — the
-			// operator must clear dst (restart, or drop and re-add the
-			// member) before it can own these devices again.
-			err = fmt.Errorf("%w; importer unreachable mid-import, %s may hold a stale copy — clear it before it rejoins", err, dst)
-		}
-		return true, errors.Join(err, restoreErr, serr)
+		return true, errors.Join(fmt.Errorf("cluster: importing %d devices into %s, kept on %s: %w", exported, dst, src, importErr), restoreErr, serr)
 	}
-	return false, r.settle(devices, dst)
+
+	// Commit the destination first: this is the single step where
+	// ownership flips.
+	hd.mu.Lock()
+	_, commitErr := hd.client.Commit(id)
+	hd.mu.Unlock()
+	if commitErr != nil {
+		// Commit is idempotent and was retried; a surviving failure means
+		// dst refused (e.g. the staging died with a restart —
+		// ErrUnknownHandoff is definitive) or dst is unreachable. Ask it
+		// to abort: a "committed" refusal proves the commit actually
+		// landed and only its acknowledgement was lost.
+		hd.mu.Lock()
+		_, dstAbort := hd.client.Abort(id)
+		hd.mu.Unlock()
+		if dstAbort != nil && strings.Contains(dstAbort.Error(), core.ErrHandoffCommitted.Error()) {
+			commitErr = nil // the handoff committed; fall through to success
+		} else {
+			hs.mu.Lock()
+			_, restoreErr := hs.client.Abort(id)
+			hs.mu.Unlock()
+			serr := r.settle(devices, src)
+			err := fmt.Errorf("cluster: committing %d devices on %s, kept on %s: %w", exported, dst, src, commitErr)
+			if !errors.Is(commitErr, ErrNodeRefused) && dstAbort != nil {
+				// Neither the commit nor the abort got an answer: the
+				// commit's outcome on dst is unknown. The staging is
+				// invisible and the node's StagedTTL sweep clears it, but
+				// flag the ambiguity.
+				err = fmt.Errorf("%w (commit outcome on %s unknown; its staging is invisible and sweeps by StagedTTL)", err, dst)
+			}
+			return true, errors.Join(err, restoreErr, serr)
+		}
+	}
+
+	// Release the source's held copy. A failure here does not move
+	// ownership back — dst committed — it only delays reclaiming the
+	// invisible held copy on src.
+	hs.mu.Lock()
+	_, releaseErr := hs.client.Commit(id)
+	hs.mu.Unlock()
+	if releaseErr != nil {
+		releaseErr = fmt.Errorf("cluster: source %s did not release handoff %s (held copy stays staged, invisible): %w", src, id, releaseErr)
+	}
+	return false, errors.Join(releaseErr, r.settle(devices, dst))
 }
 
 // settle replays the drained devices' buffered transactions to owner
@@ -572,6 +812,19 @@ func (r *Router) settle(devices []string, owner string) error {
 				if rt := r.routes[d]; rt != nil {
 					rt.node = owner
 					rt.draining = false
+				}
+				// Record the settled placement in the override table when
+				// it disagrees with the pure hash, clear it when it
+				// agrees. This keeps route == effective owner (what makes
+				// the idle-route sweep safe) and is the only placement
+				// state router replicas gossip to each other.
+				pure := r.ownerLocked(d)
+				pin, pinned := r.overrides.Get(d)
+				switch {
+				case owner != pure && (!pinned || pin != owner):
+					r.overrides.Set(Override{Device: d, Node: owner, Ver: r.overrides.MaxVer() + 1})
+				case owner == pure && pinned:
+					r.overrides.Set(Override{Device: d, Ver: r.overrides.MaxVer() + 1})
 				}
 			}
 			r.mu.Unlock()

@@ -54,6 +54,23 @@ const (
 	FrameFlush = "flush"
 	// FrameStats asks for the node's tracked-device count.
 	FrameStats = "stats"
+	// FrameCommit finishes a two-phase handoff: on the importer it adopts
+	// the blob staged under Handoff, on the exporter it releases the held
+	// copy. The node replies ok with the device count; committing an id a
+	// second time replies ok again (idempotent), so the router can retry
+	// a commit whose first reply was lost.
+	FrameCommit = "commit"
+	// FrameAbort cancels a two-phase handoff: a staged import is dropped,
+	// a held export is re-adopted into the monitor. Aborting an unknown
+	// id replies ok with count 0 (idempotent); aborting a committed id is
+	// an error, because the devices now live on the other side.
+	FrameAbort = "abort"
+	// FrameGossip exchanges router state: the request and its ok reply
+	// both carry a GossipState, so one round trip reconciles both peers.
+	FrameGossip = "gossip"
+	// FrameList asks for the node's tracked device names (live and
+	// spilled); the ok reply carries them in Devices.
+	FrameList = "list"
 	// FrameOK is the success reply; payload fields depend on the request.
 	FrameOK = "ok"
 	// FrameError is the failure reply; Error carries the message.
@@ -94,8 +111,31 @@ type Frame struct {
 	Count int `json:"count,omitempty"`
 	// Error is the failure message (error replies).
 	Error string `json:"error,omitempty"`
-	// Alert is the pushed identity transition (alert frames).
+	// Alert is the pushed identity transition (alert frames). Alert
+	// frames carry the origin node's alert sequence number in Seq, so a
+	// resubscribing client can resume from its last-seen cursor.
 	Alert *NodeAlert `json:"alert,omitempty"`
+	// Handoff identifies a two-phase drain. An export or import carrying
+	// a handoff id is staged — held (export) or invisible (import) until
+	// a commit for the same id; commit and abort frames always carry one.
+	Handoff string `json:"handoff,omitempty"`
+	// Client is the caller's stable identity (hello). Named clients get
+	// replay dedup: a re-sent feed whose (Client, Seq) was already
+	// applied is acknowledged without feeding the monitor twice.
+	Client string `json:"client,omitempty"`
+	// Cursor is an alert sequence position: in a resuming hello, the last
+	// alert Seq the client saw (the node replays newer ring entries); in
+	// every hello reply, the node's current alert sequence.
+	Cursor uint64 `json:"cursor,omitempty"`
+	// Resume marks a reconnect hello: the node replays ring alerts after
+	// Cursor instead of starting the subscription fresh.
+	Resume bool `json:"resume,omitempty"`
+	// Replay marks a frame re-sent after a reconnect; the node consults
+	// its per-client dedup window before applying it.
+	Replay bool `json:"replay,omitempty"`
+	// Gossip carries router-to-router reconciliation state (gossip frames
+	// and their ok replies).
+	Gossip *GossipState `json:"gossip,omitempty"`
 }
 
 // NodeAlert is one identity transition observed somewhere in the cluster,
@@ -108,6 +148,10 @@ type NodeAlert struct {
 	// across the switch.
 	Node  string     `json:"node"`
 	Alert core.Alert `json:"alert"`
+	// Seq is the origin node's alert sequence number (1-based, per node).
+	// (node, seq) identifies an alert instance cluster-wide: replicated
+	// subscribers of one node can merge their streams by deduping on it.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // knownFrameTypes rejects frames whose type no handler understands at
@@ -116,7 +160,8 @@ type NodeAlert struct {
 var knownFrameTypes = map[string]bool{
 	FrameHello: true, FrameFeed: true, FrameExport: true, FrameImport: true,
 	FrameFlush: true, FrameStats: true, FrameOK: true, FrameError: true,
-	FrameAlert: true,
+	FrameAlert: true, FrameCommit: true, FrameAbort: true, FrameGossip: true,
+	FrameList: true,
 }
 
 // WriteFrame encodes one frame onto w. Callers sharing a connection must

@@ -56,11 +56,12 @@ func negotiateWire(peer, own int) int {
 var frameTypeCodes = map[string]byte{
 	FrameHello: 1, FrameFeed: 2, FrameExport: 3, FrameImport: 4,
 	FrameFlush: 5, FrameStats: 6, FrameOK: 7, FrameError: 8, FrameAlert: 9,
+	FrameCommit: 10, FrameAbort: 11, FrameGossip: 12, FrameList: 13,
 }
 
 // frameTypeNames inverts frameTypeCodes (index = code).
-var frameTypeNames = func() [10]string {
-	var names [10]string
+var frameTypeNames = func() [14]string {
+	var names [14]string
 	for name, code := range frameTypeCodes {
 		names[code] = name
 	}
@@ -83,6 +84,12 @@ const (
 	tagTxs       = 10
 	// tagTxs: uvarint count, then count weblog binary records back to back
 	// (the records are self-delimiting).
+	tagHandoff = 11 // uvarint length + bytes
+	tagClient  = 12 // uvarint length + bytes
+	tagCursor  = 13 // uvarint
+	tagResume  = 14 // no payload; presence means true
+	tagReplay  = 15 // no payload; presence means true
+	tagGossip  = 16 // uvarint length + JSON-encoded GossipState
 )
 
 // AppendBinaryFrame appends f's wire-v2 encoding to dst. The layout is
@@ -142,6 +149,31 @@ func AppendBinaryFrame(dst []byte, f Frame) ([]byte, error) {
 		for i := range f.Txs {
 			dst = f.Txs[i].AppendBinary(dst)
 		}
+	}
+	if f.Handoff != "" {
+		dst = appendTagString(dst, tagHandoff, f.Handoff)
+	}
+	if f.Client != "" {
+		dst = appendTagString(dst, tagClient, f.Client)
+	}
+	if f.Cursor != 0 {
+		dst = append(dst, tagCursor)
+		dst = binary.AppendUvarint(dst, f.Cursor)
+	}
+	if f.Resume {
+		dst = append(dst, tagResume)
+	}
+	if f.Replay {
+		dst = append(dst, tagReplay)
+	}
+	if f.Gossip != nil {
+		payload, err := json.Marshal(f.Gossip)
+		if err != nil {
+			return dst, fmt.Errorf("cluster: encoding gossip: %w", err)
+		}
+		dst = append(dst, tagGossip)
+		dst = binary.AppendUvarint(dst, uint64(len(payload)))
+		dst = append(dst, payload...)
 	}
 	return dst, nil
 }
@@ -251,6 +283,24 @@ func decodeBinaryFrame(payload []byte) (Frame, error) {
 			}
 			if err == nil {
 				f.Txs = txs
+			}
+		case tagHandoff:
+			f.Handoff, s, err = readWireString(s)
+		case tagClient:
+			f.Client, s, err = readWireString(s)
+		case tagCursor:
+			f.Cursor, s, err = readWireUvarint(s)
+		case tagResume:
+			f.Resume = true
+		case tagReplay:
+			f.Replay = true
+		case tagGossip:
+			var b string
+			if b, s, err = readWireString(s); err == nil {
+				var g GossipState
+				if err = json.Unmarshal([]byte(b), &g); err == nil {
+					f.Gossip = &g
+				}
 			}
 		default:
 			err = fmt.Errorf("unknown field tag %d", tag)

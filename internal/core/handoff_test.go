@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestHandoffCommitMatchesReference drives the full two-phase move —
+// stage on the source, stage on the destination, commit both sides — and
+// checks the combined per-device alert sequences stay byte-identical to
+// one uninterrupted monitor. Staged devices must be invisible on the
+// importer until the commit, and both commits must be idempotent.
+func TestHandoffCommitMatchesReference(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, devices := deviceStream(testDS, 6, 6000)
+	const k = 2
+	want := referenceAlerts(t, set, txs, k)
+
+	col := newAlertCollector()
+	src, err := NewMonitorWithConfig(set, k, col.callback, MonitorConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewMonitorWithConfig(set, k, col.callback, MonitorConfig{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := map[string]bool{devices[0]: true, devices[3]: true}
+	cut := len(txs) / 2
+	for _, tx := range txs[:cut] {
+		if err := src.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const id = "router-1/7"
+	blob, n, err := src.ExportStaged(id, []string{devices[0], devices[3]})
+	if err != nil || n != 2 {
+		t.Fatalf("ExportStaged = %d, %v", n, err)
+	}
+	// Retrying the staged export must return the identical held blob.
+	blob2, n2, err := src.ExportStaged(id, []string{devices[0], devices[3]})
+	if err != nil || n2 != 2 || string(blob2) != string(blob) {
+		t.Fatalf("retried ExportStaged = %d bytes, %d, %v; want the same blob", len(blob2), n2, err)
+	}
+	src.Sync()
+
+	if n, err := dst.StageImport(id, blob); err != nil || n != 2 {
+		t.Fatalf("StageImport = %d, %v", n, err)
+	}
+	if dst.Devices() != 0 {
+		t.Fatalf("staged devices leaked into the live shards: %d tracked", dst.Devices())
+	}
+	if n, err := dst.StageImport(id, blob); err != nil || n != 2 {
+		t.Fatalf("retried StageImport = %d, %v", n, err)
+	}
+	if n, err := dst.CommitHandoff(id); err != nil || n != 2 {
+		t.Fatalf("importer CommitHandoff = %d, %v", n, err)
+	}
+	if dst.Devices() != 2 {
+		t.Fatalf("importer tracks %d devices after commit, want 2", dst.Devices())
+	}
+	if n, err := dst.CommitHandoff(id); err != nil || n != 2 {
+		t.Fatalf("retried CommitHandoff = %d, %v (commit must be idempotent)", n, err)
+	}
+	if n, err := src.CommitHandoff(id); err != nil || n != 2 {
+		t.Fatalf("exporter CommitHandoff = %d, %v", n, err)
+	}
+	if src.PendingHandoffs() != 0 || dst.PendingHandoffs() != 0 {
+		t.Fatalf("pending handoffs after commit: src %d, dst %d", src.PendingHandoffs(), dst.PendingHandoffs())
+	}
+
+	for _, tx := range txs[cut:] {
+		m := src
+		if moved[tx.SourceIP] {
+			m = dst
+		}
+		if err := m.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Flush()
+	dst.Flush()
+	src.Close()
+	dst.Close()
+	comparePerDevice(t, want, col.got)
+}
+
+// TestHandoffAbortReadopts cancels a staged export and checks the
+// devices resume on the source with nothing lost: the alert stream stays
+// byte-identical to a monitor that never staged anything, which is
+// exactly the automatic-recovery contract the router's abort path relies
+// on.
+func TestHandoffAbortReadopts(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, devices := deviceStream(testDS, 4, 4000)
+	const k = 2
+	want := referenceAlerts(t, set, txs, k)
+
+	col := newAlertCollector()
+	src, err := NewMonitorWithConfig(set, k, col.callback, MonitorConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(txs) / 2
+	for _, tx := range txs[:cut] {
+		if err := src.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const id = "router-1/8"
+	if _, n, err := src.ExportStaged(id, devices[:2]); err != nil || n != 2 {
+		t.Fatalf("ExportStaged = %d, %v", n, err)
+	}
+	if n, err := src.AbortHandoff(id); err != nil || n != 2 {
+		t.Fatalf("AbortHandoff = %d, %v", n, err)
+	}
+	// Aborting again is a no-op, not an error.
+	if n, err := src.AbortHandoff(id); err != nil || n != 0 {
+		t.Fatalf("retried AbortHandoff = %d, %v", n, err)
+	}
+	for _, tx := range txs[cut:] {
+		if err := src.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Flush()
+	src.Close()
+	comparePerDevice(t, want, col.got)
+}
+
+// TestHandoffLifecycleErrors pins the error and idempotency contract the
+// router's retry logic depends on: unknown commits are definitive,
+// committed aborts are refused, a staged import is dropped by abort.
+func TestHandoffLifecycleErrors(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, devices := deviceStream(testDS, 2, 200)
+	m, err := NewMonitorWithConfig(set, 2, func(Alert) {}, MonitorConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, tx := range txs {
+		if err := m.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := m.CommitHandoff("never-seen"); !errors.Is(err, ErrUnknownHandoff) {
+		t.Fatalf("commit of unknown id = %v, want ErrUnknownHandoff", err)
+	}
+	if _, _, err := m.ExportStaged("", devices); err == nil {
+		t.Fatal("empty handoff id accepted")
+	}
+
+	const id = "r/1"
+	blob, _, err := m.ExportStaged(id, devices[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StageImport(id, blob); err == nil {
+		t.Fatal("staging an import under an export-holding id accepted")
+	}
+	if _, err := m.CommitHandoff(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AbortHandoff(id); !errors.Is(err, ErrHandoffCommitted) {
+		t.Fatalf("abort after commit = %v, want ErrHandoffCommitted", err)
+	}
+	if _, _, err := m.ExportStaged(id, devices[:1]); !errors.Is(err, ErrHandoffCommitted) {
+		t.Fatalf("re-export of committed id = %v, want ErrHandoffCommitted", err)
+	}
+
+	// A staged import dropped by abort leaves no trace: the commit that
+	// never came now reports the definitive unknown-handoff error.
+	other, err := NewMonitorWithConfig(set, 2, func(Alert) {}, MonitorConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, err := other.StageImport("r/2", blob); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := other.AbortHandoff("r/2"); err != nil || n != 2 && n != 1 {
+		t.Fatalf("abort of staged import = %d, %v", n, err)
+	}
+	if other.Devices() != 0 {
+		t.Fatalf("aborted staged import leaked %d devices", other.Devices())
+	}
+	if _, err := other.CommitHandoff("r/2"); !errors.Is(err, ErrUnknownHandoff) {
+		t.Fatalf("commit of aborted staging = %v, want ErrUnknownHandoff", err)
+	}
+
+	// Committing a staged import whose device is already live must refuse
+	// the whole staging and keep it intact for an abort.
+	if _, err := other.StageImport("r/3", blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range txs {
+		if err := other.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := other.CommitHandoff("r/3"); err == nil {
+		t.Fatal("commit adopted a device that is already live")
+	}
+	if other.PendingHandoffs() != 1 {
+		t.Fatalf("refused commit dropped the staging: %d pending", other.PendingHandoffs())
+	}
+	if n, err := other.AbortHandoff("r/3"); err != nil || n == 0 {
+		t.Fatalf("abort after refused commit = %d, %v", n, err)
+	}
+}
+
+// TestHandoffStagedTTLSweep ages an abandoned import staging out via
+// stream time and checks the sweep tells a late committer the truth
+// (ErrUnknownHandoff), while export holdings survive indefinitely.
+func TestHandoffStagedTTLSweep(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, devices := deviceStream(testDS, 2, 400)
+	const ttl = time.Minute
+	donor, err := NewMonitorWithConfig(set, 2, func(Alert) {}, MonitorConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer donor.Close()
+	for _, tx := range txs[:len(txs)/2] {
+		if err := donor.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, _, err := donor.ExportStaged("d/1", devices[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewMonitorWithConfig(set, 2, func(Alert) {}, MonitorConfig{Shards: 2, StagedTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.StageImport("i/1", blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.ExportStaged("e/1", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Stream traffic far past the TTL: the clamp advances the clock by at
+	// most one StagedTTL per transaction, so walk it there step by step.
+	base := txs[0].Timestamp
+	tick := txs[0]
+	for i := 0; i < 8; i++ {
+		tick.Timestamp = base.Add(time.Duration(i+1) * ttl)
+		if err := m.Feed(tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.CommitHandoff("i/1"); !errors.Is(err, ErrUnknownHandoff) {
+		t.Fatalf("commit of swept staging = %v, want ErrUnknownHandoff", err)
+	}
+	if m.PendingHandoffs() != 1 {
+		t.Fatalf("pending = %d, want 1 (export holding must never be swept)", m.PendingHandoffs())
+	}
+	if _, err := m.CommitHandoff("e/1"); err != nil {
+		t.Fatalf("export holding swept or lost: %v", err)
+	}
+}
+
+// TestTrackedDevices checks the enumeration a stateless placement mover
+// relies on: live and spilled devices are both listed, staged handoff
+// state is not.
+func TestTrackedDevices(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, _ := deviceStream(testDS, 1, 40)
+	store := NewMemStateStore()
+	const ttl = 10 * time.Minute
+	m, err := NewMonitorWithConfig(set, 2, func(Alert) {}, MonitorConfig{Shards: 2, IdleTTL: ttl, Spill: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	a := txs[0]
+	a.SourceIP = "10.0.0.1"
+	if err := m.Feed(a); err != nil {
+		t.Fatal(err)
+	}
+	b := txs[0]
+	b.SourceIP = "10.0.0.2"
+	for i := 0; i < 5; i++ {
+		b.Timestamp = a.Timestamp.Add(time.Duration(i+2) * ttl)
+		if err := m.Feed(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Len() != 1 {
+		t.Fatalf("spilled devices = %d, want 1 (test setup)", store.Len())
+	}
+	names, err := m.TrackedDevices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "10.0.0.1" || names[1] != "10.0.0.2" {
+		t.Fatalf("TrackedDevices = %v, want the live and the spilled device", names)
+	}
+
+	if _, _, err := m.ExportStaged("t/1", []string{"10.0.0.2"}); err != nil {
+		t.Fatal(err)
+	}
+	names, err = m.TrackedDevices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "10.0.0.1" {
+		t.Fatalf("TrackedDevices with a staged export = %v, want only the live device", names)
+	}
+}

@@ -127,6 +127,15 @@ type MonitorConfig struct {
 	// instrument, not a semantics knob.
 	ScoringKernels svm.KernelMode
 
+	// StagedTTL reclaims import stagings (StageImport) whose commit never
+	// arrived, measured in stream time like IdleTTL. Only import stagings
+	// are swept — the source still holds the authoritative copy, and a
+	// later commit for a swept id reports ErrUnknownHandoff — so a mover
+	// that died mid-handoff cannot leak staged state forever. Export
+	// holdings are never swept. 0 keeps stagings until commit, abort or
+	// process exit.
+	StagedTTL time.Duration
+
 	// referenceScoring routes every shard's window scoring through the
 	// pre-fused per-model decision path instead of the shared fused
 	// index — the reference engine for the fused-equivalence suites.
@@ -179,6 +188,17 @@ type Monitor struct {
 	streamNow atomic.Int64
 	lastSweep atomic.Int64
 	behind    atomic.Int64
+
+	// Two-phase handoff stagings (see handoff.go). hmu is leaf-ordered
+	// after the shard locks are NOT held: handoff operations take hmu
+	// first and shard locks inside, and no shard-locked path ever takes
+	// hmu. stagedImports mirrors the staged-import entry count so the
+	// feed path can skip the sweep lock when nothing is staged.
+	hmu           sync.Mutex
+	handoffs      map[string]*handoffEntry
+	recentCommits map[string]int
+	commitOrder   []string
+	stagedImports atomic.Int64
 
 	// pump owns alert delivery. It is a separate allocation referenced by
 	// the delivery goroutine instead of the Monitor itself, so an
@@ -532,10 +552,12 @@ func (m *Monitor) feedLocked(sh *monitorShard, tx weblog.Transaction) error {
 			return err
 		}
 	}
-	if m.cfg.IdleTTL > 0 {
+	if m.cfg.IdleTTL > 0 || m.cfg.StagedTTL > 0 {
 		// Record lastSeen in stream-clock coordinates: the clock is
 		// clamped (below), so a corrupt far-future timestamp must not
 		// give its device an unevictable far-future lastSeen either.
+		// StagedTTL alone also runs the clock — the staged-import sweep
+		// is stream-timed like eviction.
 		seen := m.advanceClock(tx.Timestamp.UnixNano())
 		if ts := tx.Timestamp.UnixNano(); ts < seen {
 			seen = ts
@@ -659,6 +681,12 @@ const clockRegressAfter = 512
 // behind the clock, the clock snaps back to the observed stream.
 func (m *Monitor) advanceClock(ts int64) int64 {
 	ttl := int64(m.cfg.IdleTTL)
+	if ttl == 0 {
+		// Eviction off but the staged-import sweep on: StagedTTL becomes
+		// the clamp unit, so the clock still cannot be yanked into the
+		// far future by one corrupt timestamp.
+		ttl = int64(m.cfg.StagedTTL)
+	}
 	for {
 		cur := m.streamNow.Load()
 		if cur == 0 {
@@ -710,6 +738,9 @@ func (m *Monitor) advanceClock(ts int64) int64 {
 // traffic flows anywhere. Called without any shard lock held; the CAS
 // elects a single sweeping feeder.
 func (m *Monitor) maybeSweep() {
+	if m.cfg.StagedTTL > 0 && m.stagedImports.Load() > 0 {
+		m.sweepStagedImports()
+	}
 	if m.cfg.IdleTTL <= 0 {
 		return
 	}
@@ -858,49 +889,7 @@ func (m *Monitor) ExportShard(i int) ([]byte, error) {
 // spill copy), forking its state from the exported blob — callers moving
 // live devices must stop routing transactions here first.
 func (m *Monitor) ExportDevices(devices []string) ([]byte, int, error) {
-	states := make([]DeviceState, 0, len(devices))
-	seen := make(map[string]struct{}, len(devices))
-	var errs []error
-	for _, device := range devices {
-		if _, dup := seen[device]; dup || device == "" {
-			continue
-		}
-		seen[device] = struct{}{}
-		sh := m.shardFor(device)
-		sh.mu.Lock()
-		if tr, ok := sh.devices[device]; ok {
-			states = append(states, deviceStateLocked(device, tr))
-			delete(sh.devices, device)
-			sh.mu.Unlock()
-			continue
-		}
-		sh.mu.Unlock()
-		if m.cfg.Spill == nil {
-			continue
-		}
-		blob, ok, err := m.cfg.Spill.Get(device)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("core: exporting spilled device %s: %w", device, err))
-			continue
-		}
-		if !ok {
-			continue
-		}
-		st, err := decodeDeviceState(blob)
-		if err == nil && st.Device != device {
-			err = fmt.Errorf("core: spilled state for device %s names device %s", device, st.Device)
-		}
-		if err != nil {
-			// Corrupt spill copy: leave it for the admit path's
-			// drop-and-restart handling rather than move garbage.
-			errs = append(errs, err)
-			continue
-		}
-		if err := m.cfg.Spill.Delete(device); err != nil {
-			errs = append(errs, fmt.Errorf("core: exported spilled device %s but could not clear it: %w", device, err))
-		}
-		states = append(states, st)
-	}
+	states, errs := m.collectDeviceStates(devices)
 	// Deterministic bytes for a given device population, like ExportShard.
 	sort.Slice(states, func(a, b int) bool { return states[a].Device < states[b].Device })
 	blob, err := encodeShardState(states)
