@@ -784,7 +784,7 @@ func BenchmarkMonitorCheckpointRestore(b *testing.B) {
 			benchStateRound(b, mon, names, base, start, 1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				n, err := mon.Checkpoint()
+				n, _, err := mon.Checkpoint()
 				if err != nil || n != devices {
 					b.Fatalf("checkpoint spilled %d devices: %v", n, err)
 				}

@@ -39,7 +39,20 @@ type (
 	// ClusterGossipState is one router's shareable state — the versioned
 	// membership view and the override table replicas converge on.
 	ClusterGossipState = cluster.GossipState
+	// ClusterStats snapshots the process-wide replication and
+	// rebalancing counters: gossip rounds, view adoptions, override
+	// entries/tombstones, handoff aborts, warm restores and failover
+	// reroutes.
+	ClusterStats = cluster.ClusterStats
 )
+
+// ReadClusterStats returns the replication/rebalancing counters
+// (cumulative since process start); profilerd logs a snapshot at
+// front-end shutdown.
+func ReadClusterStats() ClusterStats { return cluster.ReadClusterStats() }
+
+// ResetClusterStats zeroes the replication/rebalancing counters.
+func ResetClusterStats() { cluster.ResetClusterStats() }
 
 // ListenClusterNode starts a cluster node on addr over a trained profile
 // set; the node owns a sharded Monitor configured by cfg.

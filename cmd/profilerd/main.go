@@ -20,6 +20,16 @@
 // left off. See README.md for the state lifecycle. SIGINT keeps the
 // classic lossy shutdown (flush pending windows, emit final alerts).
 //
+// With -state-addr the same lifecycle targets the fleet-wide state tier
+// instead of a local directory: spills and checkpoints go to a shared
+// state server (run one with -state-server, optionally backed by its own
+// -state-dir) through a write-behind client, so a device's state
+// survives the node that held it. A cluster front end told the tier
+// exists (-join with -state-addr; it never dials the tier itself)
+// warm-restores moved devices from the store instead of draining live
+// peers, and reroutes a dead node's devices without any handoff — they
+// rehydrate lazily at their new owner.
+//
 // Past one process, profilerd clusters (see README.md for the lifecycle):
 //
 //   - profilerd -cluster :7100 -node-name nodeA runs a member node: no
@@ -32,16 +42,22 @@
 //     alert is logged with the node it originated on. The front end
 //     holds no monitor, so it needs no bundle, and the identification
 //     flags (-k, -shards, -idle-ttl, -state-dir) belong on the nodes.
+//   - profilerd -state-server :7200 -state-dir /var/lib/profilerd-state
+//     runs the shared state tier the nodes point -state-addr at.
 //
 // Usage:
 //
 //	profilerd -bundle profiles.gz -listen 127.0.0.1:7000 -k 5 \
 //	          -shards 16 -idle-ttl 1h -batch 256 -state-dir /var/lib/profilerd
-//	profilerd -bundle profiles.gz -cluster 0.0.0.0:7100 -node-name nodeA
-//	profilerd -listen 127.0.0.1:7000 -join nodeA=host1:7100,nodeB=host2:7100
+//	profilerd -state-server 0.0.0.0:7200 -state-dir /var/lib/profilerd-state
+//	profilerd -bundle profiles.gz -cluster 0.0.0.0:7100 -node-name nodeA \
+//	          -state-addr host0:7200
+//	profilerd -listen 127.0.0.1:7000 -join nodeA=host1:7100,nodeB=host2:7100 \
+//	          -state-addr host0:7200
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -66,37 +82,57 @@ func main() {
 
 func run() error {
 	var (
-		bundle   = flag.String("bundle", "profiles.gz", "trained profile bundle")
-		listen   = flag.String("listen", "127.0.0.1:7000", "TCP listen address for proxy log lines")
-		k        = flag.Int("k", 5, "consecutive accepted windows for identification")
-		shards   = flag.Int("shards", 16, "device lock stripes in the monitor")
-		idleTTL  = flag.Duration("idle-ttl", time.Hour, "evict devices idle this long in stream time (0 disables)")
-		batch    = flag.Int("batch", 256, "max transactions per ingestion batch")
-		ingestQ  = flag.Int("ingest-queue", 0, "bounded ingest queue depth; senders block (TCP backpressure) when full (0 = 4x -batch)")
-		maxWire  = flag.Int("max-wire", 0, "highest cluster wire protocol version to negotiate (0 = highest supported, 1 forces JSON frames)")
-		stateDir = flag.String("state-dir", "", "durable identifier state: spill evicted devices here, checkpoint on SIGTERM, restore on start (empty disables)")
-		clusterL = flag.String("cluster", "", "run as a cluster node: serve the node wire protocol on this address instead of a proxy collector")
-		nodeName = flag.String("node-name", "", "this node's cluster name (default: hostname; -cluster mode)")
-		join     = flag.String("join", "", "run as the cluster front end routing to these members: comma-separated name=addr pairs")
-		gossipL  = flag.String("gossip", "", "serve router gossip on this address so replica front ends can reconcile membership and placement overrides (-join mode)")
-		peers    = flag.String("peers", "", "comma-separated gossip addresses of replica front ends to exchange state with periodically (-join mode)")
-		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling of the scoring path (empty disables)")
-		score32  = flag.Bool("score-float32", false, "score windows through float32 fused postings/accumulators: ~half the scoring memory, decisions within the documented float32 bound of exact float64")
-		scoreP   = flag.Bool("score-portable", false, "force the portable per-posting scoring kernels instead of the auto-resolved engine (bit-identical decisions; for debugging and A/B timing)")
+		bundle    = flag.String("bundle", "profiles.gz", "trained profile bundle")
+		listen    = flag.String("listen", "127.0.0.1:7000", "TCP listen address for proxy log lines")
+		k         = flag.Int("k", 5, "consecutive accepted windows for identification")
+		shards    = flag.Int("shards", 16, "device lock stripes in the monitor")
+		idleTTL   = flag.Duration("idle-ttl", time.Hour, "evict devices idle this long in stream time (0 disables)")
+		batch     = flag.Int("batch", 256, "max transactions per ingestion batch")
+		ingestQ   = flag.Int("ingest-queue", 0, "bounded ingest queue depth; senders block (TCP backpressure) when full (0 = 4x -batch)")
+		maxWire   = flag.Int("max-wire", 0, "highest cluster wire protocol version to negotiate (0 = highest supported, 1 forces JSON frames)")
+		stateDir  = flag.String("state-dir", "", "durable identifier state: spill evicted devices here, checkpoint on SIGTERM, restore on start; backing store in -state-server mode (empty disables)")
+		stateSrv  = flag.String("state-server", "", "run as the fleet-wide state tier: serve the state protocol on this address (optionally backed by -state-dir)")
+		stateAddr = flag.String("state-addr", "", "spill and checkpoint to the state server at this address through a write-behind client instead of a local -state-dir; on the -join front end, enables warm restore and failover without handoff")
+		clusterL  = flag.String("cluster", "", "run as a cluster node: serve the node wire protocol on this address instead of a proxy collector")
+		nodeName  = flag.String("node-name", "", "this node's cluster name (default: hostname; -cluster mode)")
+		join      = flag.String("join", "", "run as the cluster front end routing to these members: comma-separated name=addr pairs")
+		gossipL   = flag.String("gossip", "", "serve router gossip on this address so replica front ends can reconcile membership and placement overrides (-join mode)")
+		peers     = flag.String("peers", "", "comma-separated gossip addresses of replica front ends to exchange state with periodically (-join mode)")
+		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling of the scoring path (empty disables)")
+		score32   = flag.Bool("score-float32", false, "score windows through float32 fused postings/accumulators: ~half the scoring memory, decisions within the documented float32 bound of exact float64")
+		scoreP    = flag.Bool("score-portable", false, "force the portable per-posting scoring kernels instead of the auto-resolved engine (bit-identical decisions; for debugging and A/B timing)")
 	)
 	flag.Parse()
 	if *clusterL != "" && *join != "" {
 		return fmt.Errorf("-cluster and -join are mutually exclusive: a process is a member or the front end")
 	}
+	if *stateSrv != "" && (*clusterL != "" || *join != "") {
+		return fmt.Errorf("-state-server is its own role: it is neither a member (-cluster) nor the front end (-join)")
+	}
+	if *stateAddr != "" && *stateDir != "" {
+		return fmt.Errorf("-state-addr and -state-dir are mutually exclusive: state spills to the shared tier or to a local directory, not both")
+	}
 	// Refuse explicitly-set flags the selected role would silently
 	// ignore — a dead flag on a daemon is a misconfiguration, not a
 	// default.
 	switch {
+	case *stateSrv != "":
+		// The state server holds no monitor and no collector: it serves
+		// versioned device blobs, nothing else. Only -state-dir (its
+		// backing store) travels with it.
+		if err := rejectMisplacedFlags("the -state-server tier (only -state-dir configures it)",
+			"bundle", "listen", "k", "shards", "idle-ttl", "batch", "ingest-queue", "max-wire",
+			"node-name", "gossip", "peers", "pprof", "score-float32", "score-portable", "state-addr"); err != nil {
+			return err
+		}
 	case *join != "":
 		// The front end holds no monitor: identification state, eviction
 		// and the threshold all live on the member nodes — and so do the
 		// scoring hot path (-pprof profiles it live) and its precision
-		// mode (-score-float32) and engine (-score-portable).
+		// mode (-score-float32) and engine (-score-portable). -state-addr
+		// is the exception: the front end never dials the tier, but
+		// knowing it exists switches rebalancing to warm restore and node
+		// failure to rerouting.
 		if err := rejectMisplacedFlags("the -join front end (set them on the -cluster processes)",
 			"bundle", "k", "shards", "idle-ttl", "state-dir", "node-name", "pprof", "score-float32", "score-portable"); err != nil {
 			return err
@@ -117,8 +153,11 @@ func run() error {
 	}
 	logger := log.New(os.Stdout, "profilerd: ", log.LstdFlags)
 
+	if *stateSrv != "" {
+		return runStateServer(logger, *stateSrv, *stateDir)
+	}
 	if *join != "" {
-		return runRouter(logger, *join, *listen, *batch, *ingestQ, *maxWire, *gossipL, *peers)
+		return runRouter(logger, *join, *listen, *batch, *ingestQ, *maxWire, *gossipL, *peers, *stateAddr != "")
 	}
 
 	if *pprofA != "" {
@@ -143,12 +182,22 @@ func run() error {
 		return err
 	}
 
-	var store *webtxprofile.DiskStateStore
-	if *stateDir != "" {
-		if store, err = webtxprofile.NewDiskStateStore(*stateDir); err != nil {
+	var tier *stateTier
+	switch {
+	case *stateAddr != "":
+		remote, err := webtxprofile.DialStateStore(*stateAddr, webtxprofile.RemoteStateConfig{})
+		if err != nil {
+			return fmt.Errorf("-state-addr %s: %w", *stateAddr, err)
+		}
+		tier = &stateTier{remote: remote, desc: "state server " + *stateAddr}
+		logger.Printf("spilling to %s (write-behind); devices resume on their next transaction wherever they land", tier.desc)
+	case *stateDir != "":
+		disk, err := webtxprofile.NewDiskStateStore(*stateDir)
+		if err != nil {
 			return err
 		}
-		spilled, err := store.Devices()
+		tier = &stateTier{disk: disk, desc: "state-dir " + *stateDir}
+		spilled, err := disk.Devices()
 		if err != nil {
 			return err
 		}
@@ -160,21 +209,48 @@ func run() error {
 				*stateDir, len(spilled))
 		}
 	}
-	monCfg := webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL, Spill: spillStore(store),
-		Float32Scoring: *score32}
+	monCfg := webtxprofile.MonitorConfig{Shards: *shards, IdleTTL: *idleTTL, Spill: tier.store(),
+		SharedSpill: tier.shared(), Float32Scoring: *score32}
 	if *scoreP {
 		monCfg.ScoringKernels = webtxprofile.KernelsPortable
 	}
 
 	if *clusterL != "" {
-		return runNode(logger, set, *clusterL, *nodeName, *k, *maxWire, monCfg, store, *stateDir)
+		return runNode(logger, set, *clusterL, *nodeName, *k, *maxWire, monCfg, tier)
 	}
-	return runStandalone(logger, set, *listen, *k, monCfg, *batch, *ingestQ, store, *stateDir)
+	return runStandalone(logger, set, *listen, *k, monCfg, *batch, *ingestQ, tier)
 }
+
+// stateTier is whichever spill backend the role resolved — at most one of
+// disk/remote is set; a nil *stateTier means no durable state at all. Its
+// methods are nil-safe so callers never branch on presence.
+type stateTier struct {
+	disk   *webtxprofile.DiskStateStore
+	remote *webtxprofile.RemoteStateStore
+	desc   string // human name for logs: "state-dir /x" or "state server host:port"
+}
+
+// store returns the tier as the monitor's Spill field without wrapping a
+// typed nil in a non-nil interface.
+func (t *stateTier) store() webtxprofile.StateStore {
+	switch {
+	case t == nil:
+		return nil
+	case t.remote != nil:
+		return t.remote
+	case t.disk != nil:
+		return t.disk
+	}
+	return nil
+}
+
+// shared reports whether the tier is the fleet-wide store (the monitor
+// must not treat its contents as exclusively this process's devices).
+func (t *stateTier) shared() bool { return t != nil && t.remote != nil }
 
 // runStandalone is the classic single-process daemon: collector → monitor.
 func runStandalone(logger *log.Logger, set *webtxprofile.ProfileSet, listen string, k int,
-	monCfg webtxprofile.MonitorConfig, batch, ingestQ int, store *webtxprofile.DiskStateStore, stateDir string) error {
+	monCfg webtxprofile.MonitorConfig, batch, ingestQ int, tier *stateTier) error {
 	mon, err := webtxprofile.NewMonitorWithConfig(set, k, func(a webtxprofile.Alert) {
 		logAlert(logger, "", a)
 	}, monCfg)
@@ -197,12 +273,12 @@ func runStandalone(logger *log.Logger, set *webtxprofile.ProfileSet, listen stri
 
 	s := waitSignal()
 	srv.Close() // stop ingestion before the final flush or checkpoint
-	return shutdownMonitor(logger, mon, s, store, stateDir)
+	return shutdownMonitor(logger, mon, s, tier)
 }
 
 // runNode serves the cluster wire protocol over this process's monitor.
 func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string, k, maxWire int,
-	monCfg webtxprofile.MonitorConfig, store *webtxprofile.DiskStateStore, stateDir string) error {
+	monCfg webtxprofile.MonitorConfig, tier *stateTier) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -232,7 +308,37 @@ func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string
 	// checkpointing — Stop (not Close) keeps the monitor usable for that
 	// decision.
 	node.Stop()
-	return shutdownMonitor(logger, node.Monitor(), s, store, stateDir)
+	return shutdownMonitor(logger, node.Monitor(), s, tier)
+}
+
+// runStateServer is the fleet-wide state tier: versioned device blobs in
+// memory, optionally persisted through a disk store, served to every
+// node's write-behind client.
+func runStateServer(logger *log.Logger, addr, stateDir string) error {
+	cfg := webtxprofile.StateServerConfig{ErrorLog: logger}
+	if stateDir != "" {
+		backing, err := webtxprofile.NewDiskStateStore(stateDir)
+		if err != nil {
+			return err
+		}
+		cfg.Backing = backing
+	}
+	srv, err := webtxprofile.ListenStateServer(addr, cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if stateDir != "" {
+		logger.Printf("state server on %s backed by %s (%d devices loaded)", srv.Addr(), stateDir, srv.Len())
+	} else {
+		logger.Printf("state server on %s (in-memory: device state survives node restarts, not a server restart)", srv.Addr())
+	}
+
+	waitSignal()
+	n := srv.Len()
+	err = srv.Close()
+	logger.Printf("state server shutting down holding %d devices", n)
+	return err
 }
 
 // runRouter is the front end: proxy log lines in, rendezvous-routed
@@ -240,15 +346,18 @@ func runNode(logger *log.Logger, set *webtxprofile.ProfileSet, addr, name string
 // With -gossip/-peers the front end is replicated: replicas reconcile
 // membership and placement overrides by periodic anti-entropy exchanges,
 // and each one routes independently (placement is deterministic, alerts
-// deduplicate downstream on their node sequence numbers).
-func runRouter(logger *log.Logger, join, listen string, batch, ingestQ, maxWire int, gossipAddr, peers string) error {
+// deduplicate downstream on their node sequence numbers). With
+// -state-addr (sharedState) rebalancing warm-restores from the tier and
+// node failure reroutes without handoff.
+func runRouter(logger *log.Logger, join, listen string, batch, ingestQ, maxWire int,
+	gossipAddr, peers string, sharedState bool) error {
 	members, err := parseMembers(join)
 	if err != nil {
 		return err
 	}
 	router := webtxprofile.NewClusterRouter(func(a webtxprofile.NodeAlert) {
 		logAlert(logger, a.Node, a.Alert)
-	}, webtxprofile.ClusterRouterConfig{MaxWire: maxWire})
+	}, webtxprofile.ClusterRouterConfig{MaxWire: maxWire, SharedState: sharedState})
 	defer router.Close()
 	for _, m := range members {
 		if err := router.AddNode(m); err != nil {
@@ -312,30 +421,52 @@ func runRouter(logger *log.Logger, join, listen string, batch, ingestQ, maxWire 
 	if err := router.Flush(); err != nil {
 		logger.Printf("flush: %v", err)
 	}
+	cs := webtxprofile.ReadClusterStats()
+	logger.Printf("cluster stats: %d gossip rounds, %d view adoptions, %d override entries, %d tombstones, %d handoff aborts, %d warm restores, %d failover reroutes",
+		cs.GossipRounds, cs.ViewAdoptions, cs.OverrideEntries, cs.OverrideTombstones,
+		cs.HandoffAborts, cs.WarmRestores, cs.FailoverReroutes)
 	logger.Printf("shutting down after routing %d devices", router.Devices())
 	return nil
 }
 
 // shutdownMonitor applies the shared shutdown contract: SIGTERM with a
-// state dir checkpoints (lossless restart), anything else flushes (lossy
-// end-of-stream alerts).
-func shutdownMonitor(logger *log.Logger, mon *webtxprofile.Monitor, s os.Signal,
-	store *webtxprofile.DiskStateStore, stateDir string) error {
+// state tier checkpoints (lossless restart), anything else flushes (lossy
+// end-of-stream alerts). A write-behind tier is drained before the
+// checkpoint is reported done — a queued spill is not a durable one.
+func shutdownMonitor(logger *log.Logger, mon *webtxprofile.Monitor, s os.Signal, tier *stateTier) error {
 	devices := mon.Devices()
-	if store != nil && s == syscall.SIGTERM {
+	if tier.store() != nil && s == syscall.SIGTERM {
 		// Durable shutdown: persist every live device instead of flushing,
-		// so a restart over the same -state-dir resumes each one exactly —
+		// so a restart over the same state tier resumes each one exactly —
 		// no partial windows emitted, no synthetic session-end alerts.
-		n, err := mon.Checkpoint()
+		spilled, failed, err := mon.Checkpoint()
 		mon.Close()
-		if err != nil {
-			return fmt.Errorf("checkpoint: %w", err)
+		if tier.remote != nil {
+			if ferr := tier.remote.Flush(); ferr != nil {
+				err = errors.Join(err, fmt.Errorf("draining write-behind queue: %w", ferr))
+			}
+			if cerr := tier.remote.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 		}
-		logger.Printf("checkpointed %d devices to %s", n, stateDir)
+		if err != nil {
+			if spilled > 0 {
+				logger.Printf("checkpointed %d devices to %s before the failure", spilled, tier.desc)
+			}
+			return fmt.Errorf("checkpoint (%d devices failed): %w", failed, err)
+		}
+		logger.Printf("checkpointed %d devices to %s", spilled, tier.desc)
 		return nil
 	}
 	mon.Flush()
 	mon.Close()
+	if tier.shared() {
+		// Lossy shutdown over the shared tier: drop the queue (the devices
+		// just emitted their final alerts) but close the connection cleanly.
+		if err := tier.remote.Close(); err != nil {
+			logger.Printf("closing state client: %v", err)
+		}
+	}
 	logger.Printf("shutting down after monitoring %d devices", devices)
 	return nil
 }
@@ -411,13 +542,4 @@ func waitSignal() os.Signal {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	return <-sig
-}
-
-// spillStore converts the optional disk store into the monitor's
-// StateStore field without wrapping a typed nil in a non-nil interface.
-func spillStore(s *webtxprofile.DiskStateStore) webtxprofile.StateStore {
-	if s == nil {
-		return nil
-	}
-	return s
 }

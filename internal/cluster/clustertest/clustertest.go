@@ -229,9 +229,10 @@ type Harness struct {
 	Router *cluster.Router
 	Alerts *Recorder
 
-	mu      sync.Mutex
-	nodes   map[string]*cluster.Node
-	nodeCfg cluster.NodeConfig
+	mu       sync.Mutex
+	nodes    map[string]*cluster.Node
+	nodeCfg  cluster.NodeConfig
+	nodePrep func(name string, cfg *cluster.NodeConfig)
 }
 
 // NewHarness starts one node per name, a router, and joins the nodes in
@@ -265,18 +266,25 @@ type HarnessConfig struct {
 	// Node seeds every node's config; Name, K and MaxWire are set per
 	// node by the harness.
 	Node cluster.NodeConfig
+	// NodePrep, when set, customizes each node's config after the
+	// defaults are applied and before the node starts listening — the
+	// state-tier suites use it to dial a per-node spill client (each
+	// monitor needs its own write-behind queue; sharing one client would
+	// merge views the versioning protocol keeps apart).
+	NodePrep func(name string, cfg *cluster.NodeConfig)
 }
 
 // NewHarnessConfig is NewHarness with full configuration.
 func NewHarnessConfig(tb testing.TB, set *core.ProfileSet, k int, cfg HarnessConfig, names ...string) *Harness {
 	tb.Helper()
 	h := &Harness{
-		Set:     set,
-		K:       k,
-		Wire:    cfg.Wire,
-		Alerts:  NewRecorder(),
-		nodes:   make(map[string]*cluster.Node),
-		nodeCfg: cfg.Node,
+		Set:      set,
+		K:        k,
+		Wire:     cfg.Wire,
+		Alerts:   NewRecorder(),
+		nodes:    make(map[string]*cluster.Node),
+		nodeCfg:  cfg.Node,
+		nodePrep: cfg.NodePrep,
 	}
 	rcfg := cfg.Router
 	rcfg.MaxWire = cfg.Wire
@@ -294,6 +302,9 @@ func (h *Harness) StartNode(tb testing.TB, name string) *cluster.Node {
 	tb.Helper()
 	cfg := h.nodeCfg
 	cfg.Name, cfg.K, cfg.MaxWire = name, h.K, h.Wire
+	if h.nodePrep != nil {
+		h.nodePrep(name, &cfg)
+	}
 	n, err := cluster.ListenNode("127.0.0.1:0", h.Set, cfg)
 	if err != nil {
 		tb.Fatal(err)

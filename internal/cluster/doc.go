@@ -152,4 +152,26 @@
 //	                             deduped on (node, seq); no alert lost
 //	gossiped view unreachable    adoption is all-or-nothing; old view
 //	                             stands, error surfaces in-band
+//
+// With a shared state tier (RouterConfig.SharedState — every node spills
+// through one internal/statestore server, write-behind), the suites in
+// statetier_test.go add:
+//
+//	failure                      outcome
+//	-------                      -------
+//	member SIGTERMs, cold join   checkpointed movers warm-restore: the
+//	                             route flips, state rehydrates from the
+//	                             tier on the next transaction; no drain
+//	member dies, FailNode        devices reroute to survivors and resume
+//	                             from their checkpoints — failover with
+//	                             no handoff protocol at all
+//	state server unreachable     feed path degrades lossy, never blocks:
+//	                             spill Puts fail fast on the bounded
+//	                             write-behind queue (ErrQueueFull);
+//	                             queued writes land after the heal
+//	stale flush after failover   the server's per-device version fence
+//	                             drops it: the new owner's
+//	                             rehydrate-consume bumped a tombstone
+//	                             above every version the dead owner's
+//	                             client could still hold
 package cluster

@@ -50,6 +50,7 @@ func (r *Router) viewLocked() Membership {
 // merely catching up must not move state. A dial failure rejects the
 // adoption (the old view stands) and surfaces in the error.
 func (r *Router) MergeGossip(g GossipState) (GossipState, error) {
+	statGossipRounds.Add(1)
 	err := r.adoptMembership(g.Membership)
 	r.mu.Lock()
 	r.overrides.Merge(g.Overrides)
@@ -124,6 +125,7 @@ func (r *Router) adoptMembership(m Membership) error {
 	}
 	r.version = m.Version
 	r.mu.Unlock()
+	statViewAdoptions.Add(1)
 	for _, h := range closing {
 		h.client.Close()
 	}

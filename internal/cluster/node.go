@@ -699,6 +699,13 @@ func (n *Node) handle(conn net.Conn, f Frame) (reply Frame, undo func()) {
 		n.syncSubscriber(conn)
 		return Frame{Type: FrameOK, Seq: f.Seq}, nil
 	case FrameStats:
+		// Stats doubles as the router's Sync barrier: the reply must be
+		// ordered after every alert raised by already-processed feeds, so
+		// drain the monitor's alert pump and this connection's outbox
+		// before answering — Router.Sync then guarantees those alerts
+		// have reached its fan-in callback.
+		n.mon.Sync()
+		n.syncSubscriber(conn)
 		return Frame{Type: FrameOK, Seq: f.Seq, Count: n.mon.Devices()}, nil
 	default:
 		return errorFrame(f.Seq, fmt.Errorf("frame type %q is not a request", f.Type)), nil

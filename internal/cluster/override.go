@@ -55,6 +55,11 @@ func (t *OverrideTable) Set(o Override) bool {
 		return false
 	}
 	t.m[o.Device] = o
+	if o.Node == "" {
+		statOverrideTombstones.Add(1)
+	} else {
+		statOverrideEntries.Add(1)
+	}
 	return true
 }
 

@@ -53,6 +53,16 @@ type RouterConfig struct {
 	// replay depth, client identity prefix). Client.MaxWire is overridden
 	// by MaxWire above.
 	Client ClientConfig
+	// SharedState declares that the member nodes spill through a shared
+	// state tier (an internal/statestore server, with
+	// MonitorConfig.SharedSpill set on every node). Rebalances then skip
+	// the drain for devices that are not live on any node — their state
+	// already sits in the shared store, so a joining node warm-restores
+	// them: the route flips and the state rehydrates there on the
+	// device's next transaction. It also makes FailNode lossless for
+	// checkpointed devices: a dead member's devices resume at their new
+	// owners without any handoff.
+	SharedState bool
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -241,12 +251,14 @@ func (r *Router) Flush() error {
 }
 
 // Sync blocks until every transaction routed so far has been processed
-// by its owner node, without completing any window (unlike Flush, which
-// is end-of-stream). This is the barrier a replica handoff needs: after
-// Sync, a second router can take over the stream knowing none of this
-// router's queued feeds will land later and reorder a device's window.
-// It rides the stats RPC — its reply is ordered after every feed frame
-// already sent on each node connection.
+// by its owner node — and every alert those transactions raised has been
+// handed to this router's fan-in callback — without completing any
+// window (unlike Flush, which is end-of-stream). This is the barrier a
+// replica handoff needs: after Sync, a second router can take over the
+// stream knowing none of this router's queued feeds will land later and
+// reorder a device's window. It rides the stats RPC — the node orders
+// its reply after every feed frame already received on the connection
+// and drains its alert outbox first.
 func (r *Router) Sync() error {
 	r.mu.Lock()
 	handles := make([]*nodeHandle, 0, len(r.nodes))
@@ -506,15 +518,19 @@ func (r *Router) AddNode(m Member) error {
 	// is what makes a fresh router replica — whose routing table is empty
 	// — drain correctly: placement lives on the nodes, not in this
 	// process.
-	placement := r.discoverPlacement()
+	placement, live := r.discoverPlacement()
 
 	r.mu.Lock()
 	r.nodes[m.Name] = h
 	r.version++
 	// Devices whose effective placement moved to the new node drain from
 	// their current owners. Overridden devices are pinned and stay put;
-	// balMu guarantees none is mid-drain.
+	// balMu guarantees none is mid-drain. Under SharedState, a moving
+	// device no node holds live needs no drain at all: its state is in
+	// the shared tier, so it warm-restores — the route flips to the new
+	// node and the state rehydrates there on its next transaction.
 	moves := make(map[string][]string)
+	warm := make(map[string][]string) // current owner → not-live movers
 	for device, cur := range placement {
 		if rt, ok := r.routes[device]; ok {
 			cur = rt.node // the routing table is authoritative over List
@@ -528,17 +544,70 @@ func (r *Router) AddNode(m Member) error {
 			r.routes[device] = rt
 		}
 		rt.draining = true
+		if r.cfg.SharedState && !live[device] {
+			warm[cur] = append(warm[cur], device)
+			continue
+		}
 		moves[cur] = append(moves[cur], device)
 	}
 	r.mu.Unlock()
 
 	var errs []error
+	// The warm set raced concurrent feeds between the List and the
+	// draining mark above: a transaction could have rehydrated a device
+	// at its old owner in that window. Re-listing the owner now is
+	// authoritative — the mark is in place, so no *new* admission can
+	// happen there — and anything found live drains normally after all.
+	warmed := 0
+	for _, src := range sortedKeys(warm) {
+		stillLive := r.liveSet(src)
+		var restore []string
+		for _, device := range warm[src] {
+			if stillLive[device] {
+				moves[src] = append(moves[src], device)
+			} else {
+				restore = append(restore, device)
+			}
+		}
+		if len(restore) == 0 {
+			continue
+		}
+		warmed += len(restore)
+		if err := r.settle(restore, m.Name); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if warmed > 0 {
+		statWarmRestores.Add(uint64(warmed))
+	}
 	for _, src := range sortedKeys(moves) {
 		if _, err := r.drain(src, m.Name, moves[src], false); err != nil {
 			errs = append(errs, err)
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// liveSet reports the devices a member holds live right now. Any error
+// yields the empty set: an unreachable node holds nothing reachable.
+func (r *Router) liveSet(name string) map[string]bool {
+	r.mu.Lock()
+	h := r.nodes[name]
+	r.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	names, err := h.client.List()
+	h.mu.Unlock()
+	if err != nil {
+		return nil
+	}
+	set := make(map[string]bool, len(names))
+	for _, d := range names {
+		set[d] = true
+	}
+	return set
 }
 
 // dialMember opens the router's connection to one member, with the
@@ -558,7 +627,10 @@ func (r *Router) dialMember(m Member) (*NodeClient, error) {
 // a mid-settle device may be listed by two nodes for an instant). A
 // member that cannot answer contributes nothing: its devices stay where
 // they are anyway.
-func (r *Router) discoverPlacement() map[string]string {
+// The second return maps each device some node reported live — under
+// SharedState the complement (routed but listed nowhere) is exactly the
+// warm-restorable set, since SharedSpill nodes list live devices only.
+func (r *Router) discoverPlacement() (placement map[string]string, live map[string]bool) {
 	r.mu.Lock()
 	handles := make([]*nodeHandle, 0, len(r.nodes))
 	for _, h := range r.nodes {
@@ -569,7 +641,8 @@ func (r *Router) discoverPlacement() map[string]string {
 	r.mu.Unlock()
 	sort.Slice(handles, func(i, j int) bool { return handles[i].member.Name < handles[j].member.Name })
 
-	placement := make(map[string]string)
+	placement = make(map[string]string)
+	live = make(map[string]bool)
 	for _, h := range handles {
 		h.mu.Lock()
 		names, err := h.client.List()
@@ -578,6 +651,7 @@ func (r *Router) discoverPlacement() map[string]string {
 			continue
 		}
 		for _, d := range names {
+			live[d] = true
 			if _, ok := placement[d]; !ok {
 				placement[d] = h.member.Name
 			}
@@ -588,7 +662,7 @@ func (r *Router) discoverPlacement() map[string]string {
 		placement[device] = rt.node
 	}
 	r.mu.Unlock()
-	return placement
+	return placement, live
 }
 
 // RemoveNode drains every device off a member (each to its rendezvous
@@ -680,6 +754,66 @@ func (r *Router) RemoveNode(name string) error {
 	return errors.Join(errs...)
 }
 
+// FailNode drops a dead member without draining it: RemoveNode for a
+// node that cannot answer. Its devices reroute immediately to their
+// rendezvous owners among the remaining members, and buffered
+// transactions replay there. With a shared state tier
+// (RouterConfig.SharedState + checkpointed or spilled nodes) nothing is
+// lost: each rerouted device rehydrates from the tier at its new owner
+// on its next transaction — failover without handoff. Without the tier
+// the devices restart fresh, which is still the best available outcome
+// for a dead node. Failing an unknown member is an idempotent no-op;
+// failing the last member is an error.
+func (r *Router) FailNode(name string) error {
+	r.balMu.Lock()
+	defer r.balMu.Unlock()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClientClosed
+	}
+	h, ok := r.nodes[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil // duplicate membership event: idempotent
+	}
+	if len(r.nodes) <= 1 {
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: cannot fail %s: it is the last member", name)
+	}
+	delete(r.nodes, name)
+	r.version++
+	// Mark every route on the dead node draining (feeds buffer during
+	// the reroute), grouped by the new owner under the shrunk view.
+	moves := make(map[string][]string)
+	failed := 0
+	for device, rt := range r.routes {
+		if rt.node != name {
+			continue
+		}
+		rt.draining = true
+		dst := r.effectiveOwnerLocked(device)
+		moves[dst] = append(moves[dst], device)
+		failed++
+	}
+	r.mu.Unlock()
+
+	// The dead node's connection may still be retrying; cut it loose.
+	errs := []error{h.client.Close()}
+	for _, dst := range sortedKeys(moves) {
+		devices := moves[dst]
+		sort.Strings(devices)
+		if err := r.settle(devices, dst); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if failed > 0 {
+		statFailoverReroutes.Add(uint64(failed))
+	}
+	return errors.Join(errs...)
+}
+
 // drain moves the named devices (already marked draining by the caller)
 // from src to dst as a two-phase handoff:
 //
@@ -723,6 +857,7 @@ func (r *Router) drain(src, dst string, devices []string, leavingSrc bool) (fell
 		hs.mu.Lock()
 		_, abortErr := hs.client.Abort(id)
 		hs.mu.Unlock()
+		statHandoffAborts.Add(1)
 		serr := r.settle(devices, src)
 		return true, errors.Join(fmt.Errorf("cluster: exporting %d devices from %s: %w", len(devices), src, exportErr), abortErr, serr)
 	}
@@ -741,6 +876,7 @@ func (r *Router) drain(src, dst string, devices []string, leavingSrc bool) (fell
 		hs.mu.Lock()
 		_, restoreErr := hs.client.Abort(id)
 		hs.mu.Unlock()
+		statHandoffAborts.Add(1)
 		serr := r.settle(devices, src)
 		return true, errors.Join(fmt.Errorf("cluster: importing %d devices into %s, kept on %s: %w", exported, dst, src, importErr), restoreErr, serr)
 	}
@@ -765,6 +901,7 @@ func (r *Router) drain(src, dst string, devices []string, leavingSrc bool) (fell
 			hs.mu.Lock()
 			_, restoreErr := hs.client.Abort(id)
 			hs.mu.Unlock()
+			statHandoffAborts.Add(1)
 			serr := r.settle(devices, src)
 			err := fmt.Errorf("cluster: committing %d devices on %s, kept on %s: %w", exported, dst, src, commitErr)
 			if !errors.Is(commitErr, ErrNodeRefused) && dstAbort != nil {

@@ -1,0 +1,434 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"webtxprofile/internal/cluster"
+	"webtxprofile/internal/cluster/clustertest"
+	"webtxprofile/internal/statestore"
+	"webtxprofile/internal/weblog"
+)
+
+// State-tier suite: the cluster spilling through a shared
+// internal/statestore server instead of per-node local stores. The
+// invariant stays the one every cluster suite asserts — per-device alert
+// sequences byte-identical to a single never-resharded monitor — but the
+// topology changes now lean on the tier: a joining node warm-restores
+// checkpointed devices without draining a peer, and a dead node's
+// devices fail over by lazy rehydration at their new owners.
+
+// startStateServer runs an in-memory state server for one test.
+func startStateServer(tb testing.TB) *statestore.Server {
+	tb.Helper()
+	srv, err := statestore.ListenServer("127.0.0.1:0", statestore.ServerConfig{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// tierClients dials one write-behind client per node (each monitor needs
+// its own queue — sharing one client would merge the per-owner version
+// streams the fence keeps apart) and hands them to the harness through
+// the NodePrep hook.
+type tierClients struct {
+	tb   testing.TB
+	addr string
+	cfg  statestore.ClientConfig
+
+	mu sync.Mutex
+	m  map[string]*statestore.Client
+}
+
+func newTierClients(tb testing.TB, addr string, cfg statestore.ClientConfig) *tierClients {
+	tb.Helper()
+	tc := &tierClients{tb: tb, addr: addr, cfg: cfg, m: make(map[string]*statestore.Client)}
+	tb.Cleanup(tc.closeAll)
+	return tc
+}
+
+// prep is the HarnessConfig.NodePrep hook: dial a client for the node
+// and point its monitor's spill at the shared tier.
+func (tc *tierClients) prep() func(name string, cfg *cluster.NodeConfig) {
+	return func(name string, cfg *cluster.NodeConfig) {
+		c, err := statestore.Dial(tc.addr, tc.cfg)
+		if err != nil {
+			tc.tb.Fatalf("dialing state tier for node %s: %v", name, err)
+		}
+		tc.mu.Lock()
+		tc.m[name] = c
+		tc.mu.Unlock()
+		cfg.Monitor.Spill = c
+		cfg.Monitor.SharedSpill = true
+	}
+}
+
+func (tc *tierClients) client(name string) *statestore.Client {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.m[name]
+}
+
+func (tc *tierClients) closeAll() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for _, c := range tc.m {
+		c.Close()
+	}
+}
+
+// flushTier drains a node's write-behind queue, retrying transient flush
+// failures (the chaos runs kill state-server connections mid-flush).
+func flushTier(tb testing.TB, c *statestore.Client) {
+	tb.Helper()
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		if err = c.Flush(); err == nil {
+			return
+		}
+	}
+	tb.Fatalf("state client never flushed clean: %v", err)
+}
+
+// syncRouter is the feed barrier with the chaos-tolerant retry loop:
+// Sync is idempotent, so killed stats connections just mean another
+// attempt.
+func syncRouter(tb testing.TB, r *cluster.Router) {
+	tb.Helper()
+	for attempt := 0; ; attempt++ {
+		err := r.Sync()
+		if err == nil {
+			return
+		}
+		if attempt >= 10 {
+			tb.Fatalf("sync never succeeded: %v", err)
+		}
+	}
+}
+
+// feedChunks feeds the workload in small batches so the stream spans
+// many wire frames (each one a chaos-kill candidate).
+func feedChunks(tb testing.TB, r *cluster.Router, txs []weblog.Transaction, n int) {
+	tb.Helper()
+	for i := 0; i < len(txs); i += n {
+		end := min(i+n, len(txs))
+		if err := r.FeedBatch(txs[i:end]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// TestWarmRestoreJoinEquivalence is the tentpole's first payoff: a node
+// checkpoints its whole population into the shared tier (a SIGTERM
+// restart), and a cold node then joins — every device that moves to it
+// warm-restores from the tier instead of draining a live peer, and the
+// merged alert stream still matches the never-resharded reference.
+func TestWarmRestoreJoinEquivalence(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, _ := clustertest.Workload(t, ds, 12, 4000)
+	want := clustertest.ReferenceSigs(t, set, equivK, txs)
+	prev := cluster.ReadClusterStats()
+
+	srv := startStateServer(t)
+	tier := newTierClients(t, srv.Addr().String(), statestore.ClientConfig{})
+	h := clustertest.NewHarnessConfig(t, set, equivK, clustertest.HarnessConfig{
+		Router:   cluster.RouterConfig{SharedState: true},
+		NodePrep: tier.prep(),
+	}, "n1")
+
+	// Phase 1: the whole population identifies on n1.
+	split := len(txs) * 3 / 5
+	feedChunks(t, h.Router, txs[:split], 200)
+	syncRouter(t, h.Router)
+
+	// SIGTERM-style checkpoint: every tracked device spills through n1's
+	// write-behind client, which is then drained to the server.
+	spilled, failed, err := h.Node("n1").Monitor().Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v (%d devices failed)", err, failed)
+	}
+	if spilled == 0 {
+		t.Fatal("checkpoint spilled nothing — the warm join would prove nothing")
+	}
+	flushTier(t, tier.client("n1"))
+	if got := srv.Len(); got < spilled {
+		t.Fatalf("tier holds %d devices after flush, want >= %d", got, spilled)
+	}
+
+	// A cold node joins. No mover is live anywhere, so the rebalance must
+	// flip routes without a single drain.
+	h.Join(t, "n2")
+	if d := cluster.ReadClusterStats().Sub(prev); d.WarmRestores == 0 {
+		t.Fatalf("join drained instead of warm-restoring: %+v", d)
+	}
+
+	// Phase 2: devices rehydrate lazily (tier Get → restore → Delete) on
+	// their next transaction, wherever they now live.
+	feedChunks(t, h.Router, txs[split:], 200)
+	if err := h.Router.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+	if h.Alerts.Origins()["n2"] == 0 {
+		t.Fatal("no alert originated on the joined node — placement never moved")
+	}
+	if srv.Stats().GetHits == 0 {
+		t.Fatal("no device ever rehydrated from the tier")
+	}
+}
+
+// TestFailoverWithoutHandoffEquivalence is the tentpole's second payoff:
+// a member checkpoints, dies, and is declared failed — its devices
+// reroute to the survivors and resume from the tier with no handoff
+// protocol at all, byte-identically.
+func TestFailoverWithoutHandoffEquivalence(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, _ := clustertest.Workload(t, ds, 12, 4000)
+	want := clustertest.ReferenceSigs(t, set, equivK, txs)
+	prev := cluster.ReadClusterStats()
+
+	srv := startStateServer(t)
+	tier := newTierClients(t, srv.Addr().String(), statestore.ClientConfig{})
+	h := clustertest.NewHarnessConfig(t, set, equivK, clustertest.HarnessConfig{
+		Router:   cluster.RouterConfig{SharedState: true},
+		NodePrep: tier.prep(),
+	}, "n1", "n2", "n3")
+
+	split := len(txs) * 3 / 5
+	feedChunks(t, h.Router, txs[:split], 200)
+	syncRouter(t, h.Router)
+
+	// n1 dies politely: checkpoint, drain the write-behind queue, gone.
+	// (The barrier above already delivered its alerts; Close emits no
+	// synthetic end-of-stream alerts.)
+	n1 := h.Node("n1")
+	if _, failed, err := n1.Monitor().Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v (%d devices failed)", err, failed)
+	}
+	flushTier(t, tier.client("n1"))
+	n1.Close()
+
+	if err := h.Router.FailNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if d := cluster.ReadClusterStats().Sub(prev); d.FailoverReroutes == 0 {
+		t.Fatalf("FailNode rerouted nothing: %+v", d)
+	}
+
+	feedChunks(t, h.Router, txs[split:], 200)
+	if err := h.Router.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+	if srv.Stats().GetHits == 0 {
+		t.Fatal("no failed-over device ever rehydrated from the tier")
+	}
+}
+
+// TestChaosStateTierMidStreamKills is the ISSUE's proof obligation: the
+// ChaosProxy kills state-server connections AND a node's feed
+// connections mid-stream, a checkpoint and a warm join land in the
+// middle of it, and the alert stream still matches the reference. The
+// statestore protocol is opaque to the proxy (its frames are not cluster
+// frames), so that plan keys on connection/frame ordinals alone.
+func TestChaosStateTierMidStreamKills(t *testing.T) {
+	set, ds := clustertest.TrainedSet(t)
+	txs, _ := clustertest.Workload(t, ds, 16, 3600)
+	want := clustertest.ReferenceSigs(t, set, equivK, txs)
+	prev := cluster.ReadClusterStats()
+
+	rng := rand.New(rand.NewSource(clustertest.ChaosSeed(t)))
+	var mu sync.Mutex
+	stateKills, nodeKills := 0, 0
+	// The very first state frame always dies (a guaranteed retry), the
+	// rest die at random; statestore RPC traffic is sparse, so the rate
+	// is high and the cap keeps the tail of the run clean.
+	statePlan := func(ev clustertest.FaultEvent) clustertest.FaultAction {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Conn == 1 && ev.Seq == 1 && ev.Dir == clustertest.ToNode {
+			stateKills++
+			return clustertest.Kill
+		}
+		if stateKills < 10 && rng.Intn(4) == 0 {
+			stateKills++
+			return clustertest.Kill
+		}
+		return clustertest.Pass
+	}
+	// Only feed frames die on the node proxy: handshakes succeed, so
+	// every kill is a mid-stream loss the client must replay through.
+	nodePlan := func(ev clustertest.FaultEvent) clustertest.FaultAction {
+		if ev.Dir != clustertest.ToNode || ev.Frame.Type != cluster.FrameFeed {
+			return clustertest.Pass
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if nodeKills < 6 && rng.Intn(5) == 0 {
+			nodeKills++
+			return clustertest.Kill
+		}
+		return clustertest.Pass
+	}
+
+	srv := startStateServer(t)
+	stateProxy := clustertest.StartChaosProxy(t, srv.Addr().String(), statePlan)
+	tier := newTierClients(t, stateProxy.Addr(), statestore.ClientConfig{
+		FlushCount:     8,
+		FlushAge:       2 * time.Millisecond,
+		RetryAttempts:  8,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  20 * time.Millisecond,
+	})
+	h := clustertest.NewHarnessConfig(t, set, equivK, clustertest.HarnessConfig{
+		Router:   cluster.RouterConfig{SharedState: true, Client: cluster.ClientConfig{Reconnect: fastReconnect()}},
+		NodePrep: tier.prep(),
+	}, "n1")
+	n2 := h.StartNode(t, "n2")
+	nodeProxy := clustertest.StartChaosProxy(t, n2.Addr().String(), nodePlan)
+	if err := h.Router.AddNode(cluster.Member{Name: "n2", Addr: nodeProxy.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+
+	split := len(txs) / 2
+	feedChunks(t, h.Router, txs[:split], 50)
+	syncRouter(t, h.Router)
+
+	// Mid-stream, under fire: checkpoint n1 (its spills retry through
+	// the dying state connections), then join a cold node — n1's
+	// checkpointed movers warm-restore, n2's live movers drain.
+	if _, failed, err := h.Node("n1").Monitor().Checkpoint(); err != nil {
+		t.Fatalf("checkpoint under chaos: %v (%d devices failed)", err, failed)
+	}
+	flushTier(t, tier.client("n1"))
+	h.Join(t, "n3")
+
+	feedChunks(t, h.Router, txs[split:], 50)
+	syncRouter(t, h.Router)
+	stateProxy.SetPlan(nil)
+	nodeProxy.SetPlan(nil)
+	if err := h.Router.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if stateProxy.Kills() == 0 {
+		t.Fatal("no state-server connection was ever killed — the chaos proved nothing")
+	}
+	if nodeProxy.Kills() == 0 {
+		t.Fatal("no node connection was ever killed — the chaos proved nothing")
+	}
+	t.Logf("survived %d state-server kills and %d node kills", stateProxy.Kills(), nodeProxy.Kills())
+	if d := cluster.ReadClusterStats().Sub(prev); d.WarmRestores == 0 {
+		t.Fatalf("the mid-chaos join never warm-restored: %+v", d)
+	}
+	clustertest.AssertSameSigs(t, want, h.Alerts.Sigs())
+}
+
+// TestChaosStateTierPartitionDegradesLossy pins the degradation mode the
+// tentpole promises: with the state server unreachable, the feed path's
+// spill Puts fail fast (bounded queue, ErrQueueFull) instead of
+// blocking, and after the partition heals the queued tail still lands.
+func TestChaosStateTierPartitionDegradesLossy(t *testing.T) {
+	srv := startStateServer(t)
+	proxy := clustertest.StartChaosProxy(t, srv.Addr().String(), nil)
+	c, err := statestore.Dial(proxy.Addr(), statestore.ClientConfig{
+		MaxPending:     8,
+		FlushCount:     4,
+		FlushAge:       2 * time.Millisecond,
+		RetryAttempts:  1,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  2 * time.Millisecond,
+		DialTimeout:    200 * time.Millisecond,
+		RPCTimeout:     200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	proxy.Partition()
+	start := time.Now()
+	full := 0
+	for i := 0; i < 64; i++ {
+		err := c.Put(fmt.Sprintf("10.9.0.%d", i), []byte("state"))
+		if errors.Is(err, statestore.ErrQueueFull) {
+			full++
+		} else if err != nil {
+			t.Fatalf("unexpected Put error: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("64 Puts took %v across a partition — the feed path must not block", elapsed)
+	}
+	if full == 0 {
+		t.Fatal("the bounded queue never rejected a Put during the partition")
+	}
+	waitFailures := time.Now().Add(5 * time.Second)
+	for c.Stats().FlushFailures == 0 {
+		if time.Now().After(waitFailures) {
+			t.Fatal("the flusher never reported a failure during the partition")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Heal: the surviving queue drains and the tier catches up.
+	proxy.Heal()
+	flushTier(t, c)
+	if got := srv.Len(); got == 0 {
+		t.Fatal("no queued spill survived the partition")
+	} else if got > 8 {
+		t.Fatalf("server holds %d devices, queue bound was 8", got)
+	}
+	t.Logf("partition: %d fail-fast rejections, %d devices recovered after heal", full, srv.Len())
+}
+
+// BenchmarkWarmRestoreVsDrain times AddNode for a cold node joining a
+// one-node cluster whose whole population moves: "drain" pays the
+// two-phase handoff (export, replay, import) per mover, "warmrestore"
+// flips routes against a checkpointed shared tier and pays nothing up
+// front. The untimed setup (training is shared, but feeding is not)
+// dominates wall clock, so CI runs this with a small -benchtime count.
+func BenchmarkWarmRestoreVsDrain(b *testing.B) {
+	set, ds := clustertest.TrainedSet(b)
+	txs, _ := clustertest.Workload(b, ds, 24, 1500)
+
+	run := func(b *testing.B, warm bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			var tier *tierClients
+			cfg := clustertest.HarnessConfig{}
+			if warm {
+				srv := startStateServer(b)
+				tier = newTierClients(b, srv.Addr().String(), statestore.ClientConfig{})
+				cfg.Router = cluster.RouterConfig{SharedState: true}
+				cfg.NodePrep = tier.prep()
+			}
+			h := clustertest.NewHarnessConfig(b, set, equivK, cfg, "n1")
+			feedChunks(b, h.Router, txs, 500)
+			syncRouter(b, h.Router)
+			if warm {
+				if _, failed, err := h.Node("n1").Monitor().Checkpoint(); err != nil {
+					b.Fatalf("checkpoint: %v (%d devices failed)", err, failed)
+				}
+				flushTier(b, tier.client("n1"))
+			}
+			n2 := h.StartNode(b, "n2")
+			member := cluster.Member{Name: "n2", Addr: n2.Addr().String()}
+			b.StartTimer()
+			if err := h.Router.AddNode(member); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			h.Close()
+		}
+	}
+
+	b.Run("drain", func(b *testing.B) { run(b, false) })
+	b.Run("warmrestore", func(b *testing.B) { run(b, true) })
+}

@@ -329,7 +329,9 @@ func (m *Monitor) collectDeviceStates(devices []string) ([]DeviceState, []error)
 			continue
 		}
 		sh.mu.Unlock()
-		if m.cfg.Spill == nil {
+		// A shared spill tier is not harvested: the state is already
+		// where the device's next owner will read it from.
+		if m.cfg.Spill == nil || m.cfg.SharedSpill {
 			continue
 		}
 		blob, ok, err := m.cfg.Spill.Get(device)
@@ -373,7 +375,10 @@ func (m *Monitor) TrackedDevices() ([]string, error) {
 		}
 		sh.mu.Unlock()
 	}
-	if m.cfg.Spill != nil {
+	// A shared spill tier holds the whole fleet's devices; claiming them
+	// all as this monitor's holdings would make every node report every
+	// device. Only the private-store spill set belongs to this monitor.
+	if m.cfg.Spill != nil && !m.cfg.SharedSpill {
 		spilled, err := m.cfg.Spill.Devices()
 		if err != nil {
 			return nil, fmt.Errorf("core: listing spilled devices: %w", err)

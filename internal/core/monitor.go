@@ -110,6 +110,18 @@ type MonitorConfig struct {
 	// Should the store fail on a spill, the monitor falls back to the
 	// lossy eviction path (flush + AlertLost) rather than leak the device.
 	Spill StateStore
+	// SharedSpill declares that Spill is a store shared by several
+	// monitors — the fleet-wide state tier of internal/statestore —
+	// rather than this process's private directory. It changes who
+	// claims spilled state: TrackedDevices reports only live devices (a
+	// node must not claim every device in the fleet-wide store as its
+	// own holdings), and device-granular exports do not harvest the
+	// store (the importing monitor reads the shared tier directly when
+	// the device's next transaction arrives). Rehydration on admit is
+	// unchanged — Get, restore, Delete — and the tier's per-device
+	// versioning fences a stale write-behind flush from resurrecting
+	// overwritten state.
+	SharedSpill bool
 	// Float32Scoring stores the shared fused scoring index's postings —
 	// and runs the per-shard accumulators — in float32, roughly halving
 	// scoring memory and accumulation bandwidth for large populations.
@@ -825,21 +837,25 @@ func (m *Monitor) spillLocked(device string, tr *deviceTrack) error {
 // graceful-shutdown path of a daemon with durable state (profilerd's
 // SIGTERM handler): after a restart over the same store, each device
 // rehydrates on its next transaction with its window buffer and streaks
-// intact. No windows are flushed and no alerts fire. Devices whose spill
-// fails stay tracked and are reported joined; call Flush instead for
-// lossy end-of-stream semantics. Feeding concurrently with Checkpoint is
-// safe but the interleaving decides which side a racing device lands on.
-func (m *Monitor) Checkpoint() (int, error) {
+// intact. No windows are flushed and no alerts fire. The sweep never
+// aborts early: devices whose spill fails stay tracked (and live), the
+// per-device errors come back joined, and the counts say exactly what
+// the store holds versus what stayed in memory — so a restart, or the
+// operator reading the shutdown log, knows what it has. Call Flush
+// instead for lossy end-of-stream semantics. Feeding concurrently with
+// Checkpoint is safe but the interleaving decides which side a racing
+// device lands on.
+func (m *Monitor) Checkpoint() (spilled, failed int, err error) {
 	if m.cfg.Spill == nil {
-		return 0, fmt.Errorf("core: Checkpoint needs MonitorConfig.Spill")
+		return 0, 0, fmt.Errorf("core: Checkpoint needs MonitorConfig.Spill")
 	}
-	spilled := 0
 	var errs []error
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		for device, tr := range sh.devices {
 			if err := m.spillLocked(device, tr); err != nil {
 				errs = append(errs, err)
+				failed++
 				continue
 			}
 			delete(sh.devices, device)
@@ -847,7 +863,11 @@ func (m *Monitor) Checkpoint() (int, error) {
 		}
 		sh.mu.Unlock()
 	}
-	return spilled, errors.Join(errs...)
+	if len(errs) > 0 {
+		err = fmt.Errorf("core: checkpoint spilled %d devices, %d failed and stay tracked: %w",
+			spilled, failed, errors.Join(errs...))
+	}
+	return spilled, failed, err
 }
 
 // ExportShard serializes and stops tracking every device of shard i — one

@@ -182,7 +182,20 @@ func NewDiskStateStore(dir string) (*DiskStateStore, error) {
 	s := &DiskStateStore{dir: dir, present: make(map[string]struct{})}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, diskStateSuffix) {
+		if e.IsDir() {
+			continue
+		}
+		if !strings.HasSuffix(name, diskStateSuffix) {
+			// A ".state-*" entry without the suffix is a temp file from a
+			// Put that crashed before its rename: it holds no committed
+			// state, so collect it instead of accumulating one per crash.
+			// (The suffix check above runs first: a device named
+			// ".state-x" escapes to ".state-x.state.gz" and is kept.)
+			if strings.HasPrefix(name, ".state-") {
+				if err := os.Remove(filepath.Join(dir, name)); err != nil {
+					return nil, fmt.Errorf("core: sweeping orphaned temp file %s: %w", name, err)
+				}
+			}
 			continue
 		}
 		device, err := url.PathUnescape(strings.TrimSuffix(name, diskStateSuffix))
@@ -201,7 +214,10 @@ func (s *DiskStateStore) path(device string) string {
 	return filepath.Join(s.dir, url.PathEscape(device)+diskStateSuffix)
 }
 
-// Put writes the blob as a gzip file, atomically.
+// Put writes the blob as a gzip file, atomically and crash-durably: the
+// temp file is fsynced before the rename and the directory after it, so
+// a power cut leaves either the old committed state or the new one —
+// never a torn file under the device's name.
 func (s *DiskStateStore) Put(device string, blob []byte) error {
 	tmp, err := os.CreateTemp(s.dir, ".state-*")
 	if err != nil {
@@ -221,6 +237,9 @@ func (s *DiskStateStore) Put(device string, blob []byte) error {
 	}
 	s.gzPool.Put(gz)
 	if err == nil {
+		err = tmp.Sync()
+	}
+	if err == nil {
 		err = tmp.Close()
 	} else {
 		tmp.Close()
@@ -231,10 +250,26 @@ func (s *DiskStateStore) Put(device string, blob []byte) error {
 	if err := os.Rename(tmp.Name(), s.path(device)); err != nil {
 		return fmt.Errorf("core: spilling device %s: %w", device, err)
 	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("core: spilling device %s: %w", device, err)
+	}
 	s.mu.Lock()
 	s.present[device] = struct{}{}
 	s.mu.Unlock()
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get reads and decompresses the device's blob. Devices absent from the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -526,7 +527,7 @@ func TestMonitorCheckpointRestoreMatchesReference(t *testing.T) {
 			}
 			rest = rest[n:]
 		}
-		n, err := mon1.Checkpoint()
+		n, _, err := mon1.Checkpoint()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -697,5 +698,138 @@ func TestDiskStateStoreRejectsBadDir(t *testing.T) {
 	}
 	if _, err := NewDiskStateStore(file); err == nil {
 		t.Error("file path accepted as state dir")
+	}
+}
+
+// TestDiskStateStoreCrashDurability models the crash the fsync fixes
+// guard against: a process dies mid-Put leaving a torn ".state-*" temp
+// file next to an intact committed state. Reopening the directory must
+// sweep the orphans and keep the committed state — and a device whose
+// escaped name itself starts with ".state-" must never be mistaken for
+// one.
+func TestDiskStateStoreCrashDurability(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	store, err := NewDiskStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("10.0.0.1", []byte("committed-state")); err != nil {
+		t.Fatal(err)
+	}
+	// PathEscape keeps dots and dashes, so this device's file is
+	// ".state-evil.state.gz" — prefix of a temp file, suffix of a real one.
+	if err := store.Put(".state-evil", []byte("prefixed-device")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-Put leaves the temp file; a crash at open leaves an
+	// empty one.
+	torn := filepath.Join(dir, ".state-123456789")
+	if err := os.WriteFile(torn, []byte("torn gzip garbag"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, ".state-987654321")
+	if err := os.WriteFile(empty, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated files are not ours to delete.
+	keep := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(keep, []byte("operator notes"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := NewDiskStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, orphan := range []string{torn, empty} {
+		if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+			t.Errorf("orphaned temp file %s survived reopen (err=%v)", filepath.Base(orphan), err)
+		}
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("unrelated file swept: %v", err)
+	}
+	devices, err := reopened.Devices()
+	if err != nil || len(devices) != 2 {
+		t.Fatalf("reopened Devices = %v, %v — want both committed devices", devices, err)
+	}
+	if blob, ok, err := reopened.Get("10.0.0.1"); err != nil || !ok || string(blob) != "committed-state" {
+		t.Errorf("committed state after crash: %q, %v, %v", blob, ok, err)
+	}
+	if blob, ok, err := reopened.Get(".state-evil"); err != nil || !ok || string(blob) != "prefixed-device" {
+		t.Errorf("dot-prefixed device swept as an orphan: %q, %v, %v", blob, ok, err)
+	}
+}
+
+// errDeniedDevice marks selectiveStore's rejected writes so the test can
+// prove Checkpoint's joined error preserves the underlying causes.
+var errDeniedDevice = errors.New("denied device")
+
+// selectiveStore delegates to a memory store but refuses Puts for the
+// deny-listed devices.
+type selectiveStore struct {
+	mem  StateStore
+	deny map[string]bool
+}
+
+func (s selectiveStore) Put(d string, b []byte) error {
+	if s.deny[d] {
+		return fmt.Errorf("%w: %s", errDeniedDevice, d)
+	}
+	return s.mem.Put(d, b)
+}
+func (s selectiveStore) Get(d string) ([]byte, bool, error) { return s.mem.Get(d) }
+func (s selectiveStore) Delete(d string) error              { return s.mem.Delete(d) }
+func (s selectiveStore) Devices() ([]string, error)         { return s.mem.Devices() }
+
+// TestMonitorCheckpointContinuesPastFailures: one device's failed spill
+// must not abandon the rest of the checkpoint. The healthy devices spill
+// and close, the failed ones stay tracked, and the counts plus a joined
+// error report exactly what happened.
+func TestMonitorCheckpointContinuesPastFailures(t *testing.T) {
+	set, testDS := sharedSet(t)
+	txs, devices := deviceStream(testDS, 6, 3000)
+	store := selectiveStore{
+		mem:  NewMemStateStore(),
+		deny: map[string]bool{devices[0]: true, devices[3]: true},
+	}
+	mon, err := NewMonitorWithConfig(set, 2, func(Alert) {},
+		MonitorConfig{Shards: 4, Spill: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	for _, tx := range txs {
+		if err := mon.Feed(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracked := mon.Devices()
+	if tracked != 6 {
+		t.Fatalf("tracked %d devices before checkpoint, want 6", tracked)
+	}
+
+	spilled, failed, err := mon.Checkpoint()
+	if err == nil {
+		t.Fatal("checkpoint with denied devices reported success")
+	}
+	if !errors.Is(err, errDeniedDevice) {
+		t.Errorf("checkpoint error does not wrap the cause: %v", err)
+	}
+	if failed != 2 || spilled != tracked-2 {
+		t.Errorf("checkpoint counts: spilled %d failed %d, want %d and 2", spilled, failed, tracked-2)
+	}
+	if got := mon.Devices(); got != 2 {
+		t.Errorf("%d devices tracked after checkpoint, want the 2 failed ones", got)
+	}
+	inStore, err2 := store.Devices()
+	if err2 != nil || len(inStore) != spilled {
+		t.Errorf("store holds %d devices (%v), want %d", len(inStore), err2, spilled)
+	}
+	for _, d := range inStore {
+		if store.deny[d] {
+			t.Errorf("denied device %s reached the store", d)
+		}
 	}
 }

@@ -1,0 +1,60 @@
+package statestore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkStateStoreWriteBehind measures the feed-path cost of a spill
+// Put under the two disciplines the tier supports: write-behind (the
+// default — Put is a local queue write, the flusher batches to the
+// server) against write-through (every Put synchronously flushed, the
+// cost a naive networked StateStore would put on the eviction path).
+func BenchmarkStateStoreWriteBehind(b *testing.B) {
+	const devices = 512
+	blob := make([]byte, 1024)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	names := make([]string, devices)
+	for i := range names {
+		names[i] = fmt.Sprintf("10.9.%d.%d", i/256, i%256)
+	}
+
+	run := func(b *testing.B, cfg ClientConfig, flushEvery bool) {
+		srv, err := ListenServer("127.0.0.1:0", ServerConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		c, err := Dial(srv.Addr().String(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.SetBytes(int64(len(blob)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Put(names[i%devices], blob); err != nil {
+				b.Fatal(err)
+			}
+			if flushEvery {
+				if err := c.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+	}
+
+	b.Run("writebehind", func(b *testing.B) {
+		run(b, ClientConfig{FlushCount: 64, FlushAge: 5 * time.Millisecond}, false)
+	})
+	b.Run("writethrough", func(b *testing.B) {
+		run(b, ClientConfig{FlushCount: 1 << 30, FlushAge: time.Hour}, true)
+	})
+}
